@@ -1,0 +1,159 @@
+(* Benchmark + reproduction harness.
+
+   Running `dune exec bench/main.exe` does two things:
+
+   1. regenerates every evaluation artifact of the paper (Figs. 2, 4, 5,
+      6, 7, the runtime claim, and our cross-validation experiment),
+      printing the rows each figure plots;
+   2. runs a Bechamel micro-benchmark suite with one [Test.make] per
+      figure, timing the computational kernel behind it.
+
+   Pass an experiment id (2|4|5|6|7|perf|xchk|ablation|isf|nonideal|pfd|noise|fractional) to print only that
+   experiment; pass `bench` to run only the micro-benchmarks. *)
+
+open Bechamel
+open Toolkit
+
+let spec = Pll_lib.Design.default_spec
+let pll = Pll_lib.Design.synthesize spec
+let w0 = Pll_lib.Pll.omega0 pll
+
+(* one Bechamel test per table/figure: the kernel that produces it *)
+
+let bench_fig2 =
+  (* FIG2 kernel: realize the closed-loop conversion map *)
+  let ctx = Htm_core.Htm.ctx ~n_harm:20 ~omega0:w0 in
+  Test.make ~name:"fig2: conversion map (rank-one closed form, N=20)"
+    (Staged.stage (fun () ->
+         ignore
+           (Pll_lib.Pll.closed_loop_rank_one ctx pll
+              (Numeric.Cx.jomega (0.2 *. w0)))))
+
+let bench_fig2_generic =
+  let ctx = Htm_core.Htm.ctx ~n_harm:20 ~omega0:w0 in
+  let cl = Pll_lib.Pll.closed_loop_htm pll in
+  Test.make ~name:"fig2: conversion map (generic LU feedback, N=20)"
+    (Staged.stage (fun () ->
+         ignore (Htm_core.Htm.to_matrix ctx cl (Numeric.Cx.jomega (0.2 *. w0)))))
+
+let bench_fig4 =
+  Test.make ~name:"fig4: pulse-vs-impulse sweep (8 widths, expm steps)"
+    (Staged.stage (fun () -> ignore (Experiments.Exp_fig4.compute ~spec ())))
+
+let bench_fig5 =
+  Test.make ~name:"fig5: open-loop Bode sweep (33 points)"
+    (Staged.stage (fun () -> ignore (Experiments.Exp_fig5.compute ~spec ())))
+
+let bench_fig6_closed_form =
+  (* FIG6 kernel (solid lines): one closed-form |H00| evaluation *)
+  let h00 = Pll_lib.Pll.h00_fn pll Pll_lib.Pll.Exact in
+  Test.make ~name:"fig6: closed-form H00 point (exact lambda)"
+    (Staged.stage (fun () -> ignore (h00 (Numeric.Cx.jomega (0.13 *. w0)))))
+
+let bench_fig6_truncated =
+  let h00 = Pll_lib.Pll.h00_fn pll (Pll_lib.Pll.Truncated 500) in
+  Test.make ~name:"fig6: truncated-lambda H00 point (500 terms)"
+    (Staged.stage (fun () -> ignore (h00 (Numeric.Cx.jomega (0.13 *. w0)))))
+
+let bench_fig6_simulation =
+  (* FIG6 kernel (marks): one time-marching measurement; this is the
+     "minutes" side of the paper's runtime comparison *)
+  Test.make ~name:"fig6: time-marching H00 point (short window)"
+    (Staged.stage (fun () ->
+         ignore
+           (Sim.Extract.measure_h00 pll ~harmonic:3 ~window_periods:16
+              ~warmup_periods:32 ~steps_per_period:48 ())))
+
+let bench_fig7 =
+  (* FIG7 kernel: one ratio point = margin analysis of lambda *)
+  Test.make ~name:"fig7: effective-loop margin analysis (one ratio)"
+    (Staged.stage (fun () -> ignore (Pll_lib.Analysis.effective_report pll)))
+
+let bench_xchk_zmodel =
+  Test.make ~name:"xchk: exact discrete model construction (expm)"
+    (Staged.stage (fun () -> ignore (Pll_lib.Zmodel.of_pll pll)))
+
+let bench_lambda_exact =
+  let lam = Pll_lib.Pll.lambda_fn pll Pll_lib.Pll.Exact in
+  Test.make ~name:"kernel: lambda(s) exact (coth lattice sums)"
+    (Staged.stage (fun () -> ignore (lam (Numeric.Cx.jomega (0.3 *. w0)))))
+
+let bench_sim_period =
+  Test.make ~name:"kernel: behavioral simulation (10 periods)"
+    (Staged.stage
+       (let config =
+          Sim.Behavioral.default_config pll
+        in
+        fun () ->
+          ignore
+            (Sim.Behavioral.run config Sim.Behavioral.quiet
+               ~t_end:(10.0 *. Pll_lib.Pll.period pll))))
+
+(* Run the grouped suite and report the per-run OLS estimate of each
+   kernel. *)
+let run_benchmarks () =
+  Format.printf "@.== Bechamel micro-benchmarks (one per figure) ==@.";
+  let test =
+    Test.make_grouped ~name:"pllscope"
+      [
+        bench_fig2;
+        bench_fig2_generic;
+        bench_fig4;
+        bench_fig5;
+        bench_fig6_closed_form;
+        bench_fig6_truncated;
+        bench_fig6_simulation;
+        bench_fig7;
+        bench_xchk_zmodel;
+        bench_lambda_exact;
+        bench_sim_period;
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw_results = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+  let results =
+    List.map (fun i -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) i raw_results)
+      Instance.[ monotonic_clock ]
+  in
+  let results2 = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) Instance.[ monotonic_clock ] results in
+  Hashtbl.iter
+    (fun _instance tbl ->
+      let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) tbl [] in
+      let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+      List.iter
+        (fun (name, result) ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Format.printf "%-60s %12.1f ns/run@." name est
+          | _ -> Format.printf "%-60s (no estimate)@." name)
+        rows)
+    results2
+
+let run_figures which =
+  let all = which = "all" in
+  if all || which = "5" then Experiments.Exp_fig5.run ();
+  if all || which = "2" then Experiments.Exp_fig2.run ();
+  if all || which = "4" then Experiments.Exp_fig4.run ();
+  if all || which = "7" then Experiments.Exp_fig7.run ();
+  if all || which = "6" then Experiments.Exp_fig6.run ();
+  if all || which = "xchk" then Experiments.Exp_xchk.run ();
+  if all || which = "ablation" then Experiments.Exp_ablation.run ();
+  if all || which = "isf" then Experiments.Exp_isf.run ();
+  if all || which = "nonideal" then Experiments.Exp_nonideal.run ();
+  if all || which = "pfd" then Experiments.Exp_pfd.run ();
+  if all || which = "noise" then Experiments.Exp_noise.run ();
+  if all || which = "fractional" then Experiments.Exp_fractional.run ();
+  if all || which = "perf" then Experiments.Exp_perf.run ()
+
+let () =
+  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  | "bench" -> run_benchmarks ()
+  | ("2" | "4" | "5" | "6" | "7" | "perf" | "xchk" | "ablation" | "isf" | "nonideal" | "pfd" | "noise" | "fractional") as f ->
+      run_figures f
+  | "all" ->
+      run_figures "all";
+      run_benchmarks ()
+  | other ->
+      Format.printf
+        "unknown argument %s (want 2|4|5|6|7|perf|xchk|ablation|isf|nonideal|pfd|noise|fractional|bench|all)@."
+        other;
+      exit 1

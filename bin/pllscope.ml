@@ -1,0 +1,249 @@
+(* pllscope — command-line front end for the HTM-based PLL analyzer.
+
+   Subcommands:
+     analyze   LTI vs time-varying loop reports for one design
+     bode      open-loop A(jw) and effective lambda(jw) sweeps
+     sweep     Fig. 7 ratio sweep
+     fig       regenerate a paper figure or extension experiment
+     sim       behavioral time-marching run (lock acquisition)
+     measure   simulator measurement of |H00| at one rational frequency *)
+
+open Cmdliner
+
+let spec_term =
+  let fref =
+    let doc = "Reference frequency in Hz." in
+    Arg.(value & opt float Pll_lib.Design.default_spec.Pll_lib.Design.fref
+         & info [ "fref" ] ~docv:"HZ" ~doc)
+  in
+  let n_div =
+    let doc = "Feedback division ratio." in
+    Arg.(value & opt float Pll_lib.Design.default_spec.Pll_lib.Design.n_div
+         & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let icp =
+    let doc = "Charge-pump current in A." in
+    Arg.(value & opt float Pll_lib.Design.default_spec.Pll_lib.Design.icp
+         & info [ "icp" ] ~docv:"A" ~doc)
+  in
+  let kvco =
+    let doc = "VCO gain in Hz/V." in
+    Arg.(value & opt float Pll_lib.Design.default_spec.Pll_lib.Design.kvco
+         & info [ "kvco" ] ~docv:"HZ_PER_V" ~doc)
+  in
+  let ratio =
+    let doc = "Target unity-gain-to-reference ratio w_UG/w0." in
+    Arg.(value & opt float 0.1 & info [ "ratio" ] ~docv:"R" ~doc)
+  in
+  let pm =
+    let doc = "Target LTI phase margin in degrees." in
+    Arg.(value & opt float 55.0 & info [ "pm" ] ~docv:"DEG" ~doc)
+  in
+  let build fref n_div icp kvco ratio pm =
+    { Pll_lib.Design.fref; n_div; icp; kvco; ratio; phase_margin_deg = pm }
+  in
+  Term.(const build $ fref $ n_div $ icp $ kvco $ ratio $ pm)
+
+let pp = Format.std_formatter
+
+let analyze_cmd =
+  let run spec =
+    let p = Pll_lib.Design.synthesize spec in
+    Experiments.Report.section pp "design";
+    Experiments.Report.kv pp "reference" "%g Hz, /%g, Icp=%g A, Kvco=%g Hz/V"
+      spec.Pll_lib.Design.fref spec.Pll_lib.Design.n_div
+      spec.Pll_lib.Design.icp spec.Pll_lib.Design.kvco;
+    Format.fprintf pp "%a@." Pll_lib.Loop_filter.pp p.Pll_lib.Pll.filter;
+    let lti = Pll_lib.Analysis.lti_report p in
+    let eff = Pll_lib.Analysis.effective_report p in
+    let m = Pll_lib.Analysis.closed_loop_metrics p in
+    Format.fprintf pp "LTI  open loop A(jw):      %a@."
+      Pll_lib.Analysis.pp_loop_report lti;
+    Format.fprintf pp "TV   open loop lambda(jw): %a@."
+      Pll_lib.Analysis.pp_loop_report eff;
+    Experiments.Report.kv pp "closed-loop peaking" "%.2f dB at %g rad/s"
+      m.Pll_lib.Analysis.peak_db m.Pll_lib.Analysis.peak_freq;
+    (match m.Pll_lib.Analysis.bandwidth_3db with
+    | Some bw -> Experiments.Report.kv pp "closed-loop -3dB bandwidth" "%g rad/s" bw
+    | None -> ());
+    Experiments.Report.kv pp "time-varying stable" "%s"
+      (if Pll_lib.Analysis.is_stable_tv p then "yes" else "NO (discrete model has poles outside the unit circle)")
+  in
+  let doc = "LTI vs time-varying analysis of one loop design" in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ spec_term)
+
+let bode_cmd =
+  let points =
+    Arg.(value & opt int 25 & info [ "points" ] ~docv:"N" ~doc:"Sweep points.")
+  in
+  let run spec points =
+    let p = Pll_lib.Design.synthesize spec in
+    let w0 = Pll_lib.Pll.omega0 p in
+    let w_ug = Pll_lib.Design.omega_ug spec in
+    let a = Lti.Tf.freq_response (Pll_lib.Pll.open_loop_tf p) in
+    let lam_fn = Pll_lib.Pll.lambda_fn p Pll_lib.Pll.Exact in
+    let lam w = lam_fn (Numeric.Cx.jomega w) in
+    let sweep = Lti.Bode.sweep a ~lo:(w_ug /. 50.0) ~hi:(w0 *. 0.49) ~points in
+    let lam_sweep = Lti.Bode.sweep lam ~lo:(w_ug /. 50.0) ~hi:(w0 *. 0.49) ~points in
+    Experiments.Report.table pp ~title:"open-loop responses"
+      ~header:[ "w/w0"; "|A| dB"; "arg A"; "|lambda| dB"; "arg lambda" ]
+      (List.map2
+         (fun pa pl ->
+           [
+             Experiments.Report.g (pa.Lti.Bode.omega /. w0);
+             Experiments.Report.f3 pa.Lti.Bode.mag_db;
+             Experiments.Report.f3 pa.Lti.Bode.phase_deg;
+             Experiments.Report.f3 pl.Lti.Bode.mag_db;
+             Experiments.Report.f3 pl.Lti.Bode.phase_deg;
+           ])
+         (Array.to_list sweep) (Array.to_list lam_sweep))
+  in
+  let doc = "Bode sweeps of A(jw) and lambda(jw)" in
+  Cmd.v (Cmd.info "bode" ~doc) Term.(const run $ spec_term $ points)
+
+let sweep_cmd =
+  let run spec =
+    Experiments.Exp_fig7.print pp (Experiments.Exp_fig7.compute ~spec ())
+  in
+  let doc = "Ratio sweep (Fig. 7 quantities)" in
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ spec_term)
+
+let fig_cmd =
+  let which =
+    let doc =
+      "Figure to regenerate: 2, 4, 5, 6, 7, perf, xchk, ablation, isf, nonideal, pfd, noise, fractional or all."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FIG" ~doc)
+  in
+  let run which =
+    match which with
+    | "2" -> Experiments.Exp_fig2.run ()
+    | "4" -> Experiments.Exp_fig4.run ()
+    | "5" -> Experiments.Exp_fig5.run ()
+    | "6" -> Experiments.Exp_fig6.run ()
+    | "7" -> Experiments.Exp_fig7.run ()
+    | "perf" -> Experiments.Exp_perf.run ()
+    | "xchk" -> Experiments.Exp_xchk.run ()
+    | "ablation" -> Experiments.Exp_ablation.run ()
+    | "isf" -> Experiments.Exp_isf.run ()
+    | "nonideal" -> Experiments.Exp_nonideal.run ()
+    | "pfd" -> Experiments.Exp_pfd.run ()
+    | "noise" -> Experiments.Exp_noise.run ()
+    | "fractional" -> Experiments.Exp_fractional.run ()
+    | "all" ->
+        Experiments.Exp_fig2.run ();
+        Experiments.Exp_fig4.run ();
+        Experiments.Exp_fig5.run ();
+        Experiments.Exp_fig6.run ();
+        Experiments.Exp_fig7.run ();
+        Experiments.Exp_xchk.run ();
+        Experiments.Exp_ablation.run ();
+        Experiments.Exp_isf.run ();
+        Experiments.Exp_nonideal.run ();
+        Experiments.Exp_pfd.run ();
+        Experiments.Exp_noise.run ();
+        Experiments.Exp_fractional.run ();
+        Experiments.Exp_perf.run ()
+    | other -> Format.fprintf pp "unknown figure %s@." other
+  in
+  let doc = "Regenerate a paper figure" in
+  Cmd.v (Cmd.info "fig" ~doc) Term.(const run $ which)
+
+let sim_cmd =
+  let offset =
+    Arg.(value & opt float 50e3
+         & info [ "offset" ] ~docv:"HZ" ~doc:"Initial VCO frequency error in Hz.")
+  in
+  let periods =
+    Arg.(value & opt int 400 & info [ "periods" ] ~docv:"N" ~doc:"Reference periods to simulate.")
+  in
+  let run spec offset periods =
+    let p = Pll_lib.Design.synthesize spec in
+    let record = Sim.Transient.acquisition p ~freq_offset:offset ~periods () in
+    let period = Pll_lib.Pll.period p in
+    Experiments.Report.kv pp "simulated" "%d reference periods" periods;
+    Experiments.Report.kv pp "final |theta|" "%.3e s"
+      (Float.abs
+         (Sim.Waveform.value record.Sim.Behavioral.theta
+            (Sim.Waveform.length record.Sim.Behavioral.theta - 1)));
+    (match Sim.Transient.lock_time record ~tol:(period /. 1000.0) with
+    | Some t -> Experiments.Report.kv pp "lock time (|theta| < T/1000)" "%.4g s (%.1f periods)" t (t /. period)
+    | None -> Experiments.Report.kv pp "lock" "not acquired within the run")
+  in
+  let doc = "Behavioral lock-acquisition run" in
+  Cmd.v (Cmd.info "sim" ~doc) Term.(const run $ spec_term $ offset $ periods)
+
+let measure_cmd =
+  let harmonic =
+    Arg.(value & opt int 3 & info [ "harmonic" ] ~docv:"J" ~doc:"Modulation cycles per window.")
+  in
+  let window =
+    Arg.(value & opt int 32 & info [ "window" ] ~docv:"P" ~doc:"Window length in reference periods.")
+  in
+  let run spec harmonic window =
+    let p = Pll_lib.Design.synthesize spec in
+    let m = Sim.Extract.measure_h00 p ~harmonic ~window_periods:window () in
+    let open Numeric in
+    Experiments.Report.kv pp "modulation frequency" "%g rad/s (w/w0 = %g)"
+      m.Sim.Extract.omega (m.Sim.Extract.omega /. Pll_lib.Pll.omega0 p);
+    Experiments.Report.kv pp "measured H00" "%s" (Cx.to_string m.Sim.Extract.measured);
+    Experiments.Report.kv pp "HTM closed form" "%s" (Cx.to_string m.Sim.Extract.predicted);
+    Experiments.Report.kv pp "LTI approximation" "%s" (Cx.to_string m.Sim.Extract.predicted_lti);
+    Experiments.Report.kv pp "relative error vs HTM" "%.5f" m.Sim.Extract.rel_err
+  in
+  let doc = "Measure H00 from time-marching simulation" in
+  Cmd.v (Cmd.info "measure" ~doc) Term.(const run $ spec_term $ harmonic $ window)
+
+let netlist_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"SPICE-style netlist of the loop filter (charge pump at node 1).")
+  in
+  let sense =
+    Arg.(value & opt int 1
+         & info [ "sense" ] ~docv:"NODE" ~doc:"Control-voltage node (default 1).")
+  in
+  let run spec file sense =
+    let src = In_channel.with_open_text file In_channel.input_all in
+    let netlist =
+      try Circuit.Parse.netlist src
+      with Circuit.Parse.Parse_error { line; message } ->
+        Format.fprintf pp "parse error at line %d: %s@." line message;
+        exit 1
+    in
+    Format.fprintf pp "netlist:@.%a@." Circuit.Netlist.pp netlist;
+    let z = Circuit.Mna.transimpedance netlist ~inject:1 ~sense in
+    Experiments.Report.kv pp "transimpedance" "%s"
+      (Format.asprintf "%a" Lti.Tf.pp z);
+    Experiments.Report.kv pp "poles" "%s"
+      (String.concat ", "
+         (List.map Numeric.Cx.to_string (Lti.Tf.poles z)));
+    Experiments.Report.kv pp "zeros" "%s"
+      (String.concat ", "
+         (List.map Numeric.Cx.to_string (Lti.Tf.zeros z)));
+    let filter =
+      Pll_lib.Loop_filter.of_netlist netlist ~icp:spec.Pll_lib.Design.icp ~sense ()
+    in
+    let vco =
+      Pll_lib.Vco.time_invariant ~kvco:spec.Pll_lib.Design.kvco
+        ~n_div:spec.Pll_lib.Design.n_div ~fref:spec.Pll_lib.Design.fref
+    in
+    let p =
+      Pll_lib.Pll.make ~fref:spec.Pll_lib.Design.fref
+        ~n_div:spec.Pll_lib.Design.n_div ~filter ~vco ()
+    in
+    Format.fprintf pp "LTI  open loop A(jw):      %a@."
+      Pll_lib.Analysis.pp_loop_report (Pll_lib.Analysis.lti_report p);
+    Format.fprintf pp "TV   open loop lambda(jw): %a@."
+      Pll_lib.Analysis.pp_loop_report (Pll_lib.Analysis.effective_report p);
+    Experiments.Report.kv pp "time-varying stable" "%s"
+      (if Pll_lib.Analysis.is_stable_tv p then "yes" else "NO")
+  in
+  let doc = "Analyze a PLL whose loop filter is given as a netlist file" in
+  Cmd.v (Cmd.info "netlist" ~doc) Term.(const run $ spec_term $ file $ sense)
+
+let () =
+  let doc = "time-varying frequency-domain PLL analysis (HTM formalism)" in
+  let info = Cmd.info "pllscope" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+    [ analyze_cmd; bode_cmd; sweep_cmd; fig_cmd; sim_cmd; measure_cmd; netlist_cmd ]))

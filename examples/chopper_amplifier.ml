@@ -1,0 +1,86 @@
+(* The HTM core beyond PLLs: a chopper-stabilized amplifier.
+
+   A chopper amplifier up-modulates its input with a square wave m(t),
+   amplifies away from the 1/f corner, and demodulates with the same
+   square wave:
+
+       y = m(t) * [ H( m(t) * u ) ]
+
+   This is an LPTV system, exactly the kind the paper's HTM calculus is
+   built for: two Toeplitz (memoryless-multiplication) blocks around a
+   diagonal (LTI) block. This example builds the composite HTM, reads
+   off the baseband transfer and the residual chopper-ripple conversion
+   terms, and checks the baseband result against the textbook series
+   sum_k |m_k|^2 H(s + j k w_chop).
+
+   Run with:  dune exec examples/chopper_amplifier.exe *)
+
+open Numeric
+module Htm = Htm_core.Htm
+module Lptv = Htm_core.Lptv
+
+let () =
+  let f_chop = 50e3 in
+  let w_chop = 2.0 *. Float.pi *. f_chop in
+  (* amplifier: gain 1000, single pole at 2 MHz - well above the chop *)
+  let amp = Lti.Tf.scale 1000.0 (Lti.Tf.first_order_pole (2.0 *. Float.pi *. 2e6)) in
+  (* +-1 square-wave modulator, truncated to 9 harmonics *)
+  let max_harmonic = 9 in
+  let square t = if Float.rem t (1.0 /. f_chop) < 0.5 /. f_chop then 1.0 else -1.0 in
+  let m_coeffs =
+    Lptv.coeffs_of_function square ~period:(1.0 /. f_chop) ~max_harmonic ()
+  in
+  let chopper =
+    Htm.series_list
+      [
+        Htm.periodic_gain m_coeffs;
+        Htm.lti (Lti.Tf.eval amp);
+        Htm.periodic_gain m_coeffs;
+      ]
+  in
+  let ctx = Htm.ctx ~n_harm:(2 * max_harmonic) ~omega0:w_chop in
+
+  Format.printf "Chopper amplifier: gain 1000, pole 2 MHz, chop %g kHz@."
+    (f_chop /. 1e3);
+  Format.printf "@.%-12s  %-14s  %-14s  %-12s@." "f (Hz)" "|H00| composite"
+    "series formula" "ripple |H_{2,0}|";
+  List.iter
+    (fun f ->
+      let w = 2.0 *. Float.pi *. f in
+      let h00 = Htm.baseband ctx chopper w in
+      (* textbook folding formula: only odd harmonics of the square wave
+         carry signal; each contributes |m_k|^2 H(jw + jk w_chop) *)
+      let series =
+        let acc = ref Cx.zero in
+        for k = -max_harmonic to max_harmonic do
+          let mk = m_coeffs.(k + max_harmonic) in
+          if Cx.abs mk > 0.0 then
+            acc :=
+              Cx.add !acc
+                (Cx.mul (Cx.mul mk (Cx.conj mk))
+                   (Lti.Tf.eval amp
+                      (Cx.jomega (w +. (float_of_int k *. w_chop)))))
+        done;
+        !acc
+      in
+      let ripple = Htm.element ctx chopper ~n:2 ~m:0 (Cx.jomega w) in
+      Format.printf "%-12g  %-14.2f  %-14.2f  %-12.4f@." f (Cx.abs h00)
+        (Cx.abs series) (Cx.abs ripple))
+    [ 10.0; 100.0; 1e3; 1e4 ];
+
+  (* the point of chopping: the *baseband* path through the amplifier is
+     zero - dc offset and 1/f noise of the amplifier do not reach the
+     output at dc; they are up-converted to the chop harmonics *)
+  let offset_path =
+    (* offset enters after the first modulator: series of demodulator
+       and amplifier only *)
+    Htm.series (Htm.periodic_gain m_coeffs) (Htm.lti (Lti.Tf.eval amp))
+  in
+  let dc_leak = Htm.element ctx offset_path ~n:0 ~m:0 (Cx.jomega 10.0) in
+  let up_converted = Htm.element ctx offset_path ~n:1 ~m:0 (Cx.jomega 10.0) in
+  Format.printf
+    "@.Amplifier dc-offset path: |to baseband| = %.4f, |to 1st chop harmonic| = %.1f@."
+    (Cx.abs dc_leak) (Cx.abs up_converted);
+  Format.printf
+    "-> offset is pushed to %g kHz instead of corrupting dc: chopping works.@."
+    (f_chop /. 1e3)

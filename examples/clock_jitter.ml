@@ -1,0 +1,58 @@
+(* Reference-noise folding and output jitter.
+
+   The sampling PFD aliases reference noise from around every harmonic
+   of the reference down to baseband (the rank-one HTM: every band
+   transfers into every band). Classical LTI analysis misses the folded
+   terms entirely. This example propagates a broadband reference noise
+   floor and a 1/w^2 VCO noise profile through the closed loop, compares
+   the LTI and time-varying output spectra, and integrates RMS jitter.
+
+   Run with:  dune exec examples/clock_jitter.exe *)
+
+
+let () =
+  let spec = { Pll_lib.Design.default_spec with Pll_lib.Design.ratio = 0.15 } in
+  let pll = Pll_lib.Design.synthesize spec in
+  let w0 = Pll_lib.Pll.omega0 pll in
+  (* Reference: white time-jitter floor with a gentle roll-off far out
+     (a crystal driver); VCO: diffusive 1/w^2 phase noise. Levels are
+     illustrative (s^2 s/rad). *)
+  let s_ref = Pll_lib.Noise.lorentzian ~level:1e-30 ~corner:(20.0 *. w0) in
+  let s_vco = Pll_lib.Noise.one_over_f2 1e-20 in
+  let rows =
+    List.map
+      (fun frac ->
+        let w = frac *. w0 in
+        let tv = Pll_lib.Noise.reference_noise_out pll s_ref w in
+        let lti = Pll_lib.Noise.lti_reference_noise_out pll s_ref w in
+        let vco = Pll_lib.Noise.vco_noise_out pll s_vco w in
+        (frac, lti, tv, vco))
+      [ 0.001; 0.003; 0.01; 0.03; 0.1; 0.2; 0.3; 0.45 ]
+  in
+  Format.printf "%-8s  %-14s  %-14s  %-12s  %-10s@." "w/w0" "S_ref->out LTI"
+    "S_ref->out TV" "TV/LTI" "S_vco->out";
+  List.iter
+    (fun (frac, lti, tv, vco) ->
+      Format.printf "%-8g  %-14.4e  %-14.4e  %-12.2f  %-10.3e@." frac lti tv
+        (tv /. lti) vco)
+    rows;
+  (* RMS jitter integrated across the loop band *)
+  let total w =
+    Pll_lib.Noise.reference_noise_out pll s_ref w
+    +. Pll_lib.Noise.vco_noise_out pll s_vco w
+  in
+  let lti_total w =
+    Pll_lib.Noise.lti_reference_noise_out pll s_ref w
+    +. Pll_lib.Noise.vco_noise_out pll s_vco w
+  in
+  let lo = 1e-4 *. w0 and hi = 0.49 *. w0 in
+  let j_tv = Pll_lib.Noise.rms_jitter total ~lo ~hi in
+  let j_lti = Pll_lib.Noise.rms_jitter lti_total ~lo ~hi in
+  Format.printf "@.RMS jitter over [%.0e, %.0e] rad/s:@." lo hi;
+  Format.printf "  time-varying model: %.4g s@." j_tv;
+  Format.printf "  LTI model:          %.4g s  (underestimates by %.1f%%)@."
+    j_lti
+    (100.0 *. ((j_tv /. j_lti) -. 1.0));
+  Format.printf
+    "@.The gap is the aliased reference noise the sampler folds into the loop@.";
+  Format.printf "band - invisible to LTI analysis by construction.@."

@@ -1,0 +1,87 @@
+(* Fractional-N synthesis: a 64.0625 MHz output from a 1 MHz reference.
+
+   The divider modulus is dithered by a delta-sigma modulator so its
+   average is N + 1/16; the quantization waveform is a deliberate
+   periodic disturbance the loop must filter — the natural playground
+   for the paper's time-varying machinery. This example:
+
+     1. verifies the loop really locks to the fractional frequency,
+     2. measures the fractional spur at w0/16 for three modulator
+        orders and compares the first-order case against the analytic
+        sawtooth + |H00| estimate,
+     3. shows the design tradeoff: a faster loop passes more
+        quantization noise.
+
+   Run with:  dune exec examples/fractional_synthesizer.exe *)
+
+let n_int = 64
+let b = 16
+let frac = 1.0 /. float_of_int b
+
+let spur_for ~ratio ~modulator =
+  let spec =
+    {
+      Pll_lib.Design.default_spec with
+      Pll_lib.Design.n_div = float_of_int n_int +. frac;
+      ratio;
+    }
+  in
+  let pll = Pll_lib.Design.synthesize spec in
+  let record =
+    Sim.Fractional.run pll
+      { Sim.Fractional.modulator; n_int; frac }
+      ~steps_per_period:64 ~periods:2048 ()
+  in
+  let spur =
+    Sim.Fractional.spur_dbc record ~pll ~frac_denominator:b ~harmonic:1
+      ~periods:(1024 / b * b)
+  in
+  (pll, record, spur)
+
+let () =
+  Format.printf "Fractional-N synthesizer: N = %d + 1/%d, f_vco = %.4f MHz@.@."
+    n_int b ((float_of_int n_int +. frac) *. 1.0);
+
+  (* 1. lock check at ratio 0.01 *)
+  let pll, record, _ = spur_for ~ratio:0.01 ~modulator:Sim.Fractional.Mash3 in
+  let period = Pll_lib.Pll.period pll in
+  let theta = record.Sim.Behavioral.theta in
+  let n = Sim.Waveform.length theta in
+  let tail_max =
+    let m = ref 0.0 in
+    for i = n - (n / 8) to n - 1 do
+      m := Float.max !m (Float.abs (Sim.Waveform.value theta i))
+    done;
+    !m
+  in
+  Format.printf "locked to the fractional frequency: |theta| tail = %.2e of a period@.@."
+    (tail_max /. period);
+
+  (* 2. modulator comparison at ratio 0.01 *)
+  Format.printf "fractional spur at w0/%d (loop ratio 0.01):@." b;
+  let predicted =
+    Sim.Fractional.predicted_first_order_spur_dbc pll ~frac_denominator:b
+  in
+  List.iter
+    (fun (name, m) ->
+      let _, _, spur = spur_for ~ratio:0.01 ~modulator:m in
+      Format.printf "  %-12s %7.1f dBc%s@." name spur
+        (if m = Sim.Fractional.First_order then
+           Printf.sprintf "   (sawtooth model predicts %.1f)" predicted
+         else ""))
+    [
+      ("first-order", Sim.Fractional.First_order);
+      ("MASH 1-1", Sim.Fractional.Mash2);
+      ("MASH 1-1-1", Sim.Fractional.Mash3);
+    ];
+
+  (* 3. bandwidth tradeoff for the first-order modulator *)
+  Format.printf "@.first-order spur vs loop speed (the loop is the spur filter):@.";
+  List.iter
+    (fun ratio ->
+      let _, _, spur = spur_for ~ratio ~modulator:Sim.Fractional.First_order in
+      Format.printf "  w_UG/w0 = %-5g  spur = %6.1f dBc@." ratio spur)
+    [ 0.005; 0.01; 0.02 ];
+  Format.printf
+    "@.Halving the bandwidth buys ~12 dB of spur (two poles of rolloff):@.";
+  Format.printf "fractional-N couples spur budget directly to loop dynamics.@."

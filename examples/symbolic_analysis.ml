@@ -1,0 +1,58 @@
+(* Symbolic analysis: the paper's "symbolic expressions" claim.
+
+   The rank-one HTM closure gives the effective open-loop gain as a
+   finite closed form; with component values kept symbolic, the whole
+   derivation can be carried out in a small CAS and the result printed,
+   differentiated, and evaluated. This example:
+
+     1. prints A(s) and lambda(s) over the component symbols,
+     2. validates the symbolic expressions against the independent
+        numeric pipeline,
+     3. uses symbolic differentiation to rank design sensitivities:
+        which component moves the loop stability fastest?
+
+   Run with:  dune exec examples/symbolic_analysis.exe *)
+
+open Numeric
+module Expr = Symbolic.Expr
+module Sym = Symbolic.Sym_pll
+
+let () =
+  Format.printf "Classical open loop (eq. 35), symbolically:@.  A(s) = %s@.@."
+    (Expr.to_string Sym.a_expr);
+  Format.printf
+    "Effective open loop (eq. 37) in closed form - no truncated series:@.  lambda(s) = %s@.@."
+    (Expr.to_string Sym.lambda_expr);
+
+  (* numeric cross-check on a concrete design *)
+  let pll = Pll_lib.Design.synthesize Pll_lib.Design.default_spec in
+  let w0 = Pll_lib.Pll.omega0 pll in
+  let s = Cx.jomega (0.2 *. w0) in
+  let sym_v = Sym.eval_lambda pll s in
+  let num_v = Pll_lib.Pll.lambda pll s in
+  Format.printf
+    "Check at s = j0.2*w0: symbolic %s vs numeric %s (rel dev %.1e)@.@."
+    (Cx.to_string sym_v) (Cx.to_string num_v)
+    (Cx.abs (Cx.sub sym_v num_v) /. Cx.abs num_v);
+
+  (* sensitivity ranking at the effective crossover: d|1+lambda|/d(p)
+     tells which component most endangers the margin *)
+  let eff = Pll_lib.Analysis.effective_report pll in
+  let w_ug_eff =
+    Option.value ~default:(0.1 *. w0) eff.Pll_lib.Analysis.omega_ug
+  in
+  let s_ug = Cx.jomega w_ug_eff in
+  Format.printf "Relative sensitivities of lambda at the effective crossover:@.";
+  List.iter
+    (fun name ->
+      let dl = Sym.sensitivity Sym.lambda_expr ~wrt:name pll ~s:s_ug in
+      let value = Expr.eval (Sym.env_of_pll pll ~s:s_ug) (Expr.sym name) in
+      let lam = Sym.eval_lambda pll s_ug in
+      (* normalized sensitivity: (p / lambda) dlambda/dp *)
+      let norm = Cx.div (Cx.mul value dl) lam in
+      Format.printf "  %-5s  (p/lambda)*dlambda/dp = %s@." name (Cx.to_string norm))
+    [ "R"; "C1"; "C2"; "Icp"; "Kv" ];
+  Format.printf
+    "@.(Icp, Kv and R scale the loop gain almost identically; C2 acts through@.";
+  Format.printf
+    " the parasitic pole - the classic tuning knobs, now derived, not recalled.)@."

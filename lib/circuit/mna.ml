@@ -1,0 +1,190 @@
+open Numeric
+
+exception Singular_network of string
+
+(* The pencil M(s) = G + s*C over node voltages (node k -> row k-1) and
+   branch-current unknowns for inductors and controlled sources. *)
+type pencil = { g : Rmat.t; c : Rmat.t; nodes : int; dim : int }
+
+let assemble netlist =
+  let nodes = Netlist.max_node netlist in
+  let dim = nodes + Netlist.extra_unknowns netlist in
+  let g = Rmat.zeros dim dim and c = Rmat.zeros dim dim in
+  let add m i k v = if i >= 0 && k >= 0 then Rmat.set m i k (Rmat.get m i k +. v) in
+  let branch = ref nodes in
+  List.iter
+    (fun el ->
+      match el with
+      | Netlist.Resistor { a; b; ohms } ->
+          let y = 1.0 /. ohms in
+          let ia = a - 1 and ib = b - 1 in
+          add g ia ia y;
+          add g ib ib y;
+          add g ia ib (-.y);
+          add g ib ia (-.y)
+      | Netlist.Capacitor { a; b; farads } ->
+          let ia = a - 1 and ib = b - 1 in
+          add c ia ia farads;
+          add c ib ib farads;
+          add c ia ib (-.farads);
+          add c ib ia (-.farads)
+      | Netlist.Inductor { a; b; henries } ->
+          let ia = a - 1 and ib = b - 1 and k = !branch in
+          incr branch;
+          (* KCL: branch current leaves a, enters b *)
+          add g ia k 1.0;
+          add g ib k (-1.0);
+          (* branch: V_a - V_b - sL i = 0 *)
+          add g k ia 1.0;
+          add g k ib (-1.0);
+          add c k k (-.henries)
+      | Netlist.Vcvs { out_pos; out_neg; in_pos; in_neg; gain } ->
+          let op = out_pos - 1
+          and on = out_neg - 1
+          and ip = in_pos - 1
+          and in_ = in_neg - 1
+          and k = !branch in
+          incr branch;
+          add g op k 1.0;
+          add g on k (-1.0);
+          (* branch: V_op - V_on - gain (V_ip - V_in) = 0 *)
+          add g k op 1.0;
+          add g k on (-1.0);
+          add g k ip (-.gain);
+          add g k in_ gain)
+    (Netlist.elements netlist);
+  { g; c; nodes; dim }
+
+let characteristic_freq netlist =
+  (* geometric mean of conductance / capacitance scales: keeps the
+     scaled pencil O(1) so root-of-unity interpolation is conditioned *)
+  let logs_g = ref [] and logs_c = ref [] in
+  List.iter
+    (fun el ->
+      match el with
+      | Netlist.Resistor { ohms; _ } -> logs_g := log (1.0 /. ohms) :: !logs_g
+      | Netlist.Capacitor { farads; _ } -> logs_c := log farads :: !logs_c
+      | Netlist.Inductor { henries; _ } ->
+          (* an inductor contributes the scale 1/L on the C side of its
+             branch row *)
+          logs_c := log henries :: !logs_c
+      | Netlist.Vcvs _ -> ())
+    (Netlist.elements netlist);
+  match (!logs_g, !logs_c) with
+  | [], _ | _, [] -> 1.0
+  | gs, cs ->
+      let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      exp (mean gs -. mean cs)
+
+let eval_pencil p ~omega_c sigma =
+  (* M(omega_c * sigma) with the C side pre-scaled *)
+  Cmat.init p.dim p.dim (fun i k ->
+      Cx.add
+        (Cx.of_float (Rmat.get p.g i k))
+        (Cx.scale (omega_c *. Rmat.get p.c i k) sigma))
+
+(* interpolate a polynomial of degree <= dim from samples at the
+   (dim+1)-th roots of unity: inverse DFT *)
+let interpolate_from_roots samples =
+  let m = Array.length samples in
+  Array.init m (fun j ->
+      let acc = ref Cx.zero in
+      for k = 0 to m - 1 do
+        let phase = -2.0 *. Float.pi *. float_of_int (j * k) /. float_of_int m in
+        acc := Cx.add !acc (Cx.mul samples.(k) (Cx.cis phase))
+      done;
+      Cx.scale (1.0 /. float_of_int m) !acc)
+
+(* Drop interpolation roundoff. This runs on the *frequency-scaled*
+   coefficients, which are mutually comparable by construction, so a
+   relative threshold near machine precision removes only noise: genuine
+   circuit coefficients sit many orders above it. *)
+let clean_poly coeffs =
+  let scale_mag =
+    Array.fold_left (fun acc z -> Stdlib.max acc (Cx.abs z)) 0.0 coeffs
+  in
+  if scale_mag = 0.0 then Poly.zero
+  else
+    Poly.of_array
+      (Array.map
+         (fun z ->
+           let re = if Float.abs (Cx.re z) < 1e-12 *. scale_mag then 0.0 else Cx.re z in
+           Cx.of_float re)
+         coeffs)
+
+let det_poly p ~omega_c ~replace_col =
+  let m = p.dim + 1 in
+  let samples =
+    Array.init m (fun k ->
+        let sigma = Cx.cis (2.0 *. Float.pi *. float_of_int k /. float_of_int m) in
+        let mat = eval_pencil p ~omega_c sigma in
+        (match replace_col with
+        | None -> ()
+        | Some (col, rhs) ->
+            for i = 0 to p.dim - 1 do
+              Cmat.set mat i col (Cvec.get rhs i)
+            done);
+        Lu.det mat)
+  in
+  (* clean in the scaled domain, then un-scale: the coefficient of
+     sigma^j corresponds to s^j / omega_c^j *)
+  let sigma_poly = clean_poly (interpolate_from_roots samples) in
+  Poly.of_array
+    (Array.mapi
+       (fun j z -> Cx.scale (omega_c ** -.float_of_int j) z)
+       (Poly.coeffs sigma_poly))
+
+let cramer netlist ~rhs ~out_row =
+  let p = assemble netlist in
+  if out_row < 0 || out_row >= p.dim then
+    invalid_arg "Mna: node index out of range";
+  let omega_c = characteristic_freq netlist in
+  let den = det_poly p ~omega_c ~replace_col:None in
+  if Poly.is_zero den then
+    raise (Singular_network "singular MNA pencil (floating node or source loop?)");
+  let num = det_poly p ~omega_c ~replace_col:(Some (out_row, rhs p.dim)) in
+  Lti.Tf.of_rat (Rat.make num den)
+
+let unit_current ~node dim =
+  Cvec.init dim (fun i -> if i = node then Cx.one else Cx.zero)
+
+let transimpedance netlist ~inject ~sense =
+  if inject < 1 || sense < 1 then invalid_arg "Mna: ports are nodes >= 1";
+  cramer netlist ~rhs:(unit_current ~node:(inject - 1)) ~out_row:(sense - 1)
+
+let impedance netlist ~port = transimpedance netlist ~inject:port ~sense:port
+
+let voltage_transfer netlist ~from_node ~to_node =
+  if from_node < 1 || to_node < 1 then invalid_arg "Mna: ports are nodes >= 1";
+  (* drive from_node with a 1 V ideal source: add a source branch *)
+  let driven =
+    Netlist.create
+      (Netlist.elements netlist
+      @ [ Netlist.Vcvs
+            { out_pos = from_node; out_neg = 0; in_pos = 0; in_neg = 0; gain = 0.0 } ])
+  in
+  (* the zero-gain VCVS from ground pins V_from to 0; to make it 1 V we
+     instead put the unit excitation on that branch equation's RHS *)
+  let p = assemble driven in
+  let branch_row = p.dim - 1 in
+  let rhs dim = Cvec.init dim (fun i -> if i = branch_row then Cx.one else Cx.zero) in
+  let omega_c = characteristic_freq driven in
+  let den = det_poly p ~omega_c ~replace_col:None in
+  if Poly.is_zero den then
+    raise (Singular_network "singular MNA pencil (floating node or source loop?)");
+  let num = det_poly p ~omega_c ~replace_col:(Some (to_node - 1, rhs p.dim)) in
+  Lti.Tf.of_rat (Rat.make num den)
+
+let solve_at netlist ~inject s =
+  let p = assemble netlist in
+  let mat =
+    Cmat.init p.dim p.dim (fun i k ->
+        Cx.add
+          (Cx.of_float (Rmat.get p.g i k))
+          (Cx.mul (Cx.of_float (Rmat.get p.c i k)) s))
+  in
+  let b = unit_current ~node:(inject - 1) p.dim in
+  match Lu.solve_system mat b with
+  | x -> Cvec.init p.nodes (fun i -> Cvec.get x i)
+  | exception Lu.Singular ->
+      raise (Singular_network "singular at the requested frequency")

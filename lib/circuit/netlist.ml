@@ -1,0 +1,67 @@
+type element =
+  | Resistor of { a : int; b : int; ohms : float }
+  | Capacitor of { a : int; b : int; farads : float }
+  | Inductor of { a : int; b : int; henries : float }
+  | Vcvs of { out_pos : int; out_neg : int; in_pos : int; in_neg : int; gain : float }
+
+type t = element list
+
+let validate = function
+  | Resistor { a; b; ohms } ->
+      if a < 0 || b < 0 then invalid_arg "Netlist: negative node";
+      if ohms <= 0.0 then invalid_arg "Netlist: resistance must be positive"
+  | Capacitor { a; b; farads } ->
+      if a < 0 || b < 0 then invalid_arg "Netlist: negative node";
+      if farads <= 0.0 then invalid_arg "Netlist: capacitance must be positive"
+  | Inductor { a; b; henries } ->
+      if a < 0 || b < 0 then invalid_arg "Netlist: negative node";
+      if henries <= 0.0 then invalid_arg "Netlist: inductance must be positive"
+  | Vcvs { out_pos; out_neg; in_pos; in_neg; gain = _ } ->
+      if out_pos < 0 || out_neg < 0 || in_pos < 0 || in_neg < 0 then
+        invalid_arg "Netlist: negative node"
+
+let create elements =
+  List.iter validate elements;
+  elements
+
+let elements t = t
+
+let max_node t =
+  List.fold_left
+    (fun acc el ->
+      match el with
+      | Resistor { a; b; _ } | Capacitor { a; b; _ } | Inductor { a; b; _ } ->
+          Stdlib.max acc (Stdlib.max a b)
+      | Vcvs { out_pos; out_neg; in_pos; in_neg; _ } ->
+          List.fold_left Stdlib.max acc [ out_pos; out_neg; in_pos; in_neg ])
+    0 t
+
+let extra_unknowns t =
+  List.fold_left
+    (fun acc el ->
+      match el with
+      | Inductor _ | Vcvs _ -> acc + 1
+      | Resistor _ | Capacitor _ -> acc)
+    0 t
+
+let r a b ohms = Resistor { a; b; ohms }
+let c a b farads = Capacitor { a; b; farads }
+let l a b henries = Inductor { a; b; henries }
+
+let second_order_cp_filter ~r:rv ~c1 ~c2 =
+  create [ r 1 2 rv; c 2 0 c1; c 1 0 c2 ]
+
+let third_order_cp_filter ~r:rv ~c1 ~c2 ~r3 ~c3 =
+  create [ r 1 2 rv; c 2 0 c1; c 1 0 c2; r 1 3 r3; c 3 0 c3 ]
+
+let pp_element ppf = function
+  | Resistor { a; b; ohms } -> Format.fprintf ppf "R %d-%d %g" a b ohms
+  | Capacitor { a; b; farads } -> Format.fprintf ppf "C %d-%d %g" a b farads
+  | Inductor { a; b; henries } -> Format.fprintf ppf "L %d-%d %g" a b henries
+  | Vcvs { out_pos; out_neg; in_pos; in_neg; gain } ->
+      Format.fprintf ppf "E %d-%d <- %d-%d x%g" out_pos out_neg in_pos in_neg gain
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_element)
+    t

@@ -1,0 +1,116 @@
+exception Parse_error of { line : int; message : string }
+
+let suffix_scale = function
+  | "" -> Some 1.0
+  | "f" -> Some 1e-15
+  | "p" -> Some 1e-12
+  | "n" -> Some 1e-9
+  | "u" -> Some 1e-6
+  | "m" -> Some 1e-3
+  | "k" -> Some 1e3
+  | "meg" -> Some 1e6
+  | "g" -> Some 1e9
+  | "t" -> Some 1e12
+  | _ -> None
+
+let value str =
+  let str = String.lowercase_ascii (String.trim str) in
+  if str = "" then failwith "empty value";
+  (* split the longest numeric prefix from the suffix *)
+  let n = String.length str in
+  let is_num_char c =
+    (c >= '0' && c <= '9') || c = '.' || c = '+' || c = '-'
+  in
+  (* scientific notation 'e' is numeric only when followed by a digit or
+     sign (otherwise it could start "meg" after a digit? no — 'm' ends
+     the numeric prefix; only 'e' is ambiguous, as in "1e3" vs "1meg"
+     where the prefix stops at 'm') *)
+  let rec prefix_end i =
+    if i >= n then i
+    else if is_num_char str.[i] then prefix_end (i + 1)
+    else if
+      str.[i] = 'e' && i + 1 < n
+      && (is_num_char str.[i + 1])
+      && str.[i + 1] <> '.'
+    then prefix_end (i + 2)
+    else i
+  in
+  let cut = prefix_end 0 in
+  if cut = 0 then failwith ("malformed value: " ^ str);
+  let num = String.sub str 0 cut in
+  let suffix = String.sub str cut (n - cut) in
+  match (float_of_string_opt num, suffix_scale suffix) with
+  | Some x, Some scale -> x *. scale
+  | None, _ -> failwith ("malformed number: " ^ num)
+  | _, None -> failwith ("unknown suffix: " ^ suffix)
+
+let node_of_string line str =
+  match int_of_string_opt str with
+  | Some n when n >= 0 -> n
+  | _ -> raise (Parse_error { line; message = "bad node: " ^ str })
+
+let value_at line str =
+  match value str with
+  | v -> v
+  | exception Failure message -> raise (Parse_error { line; message })
+
+let strip_comment s =
+  match String.index_opt s ';' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let tokens_of_line s =
+  String.split_on_char ' ' (String.trim (strip_comment s))
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let parse_line lineno line =
+  match tokens_of_line line with
+  | [] -> None
+  | name :: rest when String.length name > 0 && name.[0] <> '*' -> (
+      let designator = Char.lowercase_ascii name.[0] in
+      match (designator, rest) with
+      | 'r', [ a; b; v ] ->
+          Some
+            (Netlist.r (node_of_string lineno a) (node_of_string lineno b)
+               (value_at lineno v))
+      | 'c', [ a; b; v ] ->
+          Some
+            (Netlist.c (node_of_string lineno a) (node_of_string lineno b)
+               (value_at lineno v))
+      | 'l', [ a; b; v ] ->
+          Some
+            (Netlist.l (node_of_string lineno a) (node_of_string lineno b)
+               (value_at lineno v))
+      | 'e', [ op; on; ip; in_; g ] ->
+          Some
+            (Netlist.Vcvs
+               {
+                 out_pos = node_of_string lineno op;
+                 out_neg = node_of_string lineno on;
+                 in_pos = node_of_string lineno ip;
+                 in_neg = node_of_string lineno in_;
+                 gain = value_at lineno g;
+               })
+      | ('r' | 'c' | 'l' | 'e'), _ ->
+          raise
+            (Parse_error
+               { line = lineno; message = "wrong number of fields for " ^ name })
+      | _ ->
+          raise
+            (Parse_error { line = lineno; message = "unknown element: " ^ name }))
+  | _ -> None
+
+let netlist src =
+  let lines = String.split_on_char '\n' src in
+  let elements =
+    List.concat
+      (List.mapi
+         (fun i line ->
+           match parse_line (i + 1) line with Some el -> [ el ] | None -> [])
+         lines)
+  in
+  match Netlist.create elements with
+  | n -> n
+  | exception Invalid_argument message ->
+      raise (Parse_error { line = 0; message })

@@ -1,0 +1,26 @@
+(** SPICE-flavored netlist parsing.
+
+    One element per line; [*] or [;] starts a comment; blank lines are
+    ignored. Element cards (case-insensitive designators):
+
+    {v
+    R<name> <node+> <node-> <value>
+    C<name> <node+> <node-> <value>
+    L<name> <node+> <node-> <value>
+    E<name> <out+> <out-> <in+> <in-> <gain>
+    v}
+
+    Values accept engineering suffixes [f p n u m k meg g t] (SPICE
+    convention: [m] = milli, [meg] = mega) and plain scientific
+    notation. Nodes are nonnegative integers with [0] = ground. *)
+
+exception Parse_error of { line : int; message : string }
+
+(** [netlist src] parses a full netlist source.
+    @raise Parse_error with a 1-based line number on malformed input. *)
+val netlist : string -> Netlist.t
+
+(** [value str] parses a single engineering-notation value
+    (e.g. ["4.7k"], ["100n"], ["2meg"], ["1e-9"]).
+    @raise Failure on malformed input. *)
+val value : string -> float

@@ -1,0 +1,131 @@
+open Numeric
+
+type ctx = { n_harm : int; omega0 : float }
+
+type t =
+  | Lti of (Cx.t -> Cx.t)
+  | Periodic_gain of Cx.t array
+  | Sampler
+  | Identity
+  | Zero
+  | Scale of Cx.t * t
+  | Series of t * t
+  | Parallel of t * t
+  | Sub of t * t
+  | Feedback of t
+  | Custom of (ctx -> Cx.t -> Cmat.t)
+
+let ctx ~n_harm ~omega0 =
+  if n_harm < 0 then invalid_arg "Htm.ctx: n_harm must be >= 0";
+  if omega0 <= 0.0 then invalid_arg "Htm.ctx: omega0 must be positive";
+  { n_harm; omega0 }
+
+let dim c = (2 * c.n_harm) + 1
+let harmonic_of_index c i = i - c.n_harm
+let index_of_harmonic c n = n + c.n_harm
+
+let lti h = Lti h
+
+let periodic_gain coeffs =
+  if Array.length coeffs mod 2 = 0 then
+    invalid_arg "Htm.periodic_gain: coefficient array must have odd length";
+  Periodic_gain (Array.copy coeffs)
+
+let sampler = Sampler
+let identity = Identity
+let zero = Zero
+let scale z t = Scale (z, t)
+let series g2 g1 = Series (g2, g1)
+
+let series_list = function
+  | [] -> Identity
+  | g :: rest -> List.fold_left (fun acc h -> Series (acc, h)) g rest
+
+let parallel g1 g2 = Parallel (g1, g2)
+let sub g1 g2 = Sub (g1, g2)
+let neg g = Scale (Cx.neg Cx.one, g)
+let feedback g = Feedback g
+let custom f = Custom f
+
+let rec to_matrix c t s =
+  let n = dim c in
+  match t with
+  | Lti h ->
+      Cmat.init n n (fun i k ->
+          if i <> k then Cx.zero
+          else
+            h (Cx.add s (Cx.jomega (float_of_int (harmonic_of_index c i) *. c.omega0))))
+  | Periodic_gain coeffs ->
+      let kmax = Array.length coeffs / 2 in
+      Cmat.init n n (fun i k ->
+          let diff = i - k in
+          if abs diff > kmax then Cx.zero else coeffs.(diff + kmax))
+  | Sampler ->
+      let w = Cx.of_float (c.omega0 /. (2.0 *. Float.pi)) in
+      Cmat.init n n (fun _ _ -> w)
+  | Identity -> Cmat.identity n
+  | Zero -> Cmat.zeros n n
+  | Scale (z, g) -> Cmat.scale z (to_matrix c g s)
+  | Series (g2, g1) -> Cmat.mul (to_matrix c g2 s) (to_matrix c g1 s)
+  | Parallel (g1, g2) -> Cmat.add (to_matrix c g1 s) (to_matrix c g2 s)
+  | Sub (g1, g2) -> Cmat.sub (to_matrix c g1 s) (to_matrix c g2 s)
+  | Feedback g ->
+      let gm = to_matrix c g s in
+      let i_plus_g = Cmat.add (Cmat.identity n) gm in
+      Lu.solve_mat (Lu.decompose i_plus_g) gm
+  | Custom f -> f c s
+
+let element c t ~n ~m s =
+  if abs n > c.n_harm || abs m > c.n_harm then
+    invalid_arg "Htm.element: harmonic outside truncation";
+  Cmat.get (to_matrix c t s) (index_of_harmonic c n) (index_of_harmonic c m)
+
+let baseband c t w = element c t ~n:0 ~m:0 (Cx.jomega w)
+
+let conversion_map c t w =
+  let m = to_matrix c t (Cx.jomega w) in
+  Array.init (dim c) (fun i ->
+      Array.init (dim c) (fun k -> Cx.abs (Cmat.get m i k)))
+
+let apply_to_tone c t ~m w =
+  if abs m > c.n_harm then invalid_arg "Htm.apply_to_tone: harmonic outside truncation";
+  Cmat.col (to_matrix c t (Cx.jomega w)) (index_of_harmonic c m)
+
+let max_singular_value ?(iterations = 200) ?(tol = 1e-10) c t w =
+  (* power iteration on B = MᴴM with a unit-normalized iterate: for unit
+     v, |Mv| converges to the largest singular value *)
+  let m = to_matrix c t (Cx.jomega w) in
+  let mh = Cmat.conj_transpose m in
+  let n = dim c in
+  let v = ref (Cvec.init n (fun i -> Cx.make 1.0 (0.1 *. float_of_int (i + 1)))) in
+  let renormalize u =
+    let norm = Cvec.norm2 u in
+    if norm = 0.0 then None else Some (Cvec.scale (Cx.of_float (1.0 /. norm)) u)
+  in
+  (match renormalize !v with Some u -> v := u | None -> ());
+  let sigma = ref 0.0 in
+  (try
+     for _ = 1 to iterations do
+       let mv = Cmat.mv m !v in
+       let est = Cvec.norm2 mv in
+       let converged = Float.abs (est -. !sigma) <= tol *. (1.0 +. est) in
+       sigma := est;
+       if converged then raise Exit;
+       match renormalize (Cmat.mv mh mv) with
+       | Some u -> v := u
+       | None -> raise Exit
+     done
+   with Exit -> ());
+  !sigma
+
+let is_lti ?(tol = 1e-12) c t s =
+  let m = to_matrix c t s in
+  let scale_mag = Cmat.norm_inf m in
+  let ok = ref true in
+  for i = 0 to dim c - 1 do
+    for k = 0 to dim c - 1 do
+      if i <> k && Cx.abs (Cmat.get m i k) > tol *. (1.0 +. scale_mag) then
+        ok := false
+    done
+  done;
+  !ok

@@ -1,0 +1,116 @@
+(** Harmonic transfer matrices (HTMs) — the paper's core formalism.
+
+    A linear periodically time-varying (LPTV) system with period
+    [T = 2π/ω₀] maps the stacked spectrum
+    [Ũ(s) = [... U(s-jω₀); U(s); U(s+jω₀) ...]] to
+    [Ỹ(s) = H(s) Ũ(s)] where [H_{n,m}(s) = H_{n-m}(s + j m ω₀)] and the
+    [H_k] are the Laplace transforms of the harmonic impulse responses
+    (eqs. 1–6). The element [H_{n,m}(jω)] is the transfer of signal
+    content from the band around [m ω₀] at the input to the band around
+    [n ω₀] at the output (Fig. 2).
+
+    This module represents HTMs symbolically as a composition tree of
+    structured blocks and realizes them as truncated complex matrices on
+    demand. Composition follows eqs. 10–11: parallel = sum,
+    series = product (left operand applied second); the three primitive
+    blocks of the paper are:
+
+    - an LTI system: diagonal HTM, [H_{m,m}(s) = H(s + j m ω₀)] (eq. 12);
+    - memoryless multiplication by a T-periodic [p(t)]: Toeplitz HTM
+      [H_{n,m} = P_{n-m}] (eq. 13);
+    - the impulse-train sampler of the sampling PFD:
+      [H(s) = (ω₀/2π) l lᵀ], rank one (eqs. 19–20).
+
+    A truncation keeps harmonics [-n_harm .. n_harm]; matrix index [i]
+    corresponds to harmonic [i - n_harm]. *)
+
+type t
+
+(** Evaluation context: truncation size and fundamental frequency. *)
+type ctx = { n_harm : int; omega0 : float }
+
+val ctx : n_harm:int -> omega0:float -> ctx
+
+(** Matrix dimension of a truncation: [2*n_harm + 1]. *)
+val dim : ctx -> int
+
+(** [harmonic_of_index ctx i] is [i - n_harm]; inverse of
+    {!index_of_harmonic}. *)
+val harmonic_of_index : ctx -> int -> int
+
+val index_of_harmonic : ctx -> int -> int
+
+(** {1 Constructors} *)
+
+(** [lti h] — the diagonal HTM of an LTI block with transfer function
+    [h]. *)
+val lti : (Numeric.Cx.t -> Numeric.Cx.t) -> t
+
+(** [periodic_gain coeffs] — memoryless multiplication by
+    [p(t) = Σ_k P_k e^{jkω₀t}]; [coeffs] is indexed [k + K] for
+    [k = -K..K] (odd length). *)
+val periodic_gain : Numeric.Cx.t array -> t
+
+(** The paper's sampling operator [(ω₀/2π)·Σ_m δ(t - mT)]:
+    all matrix entries equal to [ω₀/2π = 1/T]; rank one. *)
+val sampler : t
+
+val identity : t
+val zero : t
+val scale : Numeric.Cx.t -> t -> t
+
+(** [series g2 g1] applies [g1] first: the matrix is [G2·G1] (eq. 11). *)
+val series : t -> t -> t
+
+val series_list : t list -> t
+
+(** [parallel g1 g2] is [G1 + G2] (eq. 10). *)
+val parallel : t -> t -> t
+
+val sub : t -> t -> t
+val neg : t -> t
+
+(** [feedback g] is the closed loop [(I + G)^{-1} G] — the truncated
+    version of eq. 28, realized with an LU solve. *)
+val feedback : t -> t
+
+(** [custom f] — escape hatch: any explicit matrix function of [s]. *)
+val custom : (ctx -> Numeric.Cx.t -> Numeric.Cmat.t) -> t
+
+(** {1 Realization} *)
+
+(** [to_matrix ctx t s] realizes the truncated HTM at the complex
+    frequency [s]. *)
+val to_matrix : ctx -> t -> Numeric.Cx.t -> Numeric.Cmat.t
+
+(** [element ctx t ~n ~m s] is [H_{n,m}(s)] of the truncation
+    ([n], [m] are harmonics, not indices). *)
+val element : ctx -> t -> n:int -> m:int -> Numeric.Cx.t -> Numeric.Cx.t
+
+(** [baseband ctx t w] is [H_{0,0}(jω)] — the band-to-band transfer
+    classical LTI analysis reasons about. *)
+val baseband : ctx -> t -> float -> Numeric.Cx.t
+
+(** [conversion_map ctx t w] is the magnitude map
+    [|H_{n,m}(jω)|] — the quantitative version of the paper's Fig. 2.
+    Row/column order matches harmonics [-n_harm..n_harm]. *)
+val conversion_map : ctx -> t -> float -> float array array
+
+(** [apply_to_tone ctx t ~m w] — the stacked output spectrum produced by
+    a unit tone in band [m] at baseband offset [ω]: the [m]-column of
+    the HTM, indexed by output harmonic. *)
+val apply_to_tone : ctx -> t -> m:int -> float -> Numeric.Cvec.t
+
+(** [is_lti ctx t s ~tol] — true when the realized matrix is diagonal
+    with the shifted-diagonal structure of an LTI block. *)
+val is_lti : ?tol:float -> ctx -> t -> Numeric.Cx.t -> bool
+
+(** [max_singular_value ctx t w] — the largest singular value of the
+    realized HTM at [jω]: the worst-case gain over all distributions of
+    input content across bands. For an LTI block this is
+    [max_m |H(jω + jmω₀)|]; for a genuinely LPTV closed loop it exceeds
+    the baseband [|H₀₀|] by the band-conversion leakage — a conservative
+    peaking metric unavailable to LTI analysis. Computed by power
+    iteration on [HᴴH] (only matrix products, no factorization). *)
+val max_singular_value :
+  ?iterations:int -> ?tol:float -> ctx -> t -> float -> float

@@ -1,0 +1,23 @@
+open Numeric
+
+let coeffs_of_function f ~period ~max_harmonic ?(samples = 2048) () =
+  Quad.fourier_coeffs f ~period ~max_harmonic ~n:samples ()
+
+let eval_coeffs coeffs ~omega0 t = Quad.fourier_eval coeffs ~omega0 t
+
+let tone_response_multiplier coeffs ~omega0:_ ~m =
+  let kmax = Array.length coeffs / 2 in
+  List.filter_map
+    (fun k ->
+      let c = coeffs.(k + kmax) in
+      if Cx.abs c = 0.0 then None else Some (m + k, c))
+    (List.init ((2 * kmax) + 1) (fun i -> i - kmax))
+
+let conj_symmetric ?(tol = 1e-9) coeffs =
+  let kmax = Array.length coeffs / 2 in
+  let ok = ref true in
+  for k = 0 to kmax do
+    let a = coeffs.(kmax + k) and b = coeffs.(kmax - k) in
+    if not (Cx.approx ~tol (Cx.conj a) b) then ok := false
+  done;
+  !ok

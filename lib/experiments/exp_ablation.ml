@@ -1,0 +1,121 @@
+open Numeric
+
+type lambda_row = { terms : int; rel_err : float }
+type htm_row = { n_harm : int; rel_err : float }
+
+type filter_row = {
+  ripple_pole_factor : float;
+  pm_lti_deg : float;
+  pm_eff_deg : float;
+  stable : bool;
+}
+
+type t = {
+  lambda_rows : lambda_row list;
+  htm_rows : htm_row list;
+  filter_rows : filter_row list;
+}
+
+let lambda_truncation p =
+  let w0 = Pll_lib.Pll.omega0 p in
+  let s = Cx.jomega (0.23 *. w0) in
+  let exact = Pll_lib.Pll.lambda p s in
+  List.map
+    (fun terms ->
+      let lam = Pll_lib.Pll.lambda_fn p (Pll_lib.Pll.Truncated terms) in
+      { terms; rel_err = Cx.abs (Cx.sub exact (lam s)) /. Cx.abs exact })
+    [ 5; 20; 100; 500; 2000; 10000 ]
+
+let htm_truncation p =
+  let w0 = Pll_lib.Pll.omega0 p in
+  let s = Cx.jomega (0.23 *. w0) in
+  let exact = Pll_lib.Pll.h00 p s in
+  let cl = Pll_lib.Pll.closed_loop_htm p in
+  List.map
+    (fun n_harm ->
+      let ctx = Htm_core.Htm.ctx ~n_harm ~omega0:w0 in
+      let m = Htm_core.Htm.to_matrix ctx cl s in
+      let c = Htm_core.Htm.index_of_harmonic ctx 0 in
+      let h00 = Cmat.get m c c in
+      { n_harm; rel_err = Cx.abs (Cx.sub exact h00) /. Cx.abs exact })
+    [ 2; 5; 10; 20; 40; 80 ]
+
+let with_ripple_pole spec factor =
+  let base = Pll_lib.Design.synthesize spec in
+  match factor with
+  | f when f = Float.infinity -> base
+  | f ->
+      let w_pole = f *. Pll_lib.Design.omega_ug spec in
+      let filter =
+        match base.Pll_lib.Pll.filter.Pll_lib.Loop_filter.topology with
+        | Pll_lib.Loop_filter.Second_order { r; c1; c2 } ->
+            Pll_lib.Loop_filter.make
+              (Pll_lib.Loop_filter.Third_order
+                 { r; c1; c2; r3 = r; c3 = 1.0 /. (w_pole *. r) })
+              ~icp:base.Pll_lib.Pll.filter.Pll_lib.Loop_filter.icp
+        | _ -> base.Pll_lib.Pll.filter
+      in
+      Pll_lib.Pll.make ~fref:spec.Pll_lib.Design.fref
+        ~n_div:spec.Pll_lib.Design.n_div ~filter ~vco:base.Pll_lib.Pll.vco ()
+
+let filter_ablation spec =
+  List.map
+    (fun factor ->
+      let p = with_ripple_pole spec factor in
+      let lti = Pll_lib.Analysis.lti_report p in
+      let stable = Pll_lib.Analysis.is_stable_tv p in
+      let eff =
+        if stable then Pll_lib.Analysis.effective_report p
+        else
+          { Pll_lib.Analysis.omega_ug = None;
+            phase_margin_deg = None;
+            gain_margin_db = None }
+      in
+      {
+        ripple_pole_factor = factor;
+        pm_lti_deg =
+          Option.value ~default:Float.nan lti.Pll_lib.Analysis.phase_margin_deg;
+        pm_eff_deg =
+          Option.value ~default:Float.nan eff.Pll_lib.Analysis.phase_margin_deg;
+        stable;
+      })
+    [ Float.infinity; 20.0; 10.0; 5.0; 3.0; 2.0 ]
+
+let compute ?(spec = Pll_lib.Design.default_spec) () =
+  let p = Pll_lib.Design.synthesize spec in
+  let spec_fast = Pll_lib.Design.with_ratio spec 0.2 in
+  {
+    lambda_rows = lambda_truncation p;
+    htm_rows = htm_truncation p;
+    filter_rows = filter_ablation spec_fast;
+  }
+
+let print ppf r =
+  Report.section ppf "ABLATION: truncation orders and filter topology";
+  Report.table ppf
+    ~title:"lambda truncation vs exact coth closed form (w = 0.23 w0)"
+    ~header:[ "terms"; "rel err" ]
+    (List.map
+       (fun row -> [ string_of_int row.terms; Printf.sprintf "%.3e" row.rel_err ])
+       r.lambda_rows);
+  Report.table ppf
+    ~title:"generic LU closed loop vs rank-one closed form"
+    ~header:[ "harmonics"; "rel err of H00" ]
+    (List.map
+       (fun row -> [ string_of_int row.n_harm; Printf.sprintf "%.3e" row.rel_err ])
+       r.htm_rows);
+  Report.table ppf
+    ~title:"third-order ripple pole at factor*w_UG (ratio 0.2)"
+    ~header:[ "pole factor"; "PM LTI"; "PM lambda"; "TV stable" ]
+    (List.map
+       (fun row ->
+         [
+           (if row.ripple_pole_factor = Float.infinity then "none (2nd order)"
+            else Report.g row.ripple_pole_factor);
+           Report.f3 row.pm_lti_deg;
+           Report.f3 row.pm_eff_deg;
+           Report.yn row.stable;
+         ])
+       r.filter_rows)
+
+let run () = print Format.std_formatter (compute ())

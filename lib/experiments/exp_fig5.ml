@@ -1,0 +1,29 @@
+type row = { omega_norm : float; mag_db : float; phase_deg : float }
+
+let compute ?(spec = Pll_lib.Design.default_spec) ?(points = 33) () =
+  let p = Pll_lib.Design.synthesize spec in
+  let w_ug = Pll_lib.Design.omega_ug spec in
+  let a = Pll_lib.Pll.open_loop_tf p in
+  let sweep =
+    Lti.Bode.sweep_tf a ~lo:(w_ug /. 100.0) ~hi:(w_ug *. 100.0) ~points
+  in
+  Array.to_list
+    (Array.map
+       (fun pt ->
+         {
+           omega_norm = pt.Lti.Bode.omega /. w_ug;
+           mag_db = pt.Lti.Bode.mag_db;
+           phase_deg = pt.Lti.Bode.phase_deg;
+         })
+       sweep)
+
+let print ppf rows =
+  Report.section ppf "FIG5: open-loop characteristic A(jw)";
+  Report.table ppf ~title:"Bode data (frequency normalized to w_UG)"
+    ~header:[ "w/w_UG"; "|A| dB"; "arg A deg" ]
+    (List.map
+       (fun r ->
+         [ Report.g r.omega_norm; Report.f3 r.mag_db; Report.f3 r.phase_deg ])
+       rows)
+
+let run () = print Format.std_formatter (compute ())

@@ -1,0 +1,29 @@
+let default_ratios =
+  [ 0.02; 0.05; 0.08; 0.1; 0.15; 0.2; 0.25; 0.3; 0.35; 0.4; 0.45; 0.5 ]
+
+let compute ?(spec = Pll_lib.Design.default_spec) ?(ratios = default_ratios) () =
+  Pll_lib.Analysis.ratio_sweep spec ratios
+
+let print ppf rows =
+  Report.section ppf "FIG7: effective UGF and phase margin of lambda vs w_UG/w0";
+  (match rows with
+  | r :: _ ->
+      Report.kv ppf "LTI phase margin (horizontal line)" "%.2f deg" r.Pll_lib.Analysis.pm_lti_deg
+  | [] -> ());
+  Report.table ppf ~title:"time-varying loop metrics"
+    ~header:
+      [ "w_UG/w0"; "w_UG,eff/w_UG"; "PM(lambda) deg"; "PM loss %"; "peaking"; "stable" ]
+    (List.map
+       (fun r ->
+         let open Pll_lib.Analysis in
+         [
+           Report.g r.ratio;
+           Report.f4 r.omega_ug_eff_norm;
+           Report.f3 r.pm_eff_deg;
+           Report.f3 (100.0 *. (1.0 -. (r.pm_eff_deg /. r.pm_lti_deg)));
+           Report.db r.peak_db;
+           Report.yn r.stable;
+         ])
+       rows)
+
+let run () = print Format.std_formatter (compute ())

@@ -1,0 +1,73 @@
+type row = { modulator : string; spur1_dbc : float; spur2_dbc : float }
+
+type t = {
+  rows : row list;
+  predicted_first_order : float;
+  ratio : float;
+}
+
+let b = 16
+let ratio = 0.01
+
+let compute ?(periods = 4096) () =
+  let n_int = 64 in
+  let frac = 1.0 /. float_of_int b in
+  let spec =
+    {
+      Pll_lib.Design.default_spec with
+      Pll_lib.Design.n_div = float_of_int n_int +. frac;
+      ratio;
+    }
+  in
+  let pll = Pll_lib.Design.synthesize spec in
+  let measure_periods =
+    (* leakage-free: a multiple of b, covering the second half of the run *)
+    periods / 2 / b * b
+  in
+  let rows =
+    List.map
+      (fun (name, modulator) ->
+        let record =
+          Sim.Fractional.run pll
+            { Sim.Fractional.modulator; n_int; frac }
+            ~steps_per_period:64 ~periods ()
+        in
+        {
+          modulator = name;
+          spur1_dbc =
+            Sim.Fractional.spur_dbc record ~pll ~frac_denominator:b ~harmonic:1
+              ~periods:measure_periods;
+          spur2_dbc =
+            Sim.Fractional.spur_dbc record ~pll ~frac_denominator:b ~harmonic:2
+              ~periods:measure_periods;
+        })
+      [
+        ("first-order", Sim.Fractional.First_order);
+        ("MASH 1-1", Sim.Fractional.Mash2);
+        ("MASH 1-1-1", Sim.Fractional.Mash3);
+      ]
+  in
+  {
+    rows;
+    predicted_first_order =
+      Sim.Fractional.predicted_first_order_spur_dbc pll ~frac_denominator:b;
+    ratio;
+  }
+
+let print ppf r =
+  Report.section ppf "FRACTIONAL: delta-sigma fractional-N spurs";
+  Report.kv ppf "configuration" "N = 64 + 1/%d, loop ratio %g" b r.ratio;
+  Report.kv ppf "analytic first-order fundamental" "%.1f dBc"
+    r.predicted_first_order;
+  Report.table ppf ~title:"measured fractional spurs (VCO output, dBc)"
+    ~header:[ "modulator"; "spur @ w0/16"; "spur @ 2w0/16" ]
+    (List.map
+       (fun row ->
+         [
+           row.modulator;
+           Printf.sprintf "%.1f" row.spur1_dbc;
+           Printf.sprintf "%.1f" row.spur2_dbc;
+         ])
+       r.rows)
+
+let run () = print Format.std_formatter (compute ())

@@ -1,0 +1,57 @@
+type row = {
+  injection : string;
+  band_lo : float;
+  band_hi : float;
+  measured : float;
+  ratio_tv : float;
+  ratio_lti : float;
+}
+
+let rows_of r ~injection ~w0 bands =
+  List.map
+    (fun (band_lo, band_hi) ->
+      let lo = band_lo *. w0 and hi = band_hi *. w0 in
+      {
+        injection;
+        band_lo;
+        band_hi;
+        measured = Numeric.Psd.band_average r.Sim.Noise_run.estimate ~lo ~hi;
+        ratio_tv = Sim.Noise_run.band_ratio r ~lo ~hi;
+        ratio_lti = Sim.Noise_run.band_ratio_lti r ~lo ~hi;
+      })
+    bands
+
+let compute ?(spec = Pll_lib.Design.default_spec) ?(periods = 2048) () =
+  let pll = Pll_lib.Design.synthesize spec in
+  let w0 = Pll_lib.Pll.omega0 pll in
+  let period = Pll_lib.Pll.period pll in
+  let vco = Sim.Noise_run.vco_white_fm pll ~sigma_freq:(w0 *. 1e-4) ~periods () in
+  let reference =
+    Sim.Noise_run.reference_white pll ~sigma_theta:(period /. 1e5) ~periods ()
+  in
+  rows_of vco ~injection:"VCO white FM" ~w0
+    [ (0.02, 0.1); (0.1, 0.3); (0.3, 0.49) ]
+  @ rows_of reference ~injection:"reference white" ~w0
+      [ (0.01, 0.05); (0.05, 0.2); (0.2, 0.45) ]
+
+let print ppf rows =
+  Report.section ppf "NOISE: Monte-Carlo PSD vs spectral predictions";
+  Report.table ppf
+    ~title:"band-averaged output PSD: measured / predicted"
+    ~header:[ "injection"; "band (w/w0)"; "measured PSD"; "vs TV"; "vs LTI" ]
+    (List.map
+       (fun r ->
+         [
+           r.injection;
+           Printf.sprintf "%.2f..%.2f" r.band_lo r.band_hi;
+           Printf.sprintf "%.3e" r.measured;
+           Printf.sprintf "%.3f" r.ratio_tv;
+           Printf.sprintf "%.1f" r.ratio_lti;
+         ])
+       rows);
+  Format.fprintf ppf
+    "(vs TV ~ 1: the time-varying model predicts the measured spectrum;@.";
+  Format.fprintf ppf
+    " vs LTI >> 1 for reference noise: folding dominates and LTI misses it.)@."
+
+let run () = print Format.std_formatter (compute ())

@@ -1,0 +1,105 @@
+type row = {
+  label : string;
+  measured_offset : float;
+  predicted_offset : float;
+  ripple : float;
+  spur_dbc : float;
+  spur_pred_dbc : float;
+}
+
+let steady_offset record ~period ~periods =
+  let theta = record.Sim.Behavioral.theta in
+  let t1 =
+    Sim.Waveform.time_of_index theta (Sim.Waveform.length theta - 1)
+  in
+  let s =
+    Sim.Waveform.slice theta
+      ~from_time:(t1 -. (float_of_int periods *. period))
+      ~to_time:t1
+  in
+  Numeric.Stats.mean (Sim.Waveform.to_array s)
+
+let predicted ~icp ~period nonideal =
+  let g = nonideal.Sim.Behavioral.up_current_gain in
+  let mismatch_term =
+    if g >= 1.0 then (g -. 1.0) *. nonideal.Sim.Behavioral.reset_delay
+    else (g -. 1.0) *. nonideal.Sim.Behavioral.reset_delay /. g
+  in
+  let leakage_term =
+    -.nonideal.Sim.Behavioral.leakage *. period /. (g *. icp)
+  in
+  mismatch_term +. leakage_term
+
+let compute ?(spec = Pll_lib.Design.default_spec) () =
+  let pll = Pll_lib.Design.synthesize spec in
+  let period = Pll_lib.Pll.period pll in
+  let icp = spec.Pll_lib.Design.icp in
+  let kvco = spec.Pll_lib.Design.kvco in
+  let run label nonideal =
+    let record =
+      Sim.Transient.locked_run pll ~nonideal ~steps_per_period:96 ~periods:300 ()
+    in
+    let v1 =
+      Sim.Transient.periodic_component record.Sim.Behavioral.control ~period
+        ~periods:40 ~harmonic:1
+    in
+    let beta_pred =
+      2.0 *. Float.pi *. kvco *. Numeric.Cx.abs v1 /. Pll_lib.Pll.omega0 pll
+    in
+    {
+      label;
+      measured_offset = steady_offset record ~period ~periods:40;
+      predicted_offset = predicted ~icp ~period nonideal;
+      ripple = Sim.Transient.steady_state_ripple record ~period ~periods:40;
+      spur_dbc = Sim.Transient.reference_spur_dbc record ~pll ~periods:40;
+      spur_pred_dbc = 20.0 *. log10 (beta_pred /. 2.0);
+    }
+  in
+  let ideal = Sim.Behavioral.ideal in
+  [
+    run "ideal" ideal;
+    run "reset delay T/50, matched"
+      { ideal with Sim.Behavioral.reset_delay = period /. 50.0 };
+    run "leakage 1% of Icp"
+      { ideal with Sim.Behavioral.leakage = 0.01 *. icp };
+    run "mismatch +10%, delay T/50"
+      {
+        ideal with
+        Sim.Behavioral.up_current_gain = 1.1;
+        reset_delay = period /. 50.0;
+      };
+    run "mismatch -10%, delay T/50"
+      {
+        ideal with
+        Sim.Behavioral.up_current_gain = 0.9;
+        reset_delay = period /. 50.0;
+      };
+    run "all combined"
+      {
+        Sim.Behavioral.up_current_gain = 1.1;
+        reset_delay = period /. 50.0;
+        leakage = 0.01 *. icp;
+      };
+  ]
+
+let print ppf rows =
+  Report.section ppf "NONIDEAL: charge-pump non-idealities vs first-order theory";
+  let dbc x = if x < -200.0 then "< -200" else Printf.sprintf "%.1f" x in
+  Report.table ppf
+    ~title:"static phase offset, control ripple and reference spur"
+    ~header:
+      [ "case"; "measured offset"; "predicted"; "ripple p-p (V)";
+        "spur dBc (theta)"; "spur dBc (ripple)" ]
+    (List.map
+       (fun r ->
+         [
+           r.label;
+           Printf.sprintf "%+.3e" r.measured_offset;
+           Printf.sprintf "%+.3e" r.predicted_offset;
+           Printf.sprintf "%.3e" r.ripple;
+           dbc r.spur_dbc;
+           dbc r.spur_pred_dbc;
+         ])
+       rows)
+
+let run () = print Format.std_formatter (compute ())

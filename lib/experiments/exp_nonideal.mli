@@ -1,0 +1,35 @@
+(** NONIDEAL — charge-pump/PFD non-idealities in the behavioral model.
+
+    The small-signal HTM theory assumes an ideal sampler; a real
+    charge-pump PFD has a tri-state reset delay, UP/DOWN current
+    mismatch and control-node leakage. This experiment measures their
+    classic signatures on the time-marching model and checks each
+    against its first-order analytic prediction:
+
+    - {b leakage}: the loop must replace the leaked charge every cycle,
+      so in lock a static error pulse of width
+      [w = leakage·T / I_cp] remains — a static phase offset of the
+      same [w] seconds (plus a reference spur from the periodic pulse).
+    - {b mismatch + reset delay}: during the reset window both sources
+      fight; the net charge [(g−1)·I_cp·t_delay] must be cancelled by a
+      static error pulse — offset [≈ (g−1)·t_delay] to first order.
+    - {b reset delay alone} (matched currents): no offset — the
+      anti-dead-zone pulse pair is charge-neutral. *)
+
+type row = {
+  label : string;
+  measured_offset : float;  (** steady-state θ, seconds *)
+  predicted_offset : float;  (** first-order analytic value *)
+  ripple : float;  (** peak-to-peak control ripple in lock, V *)
+  spur_dbc : float;
+      (** first reference spur on the VCO output, dBc, measured from the
+          periodic component of the simulated time shift (−∞ when no
+          periodic disturbance remains) *)
+  spur_pred_dbc : float;
+      (** the same spur predicted independently from the control-voltage
+          ripple line by narrowband FM: [β = 2π·K_vco·|v₁|/ω₀] *)
+}
+
+val compute : ?spec:Pll_lib.Design.spec -> unit -> row list
+val print : Format.formatter -> row list -> unit
+val run : unit -> unit

@@ -1,0 +1,83 @@
+open Numeric
+
+type row = { label : string; points : int; seconds : float; per_point : float }
+type t = { rows : row list; speedup : float }
+
+let time_it f =
+  let t0 = Sys.time () in
+  f ();
+  Sys.time () -. t0
+
+let compute ?(spec = Pll_lib.Design.default_spec) () =
+  let p = Pll_lib.Design.synthesize spec in
+  let w0 = Pll_lib.Pll.omega0 p in
+  let grid = Optimize.logspace (w0 *. 1e-3) (w0 *. 0.49) 200 in
+  let sink = ref Cx.zero in
+  let closed_form_t =
+    let h = Pll_lib.Pll.h00_fn p Pll_lib.Pll.Exact in
+    time_it (fun () ->
+        Array.iter (fun w -> sink := h (Cx.jomega w)) grid)
+  in
+  let truncated_t =
+    let h = Pll_lib.Pll.h00_fn p (Pll_lib.Pll.Truncated 500) in
+    time_it (fun () ->
+        Array.iter (fun w -> sink := h (Cx.jomega w)) grid)
+  in
+  let generic_points = 20 in
+  let generic_t =
+    let ctx = Htm_core.Htm.ctx ~n_harm:30 ~omega0:w0 in
+    let cl = Pll_lib.Pll.closed_loop_htm p in
+    time_it (fun () ->
+        Array.iter
+          (fun w ->
+            sink :=
+              Cmat.get
+                (Htm_core.Htm.to_matrix ctx cl (Cx.jomega w))
+                (Htm_core.Htm.index_of_harmonic ctx 0)
+                (Htm_core.Htm.index_of_harmonic ctx 0))
+          (Array.sub grid 0 generic_points))
+  in
+  let sim_points = 4 in
+  let sim_t =
+    time_it (fun () ->
+        List.iter
+          (fun j ->
+            sink :=
+              (Sim.Extract.measure_h00 p ~harmonic:j ~window_periods:32 ()).Sim.Extract.measured)
+          (List.init sim_points (fun i -> (4 * i) + 1)))
+  in
+  ignore !sink;
+  let mk label points seconds =
+    { label; points; seconds; per_point = seconds /. float_of_int points }
+  in
+  let rows =
+    [
+      mk "closed form (exact lambda, eq. 38)" 200 closed_form_t;
+      mk "truncated lambda (500 terms)" 200 truncated_t;
+      mk "generic truncated HTM (LU, N=30)" generic_points generic_t;
+      mk "time-marching extraction" sim_points sim_t;
+    ]
+  in
+  let speedup =
+    (sim_t /. float_of_int sim_points)
+    /. Stdlib.max 1e-9 (closed_form_t /. 200.0)
+  in
+  { rows; speedup }
+
+let print ppf r =
+  Report.section ppf "PERF: closed form vs time-marching (paper: seconds vs minutes)";
+  Report.table ppf ~title:"CPU time per frequency-response point"
+    ~header:[ "method"; "points"; "total s"; "s/point" ]
+    (List.map
+       (fun row ->
+         [
+           row.label;
+           string_of_int row.points;
+           Printf.sprintf "%.4f" row.seconds;
+           Printf.sprintf "%.3e" row.per_point;
+         ])
+       r.rows);
+  Report.kv ppf "speedup of closed form over time-marching (per point)" "%.0fx"
+    r.speedup
+
+let run () = print Format.std_formatter (compute ())

@@ -1,0 +1,58 @@
+open Numeric
+
+type row = {
+  ratio : float;
+  pm_impulse : float;
+  pm_sh : float;
+  stable_impulse : bool;
+  stable_sh : bool;
+  identity_dev : float;
+}
+
+let margin_of f ~w0 =
+  let r =
+    Lti.Margins.analyze f ~lo:(w0 *. 1e-5) ~hi:(w0 *. 0.4999)
+  in
+  Option.value ~default:Float.nan r.Lti.Margins.phase_margin_deg
+
+let compute ?(spec = Pll_lib.Design.default_spec)
+    ?(ratios = [ 0.05; 0.1; 0.15; 0.2; 0.25; 0.3; 0.35; 0.4 ]) () =
+  List.map
+    (fun ratio ->
+      let p = Pll_lib.Design.synthesize (Pll_lib.Design.with_ratio spec ratio) in
+      let w0 = Pll_lib.Pll.omega0 p in
+      let lam = Pll_lib.Pll.lambda_fn p Pll_lib.Pll.Exact in
+      let lam_sh = Pll_lib.Sample_hold.lambda_fn p Pll_lib.Pll.Exact in
+      let dm = Pll_lib.Sample_hold.discretize p in
+      let probe = 0.23 *. w0 in
+      let exact = lam_sh (Cx.jomega probe) in
+      let z = Pll_lib.Sample_hold.open_loop_response dm probe in
+      {
+        ratio;
+        pm_impulse = margin_of (fun w -> lam (Cx.jomega w)) ~w0;
+        pm_sh = margin_of (fun w -> lam_sh (Cx.jomega w)) ~w0;
+        stable_impulse = Pll_lib.Analysis.is_stable_tv p;
+        stable_sh = Pll_lib.Sample_hold.is_stable p;
+        identity_dev = Cx.abs (Cx.sub exact z) /. Cx.abs exact;
+      })
+    ratios
+
+let print ppf rows =
+  Report.section ppf "PFD: impulse charge pump vs sample-and-hold detector";
+  Report.table ppf
+    ~title:"phase margin of the effective open loop, per detector type"
+    ~header:
+      [ "w_UG/w0"; "PM impulse"; "PM S&H"; "stable imp"; "stable S&H"; "zoh identity dev" ]
+    (List.map
+       (fun r ->
+         [
+           Report.g r.ratio;
+           Report.f3 r.pm_impulse;
+           Report.f3 r.pm_sh;
+           Report.yn r.stable_impulse;
+           Report.yn r.stable_sh;
+           Printf.sprintf "%.1e" r.identity_dev;
+         ])
+       rows)
+
+let run () = print Format.std_formatter (compute ())

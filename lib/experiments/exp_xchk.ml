@@ -1,0 +1,87 @@
+open Numeric
+
+type lambda_row = {
+  s_frac : float;
+  exact : Cx.t;
+  truncated_dev : float;
+  matrix_dev : float;
+  zmodel_dev : float;
+}
+
+type pole_row = { z_pole : Cx.t; s_pole : Cx.t; residual : float }
+
+type t = {
+  lambda_rows : lambda_row list;
+  pole_rows : pole_row list;
+  step_final_dev : float;
+}
+
+let compute ?(spec = Pll_lib.Design.default_spec) () =
+  let p = Pll_lib.Design.synthesize spec in
+  let w0 = Pll_lib.Pll.omega0 p in
+  let lam_exact = Pll_lib.Pll.lambda_fn p Pll_lib.Pll.Exact in
+  let lam_tr = Pll_lib.Pll.lambda_fn p (Pll_lib.Pll.Truncated 3000) in
+  let ctx = Htm_core.Htm.ctx ~n_harm:400 ~omega0:w0 in
+  let zm = Pll_lib.Zmodel.of_pll p in
+  let rel a b = Cx.abs (Cx.sub a b) /. Stdlib.max 1e-300 (Cx.abs a) in
+  let lambda_rows =
+    List.map
+      (fun s_frac ->
+        let s = Cx.jomega (s_frac *. w0) in
+        let exact = lam_exact s in
+        {
+          s_frac;
+          exact;
+          truncated_dev = rel exact (lam_tr s);
+          matrix_dev = rel exact (Pll_lib.Pll.lambda_matrix ctx p s);
+          zmodel_dev =
+            rel exact (Pll_lib.Zmodel.open_loop_response zm (s_frac *. w0));
+        })
+      [ 0.05; 0.13; 0.27; 0.41; 0.49 ]
+  in
+  let pole_rows =
+    List.filter_map
+      (fun z ->
+        (* only poles inside a sensible band; skip near-zero z whose log
+           is meaningless for this check *)
+        if Cx.abs z < 1e-6 then None
+        else begin
+          let s = Cx.scale (1.0 /. Pll_lib.Pll.period p) (Cx.log z) in
+          let residual = Cx.abs (Cx.add Cx.one (lam_exact s)) in
+          Some { z_pole = z; s_pole = s; residual }
+        end)
+      (Pll_lib.Zmodel.closed_loop_poles zm)
+  in
+  let step = Pll_lib.Zmodel.step_response zm ~n:400 in
+  let step_final_dev = Float.abs (step.(399) -. 1.0) in
+  { lambda_rows; pole_rows; step_final_dev }
+
+let print ppf r =
+  Report.section ppf "XCHK: cross-validation of independent formalisms";
+  Report.table ppf
+    ~title:"lambda(jw): closed form vs three independent routes (rel dev)"
+    ~header:[ "w/w0"; "lambda (exact)"; "trunc dev"; "matrix dev"; "zmodel dev" ]
+    (List.map
+       (fun row ->
+         [
+           Report.g row.s_frac;
+           Cx.to_string row.exact;
+           Printf.sprintf "%.2e" row.truncated_dev;
+           Printf.sprintf "%.2e" row.matrix_dev;
+           Printf.sprintf "%.2e" row.zmodel_dev;
+         ])
+       r.lambda_rows);
+  Report.table ppf
+    ~title:"discrete closed-loop poles vs roots of 1 + lambda(s)"
+    ~header:[ "z pole"; "s = ln(z)/T"; "|1+lambda(s)|" ]
+    (List.map
+       (fun row ->
+         [
+           Cx.to_string row.z_pole;
+           Cx.to_string row.s_pole;
+           Printf.sprintf "%.2e" row.residual;
+         ])
+       r.pole_rows);
+  Report.kv ppf "discrete step response |final - 1|" "%.2e" r.step_final_dev
+
+let run () = print Format.std_formatter (compute ())

@@ -1,0 +1,36 @@
+let table ppf ~title ~header rows =
+  let ncols = List.length header in
+  List.iteri
+    (fun i row ->
+      if List.length row <> ncols then
+        invalid_arg
+          (Printf.sprintf "Report.table: row %d has %d cells, expected %d" i
+             (List.length row) ncols))
+    rows;
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (List.iteri (fun i cell ->
+         widths.(i) <- Stdlib.max widths.(i) (String.length cell)))
+    rows;
+  let pad i cell = Printf.sprintf "%-*s" widths.(i) cell in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let rule =
+    String.concat "--"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  Format.fprintf ppf "@.%s@.%s@.%s@." title (line header) rule;
+  List.iter (fun row -> Format.fprintf ppf "%s@." (line row)) rows
+
+let f3 x = Printf.sprintf "%.3f" x
+let f4 x = Printf.sprintf "%.4f" x
+let g x = Printf.sprintf "%g" x
+let db x = Printf.sprintf "%.2f dB" x
+let yn b = if b then "yes" else "no"
+
+let section ppf name =
+  let bar = String.make (String.length name + 8) '=' in
+  Format.fprintf ppf "@.%s@.=== %s ===@.%s@." bar name bar
+
+let kv ppf key fmt =
+  Format.fprintf ppf "%s: " key;
+  Format.kfprintf (fun p -> Format.fprintf p "@.") ppf fmt

@@ -1,0 +1,24 @@
+(** Plain-text table rendering for the experiment harness. *)
+
+(** [table ppf ~title ~header rows] — fixed-width aligned table. *)
+val table :
+  Format.formatter -> title:string -> header:string list -> string list list -> unit
+
+(** Cell formatters. *)
+val f3 : float -> string
+(** 3 decimals *)
+
+val f4 : float -> string
+val g : float -> string
+(** compact %g *)
+
+val db : float -> string
+(** value rendered as dB with 2 decimals *)
+
+val yn : bool -> string
+
+(** [section ppf name] — experiment banner. *)
+val section : Format.formatter -> string -> unit
+
+(** [kv ppf key fmt ...] — one "key: value" line. *)
+val kv : Format.formatter -> string -> ('a, Format.formatter, unit) format -> 'a

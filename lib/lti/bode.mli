@@ -1,0 +1,29 @@
+(** Frequency-response sweeps (Bode data).
+
+    Works on any response function [float -> Complex.t] so the same
+    machinery sweeps classical transfer functions [A(jω)] and the
+    time-varying effective open loop [λ(jω)] of the paper (Fig. 5 and
+    the curves behind Figs. 6–7). *)
+
+type point = {
+  omega : float;
+  response : Numeric.Cx.t;
+  mag_db : float;
+  phase_deg : float;  (** unwrapped along the sweep *)
+}
+
+(** [sweep f ~lo ~hi ~points] evaluates [f] on a log grid and unwraps the
+    phase continuously from the low-frequency end. *)
+val sweep : (float -> Numeric.Cx.t) -> lo:float -> hi:float -> points:int -> point array
+
+(** [sweep_tf tf ~lo ~hi ~points] sweeps an LTI transfer function. *)
+val sweep_tf : Tf.t -> lo:float -> hi:float -> points:int -> point array
+
+(** [mag_db_at f w] / [phase_deg_at f w] — single-point helpers (phase
+    in (-180, 180], not unwrapped). *)
+val mag_db_at : (float -> Numeric.Cx.t) -> float -> float
+
+val phase_deg_at : (float -> Numeric.Cx.t) -> float -> float
+
+(** [unwrap phases_deg] removes ±360° jumps from a phase sequence. *)
+val unwrap : float array -> float array

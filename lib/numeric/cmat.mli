@@ -1,0 +1,61 @@
+(** Dense complex matrices (row-major).
+
+    Truncated harmonic transfer matrices are realized as values of this
+    type; the composition rules of the HTM calculus (series = product,
+    parallel = sum, rank-one sampler = outer product) map directly onto
+    the operations below. *)
+
+type t
+
+val make : int -> int -> Cx.t -> t
+val init : int -> int -> (int -> int -> Cx.t) -> t
+
+(** [rows m], [cols m]: dimensions. *)
+val rows : t -> int
+
+val cols : t -> int
+val get : t -> int -> int -> Cx.t
+val set : t -> int -> int -> Cx.t -> unit
+val copy : t -> t
+val zeros : int -> int -> t
+val identity : int -> t
+
+(** [diagonal v] is the square matrix with [v] on the diagonal. *)
+val diagonal : Cvec.t -> t
+
+val of_rows : Cx.t array array -> t
+val row : t -> int -> Cvec.t
+val col : t -> int -> Cvec.t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : Cx.t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+(** [mv m v] is the matrix-vector product. *)
+val mv : t -> Cvec.t -> Cvec.t
+
+(** [vm v m] is the row-vector product [v^T m]. *)
+val vm : Cvec.t -> t -> Cvec.t
+
+(** [outer u v] is the rank-one matrix [u v^T] (no conjugation) — the
+    shape of the sampling-PFD HTM. *)
+val outer : Cvec.t -> Cvec.t -> t
+
+val transpose : t -> t
+val conj_transpose : t -> t
+val map : (Cx.t -> Cx.t) -> t -> t
+val mapi : (int -> int -> Cx.t -> Cx.t) -> t -> t
+
+(** [sum_entries m] is [l^T m l]: the sum of all entries, which for an
+    HTM product equals the paper's effective open-loop gain λ(s). *)
+val sum_entries : t -> Cx.t
+
+val trace : t -> Cx.t
+val norm_frobenius : t -> float
+
+(** Max row sum of moduli (induced infinity norm). *)
+val norm_inf : t -> float
+
+val equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

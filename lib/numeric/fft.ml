@@ -1,0 +1,76 @@
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let bit_reverse_permute a =
+  let n = Array.length a in
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let t = a.(i) in
+      a.(i) <- a.(!j);
+      a.(!j) <- t
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done
+
+let fft_dir sign a =
+  let n = Array.length a in
+  if n land (n - 1) <> 0 then invalid_arg "Fft: length must be a power of 2";
+  if n > 1 then begin
+    bit_reverse_permute a;
+    let len = ref 2 in
+    while !len <= n do
+      let half = !len / 2 in
+      let angle = sign *. 2.0 *. Float.pi /. float_of_int !len in
+      let wstep = Cx.cis angle in
+      let i = ref 0 in
+      while !i < n do
+        let w = ref Cx.one in
+        for k = 0 to half - 1 do
+          let u = a.(!i + k) and v = Cx.mul a.(!i + k + half) !w in
+          a.(!i + k) <- Cx.add u v;
+          a.(!i + k + half) <- Cx.sub u v;
+          w := Cx.mul !w wstep
+        done;
+        i := !i + !len
+      done;
+      len := !len * 2
+    done
+  end
+
+let fft a = fft_dir (-1.0) a
+
+let ifft a =
+  fft_dir 1.0 a;
+  let inv_n = 1.0 /. float_of_int (Array.length a) in
+  Array.iteri (fun i z -> a.(i) <- Cx.scale inv_n z) a
+
+let transform a =
+  let b = Array.copy a in
+  fft b;
+  b
+
+let goertzel xs ~dt ~omega =
+  let n = Array.length xs in
+  let acc = ref Cx.zero in
+  for i = 0 to n - 1 do
+    let t = float_of_int i *. dt in
+    acc := Cx.add !acc (Cx.scale xs.(i) (Cx.cis (-.omega *. t)))
+  done;
+  let total_time = float_of_int n *. dt in
+  Cx.scale (2.0 *. dt /. total_time) !acc
+
+let dft_bin a k =
+  let n = Array.length a in
+  let acc = ref Cx.zero in
+  for i = 0 to n - 1 do
+    let phase = -2.0 *. Float.pi *. float_of_int (i * k) /. float_of_int n in
+    acc := Cx.add !acc (Cx.mul a.(i) (Cx.cis phase))
+  done;
+  !acc

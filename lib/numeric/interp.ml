@@ -1,0 +1,38 @@
+let linear xs ys x =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Interp.linear: empty data";
+  if Array.length ys <> n then invalid_arg "Interp.linear: length mismatch";
+  if x <= xs.(0) then ys.(0)
+  else if x >= xs.(n - 1) then ys.(n - 1)
+  else begin
+    (* binary search for the bracketing interval *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    let x0 = xs.(!lo) and x1 = xs.(!hi) in
+    let w = (x -. x0) /. (x1 -. x0) in
+    ((1.0 -. w) *. ys.(!lo)) +. (w *. ys.(!hi))
+  end
+
+let uniform ~t0 ~dt ys t =
+  let n = Array.length ys in
+  if n = 0 then invalid_arg "Interp.uniform: empty data";
+  let pos = (t -. t0) /. dt in
+  if pos <= 0.0 then ys.(0)
+  else if pos >= float_of_int (n - 1) then ys.(n - 1)
+  else begin
+    let i = int_of_float pos in
+    let w = pos -. float_of_int i in
+    ((1.0 -. w) *. ys.(i)) +. (w *. ys.(i + 1))
+  end
+
+let resample_uniform xs ys ~n =
+  if n < 2 then invalid_arg "Interp.resample_uniform: need at least 2 points";
+  let t0 = xs.(0) and t1 = xs.(Array.length xs - 1) in
+  let dt = (t1 -. t0) /. float_of_int (n - 1) in
+  let samples =
+    Array.init n (fun i -> linear xs ys (t0 +. (float_of_int i *. dt)))
+  in
+  (t0, dt, samples)

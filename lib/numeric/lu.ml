@@ -1,0 +1,99 @@
+exception Singular
+
+type factorization = { lu : Cx.t array array; perm : int array }
+
+(* Crout-style in-place LU with partial pivoting on modulus. *)
+let decompose m =
+  let n = Cmat.rows m in
+  if Cmat.cols m <> n then invalid_arg "Lu.decompose: matrix not square";
+  let a = Array.init n (fun i -> Array.init n (fun k -> Cmat.get m i k)) in
+  let perm = Array.init n (fun i -> i) in
+  for k = 0 to n - 1 do
+    (* pivot search *)
+    let best = ref k and best_mag = ref (Cx.abs a.(k).(k)) in
+    for i = k + 1 to n - 1 do
+      let mag = Cx.abs a.(i).(k) in
+      if mag > !best_mag then begin
+        best := i;
+        best_mag := mag
+      end
+    done;
+    if !best_mag = 0.0 then raise Singular;
+    if !best <> k then begin
+      let tmp = a.(k) in
+      a.(k) <- a.(!best);
+      a.(!best) <- tmp;
+      let tp = perm.(k) in
+      perm.(k) <- perm.(!best);
+      perm.(!best) <- tp
+    end;
+    let pivot = a.(k).(k) in
+    for i = k + 1 to n - 1 do
+      let factor = Cx.div a.(i).(k) pivot in
+      a.(i).(k) <- factor;
+      if factor <> Cx.zero then
+        for l = k + 1 to n - 1 do
+          a.(i).(l) <- Cx.sub a.(i).(l) (Cx.mul factor a.(k).(l))
+        done
+    done
+  done;
+  { lu = a; perm }
+
+let solve { lu; perm } b =
+  let n = Array.length lu in
+  if Cvec.dim b <> n then invalid_arg "Lu.solve: dimension mismatch";
+  let y = Array.init n (fun i -> Cvec.get b perm.(i)) in
+  (* forward substitution, unit lower triangle *)
+  for i = 1 to n - 1 do
+    for k = 0 to i - 1 do
+      y.(i) <- Cx.sub y.(i) (Cx.mul lu.(i).(k) y.(k))
+    done
+  done;
+  (* back substitution *)
+  for i = n - 1 downto 0 do
+    for k = i + 1 to n - 1 do
+      y.(i) <- Cx.sub y.(i) (Cx.mul lu.(i).(k) y.(k))
+    done;
+    y.(i) <- Cx.div y.(i) lu.(i).(i)
+  done;
+  Cvec.of_array y
+
+let solve_mat f b =
+  let n = Cmat.rows b and p = Cmat.cols b in
+  let out = Cmat.zeros n p in
+  for k = 0 to p - 1 do
+    let x = solve f (Cmat.col b k) in
+    for i = 0 to n - 1 do
+      Cmat.set out i k (Cvec.get x i)
+    done
+  done;
+  out
+
+let inverse m = solve_mat (decompose m) (Cmat.identity (Cmat.rows m))
+
+let det m =
+  match decompose m with
+  | exception Singular -> Cx.zero
+  | { lu; perm } ->
+      let n = Array.length lu in
+      (* permutation sign by cycle counting *)
+      let seen = Array.make n false in
+      let sign = ref 1 in
+      for i = 0 to n - 1 do
+        if not seen.(i) then begin
+          let len = ref 0 and k = ref i in
+          while not seen.(!k) do
+            seen.(!k) <- true;
+            k := perm.(!k);
+            incr len
+          done;
+          if !len mod 2 = 0 then sign := - !sign
+        end
+      done;
+      let d = ref (Cx.of_float (float_of_int !sign)) in
+      for i = 0 to n - 1 do
+        d := Cx.mul !d lu.(i).(i)
+      done;
+      !d
+
+let solve_system a b = solve (decompose a) b

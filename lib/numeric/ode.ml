@@ -1,0 +1,112 @@
+type system = float -> float array -> float array
+
+let axpy out a x y =
+  (* out_i = y_i + a * x_i *)
+  Array.iteri (fun i yi -> out.(i) <- yi +. (a *. x.(i))) y;
+  out
+
+let rk4_step f t y h =
+  let n = Array.length y in
+  let k1 = f t y in
+  let k2 = f (t +. (0.5 *. h)) (axpy (Array.make n 0.0) (0.5 *. h) k1 y) in
+  let k3 = f (t +. (0.5 *. h)) (axpy (Array.make n 0.0) (0.5 *. h) k2 y) in
+  let k4 = f (t +. h) (axpy (Array.make n 0.0) h k3 y) in
+  Array.init n (fun i ->
+      y.(i) +. (h /. 6.0 *. (k1.(i) +. (2.0 *. k2.(i)) +. (2.0 *. k3.(i)) +. k4.(i))))
+
+let rk4 f ~t0 ~y0 ~t1 ~steps =
+  let h = (t1 -. t0) /. float_of_int steps in
+  let y = ref (Array.copy y0) in
+  for i = 0 to steps - 1 do
+    y := rk4_step f (t0 +. (float_of_int i *. h)) !y h
+  done;
+  !y
+
+let rk4_trace f ~t0 ~y0 ~t1 ~steps =
+  let h = (t1 -. t0) /. float_of_int steps in
+  let out = Array.make (steps + 1) (t0, Array.copy y0) in
+  let y = ref (Array.copy y0) in
+  for i = 1 to steps do
+    y := rk4_step f (t0 +. (float_of_int (i - 1) *. h)) !y h;
+    out.(i) <- (t0 +. (float_of_int i *. h), Array.copy !y)
+  done;
+  out
+
+(* Dormand–Prince 5(4) Butcher tableau *)
+let dp_c = [| 0.0; 0.2; 0.3; 0.8; 8.0 /. 9.0; 1.0; 1.0 |]
+
+let dp_a =
+  [|
+    [||];
+    [| 0.2 |];
+    [| 3.0 /. 40.0; 9.0 /. 40.0 |];
+    [| 44.0 /. 45.0; -56.0 /. 15.0; 32.0 /. 9.0 |];
+    [| 19372.0 /. 6561.0; -25360.0 /. 2187.0; 64448.0 /. 6561.0; -212.0 /. 729.0 |];
+    [| 9017.0 /. 3168.0; -355.0 /. 33.0; 46732.0 /. 5247.0; 49.0 /. 176.0; -5103.0 /. 18656.0 |];
+    [| 35.0 /. 384.0; 0.0; 500.0 /. 1113.0; 125.0 /. 192.0; -2187.0 /. 6784.0; 11.0 /. 84.0 |];
+  |]
+
+let dp_b5 = [| 35.0 /. 384.0; 0.0; 500.0 /. 1113.0; 125.0 /. 192.0; -2187.0 /. 6784.0; 11.0 /. 84.0; 0.0 |]
+
+let dp_b4 =
+  [| 5179.0 /. 57600.0; 0.0; 7571.0 /. 16695.0; 393.0 /. 640.0; -92097.0 /. 339200.0; 187.0 /. 2100.0; 1.0 /. 40.0 |]
+
+let dopri5 f ~t0 ~y0 ~t1 ?(rtol = 1e-9) ?(atol = 1e-12) ?h0 () =
+  let n = Array.length y0 in
+  let t = ref t0 and y = ref (Array.copy y0) in
+  let h = ref (match h0 with Some h -> h | None -> (t1 -. t0) /. 100.0) in
+  let stage_values = Array.make 7 [||] in
+  while !t < t1 -. 1e-15 *. (1.0 +. Float.abs t1) do
+    if !t +. !h > t1 then h := t1 -. !t;
+    (* stages *)
+    for s = 0 to 6 do
+      let ys = Array.copy !y in
+      for l = 0 to s - 1 do
+        let a = dp_a.(s).(l) in
+        if a <> 0.0 then
+          Array.iteri (fun i v -> ys.(i) <- v +. (!h *. a *. stage_values.(l).(i))) ys
+      done;
+      stage_values.(s) <- f (!t +. (dp_c.(s) *. !h)) ys
+    done;
+    let y5 = Array.copy !y and y4 = Array.copy !y in
+    for s = 0 to 6 do
+      for i = 0 to n - 1 do
+        y5.(i) <- y5.(i) +. (!h *. dp_b5.(s) *. stage_values.(s).(i));
+        y4.(i) <- y4.(i) +. (!h *. dp_b4.(s) *. stage_values.(s).(i))
+      done
+    done;
+    (* error estimate *)
+    let err = ref 0.0 in
+    for i = 0 to n - 1 do
+      let sc = atol +. (rtol *. Stdlib.max (Float.abs !y.(i)) (Float.abs y5.(i))) in
+      let e = (y5.(i) -. y4.(i)) /. sc in
+      err := !err +. (e *. e)
+    done;
+    let err = sqrt (!err /. float_of_int n) in
+    if err <= 1.0 then begin
+      t := !t +. !h;
+      y := y5
+    end;
+    let factor = if err = 0.0 then 5.0 else 0.9 *. (err ** -0.2) in
+    let factor = Stdlib.min 5.0 (Stdlib.max 0.2 factor) in
+    h := !h *. factor;
+    if !h < 1e-16 *. (1.0 +. Float.abs !t) then
+      failwith "Ode.dopri5: step size underflow"
+  done;
+  !y
+
+let linear_stepper ~a ~b ~h =
+  let n = Rmat.rows a in
+  (* augmented [[A b]; [0 0]]: e^{Mh} = [[e^{Ah}, ∫e^{A s}ds b]; [0, 1]] *)
+  let m =
+    Rmat.init (n + 1) (n + 1) (fun i k ->
+        if i < n && k < n then Rmat.get a i k
+        else if i < n && k = n then b.(i)
+        else 0.0)
+  in
+  let em = Rmat.expm (Rmat.scale h m) in
+  let phi = Rmat.init n n (fun i k -> Rmat.get em i k) in
+  let gamma = Array.init n (fun i -> Rmat.get em i n) in
+  fun x ->
+    let px = Rmat.mv phi x in
+    Array.init n (fun i -> px.(i) +. gamma.(i))

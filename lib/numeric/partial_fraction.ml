@@ -1,0 +1,67 @@
+type term = { pole : Cx.t; order : int; residue : Cx.t }
+type t = { terms : term list; direct : Poly.t }
+
+(* Power-series division: first [n] Taylor coefficients of num/den given
+   their Taylor coefficients at the same expansion point (den.(0) <> 0). *)
+let series_div num den n =
+  let out = Array.make n Cx.zero in
+  let d0 = den.(0) in
+  for k = 0 to n - 1 do
+    let acc = ref (if k < Array.length num then num.(k) else Cx.zero) in
+    for i = 0 to k - 1 do
+      let dk = k - i in
+      let d = if dk < Array.length den then den.(dk) else Cx.zero in
+      acc := Cx.sub !acc (Cx.mul out.(i) d)
+    done;
+    out.(k) <- Cx.div !acc d0
+  done;
+  out
+
+let expand ?(tol = 1e-6) r =
+  let direct, num =
+    if Rat.is_strictly_proper r then (Poly.zero, r.Rat.num)
+    else Poly.divmod r.Rat.num r.Rat.den
+  in
+  if Poly.is_zero num then { terms = []; direct }
+  else begin
+    let den = r.Rat.den in
+    let groups = Roots.cluster ~tol (Roots.all den) in
+    let terms =
+      List.concat_map
+        (fun (p, mult) ->
+          (* q(s) = den(s) / (s - p)^mult, exactly via repeated deflation
+             at the cluster representative *)
+          let q = ref den in
+          for _ = 1 to mult do
+            q := Poly.deflate !q p
+          done;
+          (* Taylor coefficients of num and q at p *)
+          let num_taylor = Poly.coeffs (Poly.shift num p) in
+          let q_taylor = Poly.coeffs (Poly.shift !q p) in
+          (* g(s) = num/q expanded at p: residue of order l is the
+             (mult - l)-th Taylor coefficient of g *)
+          let g = series_div num_taylor q_taylor mult in
+          List.init mult (fun i ->
+              let order = mult - i in
+              { pole = p; order; residue = g.(i) })
+          |> List.filter (fun t -> Cx.abs t.residue > 0.0))
+        groups
+    in
+    { terms; direct }
+  end
+
+let eval e x =
+  let acc = ref (Poly.eval e.direct x) in
+  List.iter
+    (fun { pole; order; residue } ->
+      acc :=
+        Cx.add !acc (Cx.div residue (Cx.pow_int (Cx.sub x pole) order)))
+    e.terms;
+  !acc
+
+let to_rat e =
+  List.fold_left
+    (fun acc { pole; order; residue } ->
+      let den = Poly.pow (Poly.of_coeffs [ Cx.neg pole; Cx.one ]) order in
+      Rat.add acc (Rat.make (Poly.constant residue) den))
+    (Rat.of_poly e.direct) e.terms

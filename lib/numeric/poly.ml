@@ -1,0 +1,162 @@
+(* Invariant: the coefficient array has no trailing zero, so [degree] is
+   [Array.length - 1] and the zero polynomial is the empty array. *)
+type t = Cx.t array
+
+let trim a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = Cx.zero do
+    decr n
+  done;
+  Array.sub a 0 !n
+
+let of_array a = trim (Array.copy a)
+let of_coeffs l = trim (Array.of_list l)
+let of_real_coeffs l = of_coeffs (List.map Cx.of_float l)
+let coeffs p = Array.copy p
+let coeff (p : t) k = if k < Array.length p then p.(k) else Cx.zero
+let zero : t = [||]
+let one : t = [| Cx.one |]
+let s : t = [| Cx.zero; Cx.one |]
+let constant z = trim [| z |]
+
+let monomial z k =
+  if z = Cx.zero then zero
+  else Array.init (k + 1) (fun i -> if i = k then z else Cx.zero)
+
+let degree (p : t) = Array.length p - 1
+let is_zero (p : t) = Array.length p = 0
+
+let eval (p : t) x =
+  let acc = ref Cx.zero in
+  for i = Array.length p - 1 downto 0 do
+    acc := Cx.add (Cx.mul !acc x) p.(i)
+  done;
+  !acc
+
+let add a b =
+  let n = Stdlib.max (Array.length a) (Array.length b) in
+  trim (Array.init n (fun i -> Cx.add (coeff a i) (coeff b i)))
+
+let neg (p : t) : t = Array.map Cx.neg p
+let sub a b = add a (neg b)
+
+let mul (a : t) (b : t) =
+  if is_zero a || is_zero b then zero
+  else begin
+    let out = Array.make (Array.length a + Array.length b - 1) Cx.zero in
+    Array.iteri
+      (fun i ai ->
+        if ai <> Cx.zero then
+          Array.iteri
+            (fun k bk -> out.(i + k) <- Cx.add out.(i + k) (Cx.mul ai bk))
+            b)
+      a;
+    trim out
+  end
+
+let scale z p = trim (Array.map (Cx.mul z) p)
+
+let pow p n =
+  if n < 0 then invalid_arg "Poly.pow: negative exponent";
+  let rec go acc base n =
+    if n = 0 then acc
+    else if n land 1 = 1 then go (mul acc base) (mul base base) (n asr 1)
+    else go acc (mul base base) (n asr 1)
+  in
+  go one p n
+
+let derivative (p : t) =
+  if Array.length p <= 1 then zero
+  else
+    trim
+      (Array.init
+         (Array.length p - 1)
+         (fun i -> Cx.scale (float_of_int (i + 1)) p.(i + 1)))
+
+let divmod n d =
+  if is_zero d then raise Division_by_zero;
+  let dd = degree d and lead = d.(Array.length d - 1) in
+  let r = Array.copy (n : t) in
+  let qn = degree n - dd in
+  if qn < 0 then (zero, of_array r)
+  else begin
+    let q = Array.make (qn + 1) Cx.zero in
+    for k = qn downto 0 do
+      let c = Cx.div r.(k + dd) lead in
+      q.(k) <- c;
+      if c <> Cx.zero then
+        for i = 0 to dd do
+          r.(k + i) <- Cx.sub r.(k + i) (Cx.mul c d.(i))
+        done
+    done;
+    (trim q, trim (Array.sub r 0 dd))
+  end
+
+let from_roots rs =
+  List.fold_left (fun acc r -> mul acc (of_coeffs [ Cx.neg r; Cx.one ])) one rs
+
+let monic p =
+  if is_zero p then raise Division_by_zero;
+  scale (Cx.inv p.(Array.length p - 1)) p
+
+(* Taylor shift by repeated synthetic division: the remainders of dividing
+   by (s - a) successively are the coefficients of p(s + a). *)
+let shift (p : t) a =
+  let n = Array.length p in
+  if n = 0 then zero
+  else begin
+    let work = Array.copy p in
+    let out = Array.make n Cx.zero in
+    for k = 0 to n - 1 do
+      (* synthetic division of work.(k..n-1) by (s - a) *)
+      for i = n - 2 downto k do
+        work.(i) <- Cx.add work.(i) (Cx.mul work.(i + 1) a)
+      done;
+      out.(k) <- work.(k)
+    done;
+    trim out
+  end
+
+let deflate (p : t) r =
+  let n = Array.length p in
+  if n <= 1 then zero
+  else begin
+    let q = Array.make (n - 1) Cx.zero in
+    let acc = ref p.(n - 1) in
+    for i = n - 2 downto 0 do
+      q.(i) <- !acc;
+      acc := Cx.add p.(i) (Cx.mul !acc r)
+    done;
+    trim q
+  end
+
+let equal ?(tol = 1e-9) a b =
+  let n = Stdlib.max (Array.length a) (Array.length b) in
+  let scale_mag =
+    let m = ref 0.0 in
+    for i = 0 to n - 1 do
+      m := Stdlib.max !m (Stdlib.max (Cx.abs (coeff a i)) (Cx.abs (coeff b i)))
+    done;
+    !m
+  in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if Cx.abs (Cx.sub (coeff a i) (coeff b i)) > tol *. (1.0 +. scale_mag)
+    then ok := false
+  done;
+  !ok
+
+let pp ppf (p : t) =
+  if is_zero p then Format.pp_print_string ppf "0"
+  else begin
+    let first = ref true in
+    Array.iteri
+      (fun i c ->
+        if c <> Cx.zero then begin
+          if not !first then Format.fprintf ppf " + ";
+          first := false;
+          if i = 0 then Cx.pp ppf c
+          else Format.fprintf ppf "(%a)s^%d" Cx.pp c i
+        end)
+      p
+  end

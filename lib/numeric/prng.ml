@@ -1,0 +1,62 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64;
+           mutable s3 : int64; mutable spare : float option }
+
+(* SplitMix64 for seeding *)
+let splitmix_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let state = ref seed in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3; spare = None }
+
+let copy g = { g with spare = g.spare }
+
+let rotl x k =
+  let open Int64 in
+  logor (shift_left x k) (shift_right_logical x (64 - k))
+
+let bits64 g =
+  let open Int64 in
+  let result = add (rotl (add g.s0 g.s3) 23) g.s0 in
+  let t = shift_left g.s1 17 in
+  g.s2 <- logxor g.s2 g.s0;
+  g.s3 <- logxor g.s3 g.s1;
+  g.s1 <- logxor g.s1 g.s2;
+  g.s0 <- logxor g.s0 g.s3;
+  g.s2 <- logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let float g =
+  (* top 53 bits -> [0, 1) *)
+  let bits = Int64.shift_right_logical (bits64 g) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let uniform g ~lo ~hi = lo +. ((hi -. lo) *. float g)
+
+let rec gaussian g =
+  match g.spare with
+  | Some x ->
+      g.spare <- None;
+      x
+  | None ->
+      let u = uniform g ~lo:(-1.0) ~hi:1.0 in
+      let v = uniform g ~lo:(-1.0) ~hi:1.0 in
+      let s = (u *. u) +. (v *. v) in
+      if s >= 1.0 || s = 0.0 then gaussian g
+      else begin
+        let factor = sqrt (-2.0 *. log s /. s) in
+        g.spare <- Some (v *. factor);
+        u *. factor
+      end
+
+let gaussian_array g n ~sigma = Array.init n (fun _ -> sigma *. gaussian g)

@@ -1,0 +1,52 @@
+type estimate = { omega : float array; s : float array; segments : int }
+
+let hann n =
+  Array.init n (fun i ->
+      let x = Float.pi *. float_of_int i /. float_of_int n in
+      let sx = Float.sin x in
+      sx *. sx)
+
+let welch xs ~dt ~segment =
+  if segment land (segment - 1) <> 0 || segment < 4 then
+    invalid_arg "Psd.welch: segment must be a power of two >= 4";
+  if Array.length xs < segment then
+    invalid_arg "Psd.welch: record shorter than one segment";
+  let window = hann segment in
+  let u = Array.fold_left (fun acc w -> acc +. (w *. w)) 0.0 window in
+  let hop = segment / 2 in
+  let n_seg = ((Array.length xs - segment) / hop) + 1 in
+  let half = segment / 2 in
+  let acc = Array.make (half + 1) 0.0 in
+  for seg = 0 to n_seg - 1 do
+    let offset = seg * hop in
+    let buf =
+      Array.init segment (fun i -> Cx.of_float (window.(i) *. xs.(offset + i)))
+    in
+    Fft.fft buf;
+    for k = 0 to half do
+      acc.(k) <- acc.(k) +. Cx.norm2 buf.(k)
+    done
+  done;
+  let scale = dt /. (u *. float_of_int n_seg) in
+  let domega = 2.0 *. Float.pi /. (float_of_int segment *. dt) in
+  {
+    omega = Array.init (half + 1) (fun k -> float_of_int k *. domega);
+    s = Array.map (fun p -> p *. scale) acc;
+    segments = n_seg;
+  }
+
+let band_average est ~lo ~hi =
+  let total = ref 0.0 and count = ref 0 in
+  Array.iteri
+    (fun k w ->
+      if w >= lo && w < hi then begin
+        total := !total +. est.s.(k);
+        incr count
+      end)
+    est.omega;
+  if !count = 0 then invalid_arg "Psd.band_average: empty band";
+  !total /. float_of_int !count
+
+let variance_of est =
+  let domega = est.omega.(1) -. est.omega.(0) in
+  Array.fold_left ( +. ) 0.0 est.s *. domega /. Float.pi

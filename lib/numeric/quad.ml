@@ -1,0 +1,64 @@
+let simpson ?(tol = 1e-10) ?(max_depth = 50) f a b =
+  let simpson_rule fa fm fb h = h /. 6.0 *. (fa +. (4.0 *. fm) +. fb) in
+  (* a global budget keeps non-integrable inputs (NaN/inf values defeat
+     the error estimate) from expanding an exponential call tree *)
+  let budget = ref 2_000_000 in
+  let rec adapt a b fa fm fb whole depth =
+    decr budget;
+    let m = 0.5 *. (a +. b) in
+    let lm = 0.5 *. (a +. m) and rm = 0.5 *. (m +. b) in
+    let flm = f lm and frm = f rm in
+    let left = simpson_rule fa flm fm (m -. a) in
+    let right = simpson_rule fm frm fb (b -. m) in
+    let delta = left +. right -. whole in
+    if depth >= max_depth || !budget <= 0
+       || (Float.is_finite delta && Float.abs delta <= 15.0 *. tol)
+    then left +. right +. (if Float.is_finite delta then delta /. 15.0 else 0.0)
+    else
+      adapt a m fa flm fm left (depth + 1)
+      +. adapt m b fm frm fb right (depth + 1)
+  in
+  if a = b then 0.0
+  else begin
+    let fa = f a and fb = f b and fm = f (0.5 *. (a +. b)) in
+    adapt a b fa fm fb (simpson_rule fa fm fb (b -. a)) 0
+  end
+
+let periodic_trapezoid f ~period ~n =
+  (* On a full period, trapezoid = midpoint = rectangle rule; endpoints
+     coincide so a plain Riemann sum over n points is exact trapezoid. *)
+  let h = period /. float_of_int n in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. f (float_of_int i *. h)
+  done;
+  !acc *. h
+
+let fourier_coeff f ~period ~k ?(n = 1024) () =
+  let omega0 = 2.0 *. Float.pi /. period in
+  let h = period /. float_of_int n in
+  let acc = ref Cx.zero in
+  for i = 0 to n - 1 do
+    let t = float_of_int i *. h in
+    acc :=
+      Cx.add !acc
+        (Cx.scale (f t) (Cx.cis (-.(float_of_int k) *. omega0 *. t)))
+  done;
+  Cx.scale (1.0 /. float_of_int n) !acc
+
+let fourier_coeffs f ~period ~max_harmonic ?(n = 1024) () =
+  Array.init
+    ((2 * max_harmonic) + 1)
+    (fun i -> fourier_coeff f ~period ~k:(i - max_harmonic) ~n ())
+
+let fourier_eval coeffs ~omega0 t =
+  let len = Array.length coeffs in
+  if len mod 2 = 0 then invalid_arg "Quad.fourier_eval: even-length array";
+  let max_harmonic = len / 2 in
+  let acc = ref Cx.zero in
+  Array.iteri
+    (fun i c ->
+      let k = i - max_harmonic in
+      acc := Cx.add !acc (Cx.mul c (Cx.cis (float_of_int k *. omega0 *. t))))
+    coeffs;
+  Cx.re !acc

@@ -1,0 +1,56 @@
+(** Rational functions [num/den] over the complex field.
+
+    The representation is not automatically reduced; [reduce] cancels
+    numerically-coincident pole/zero pairs on demand. Transfer functions
+    in both the s- and z-domain are rationals of this kind. *)
+
+type t = { num : Poly.t; den : Poly.t }
+
+(** @raise Division_by_zero if [den] is the zero polynomial. *)
+val make : Poly.t -> Poly.t -> t
+
+val of_poly : Poly.t -> t
+val constant : Cx.t -> t
+val zero : t
+val one : t
+
+(** The rational [s] (identity map). *)
+val s : t
+
+val eval : t -> Cx.t -> Cx.t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val inv : t -> t
+val scale : Cx.t -> t -> t
+val pow : t -> int -> t
+
+(** [feedback g h] is the negative-feedback closed loop
+    [g / (1 + g h)]. *)
+val feedback : t -> t -> t
+
+(** [feedback_unity g] is [g / (1 + g)]. *)
+val feedback_unity : t -> t
+
+val derivative : t -> t
+val poles : t -> Cx.t list
+val zeros : t -> Cx.t list
+
+(** [relative_degree r] is [degree den - degree num]; positive for a
+    strictly proper rational. *)
+val relative_degree : t -> int
+
+val is_proper : t -> bool
+val is_strictly_proper : t -> bool
+
+(** [reduce ?tol r] cancels pole/zero pairs that coincide within [tol]
+    (relative) and normalizes the denominator to monic form. *)
+val reduce : ?tol:float -> t -> t
+
+(** [normalize r] makes the denominator monic without cancelling. *)
+val normalize : t -> t
+
+val equal_response : ?tol:float -> ?points:int -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

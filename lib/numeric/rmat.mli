@@ -1,0 +1,50 @@
+(** Small dense real matrices, matrix exponential and characteristic
+    polynomial.
+
+    State-space loop-filter/VCO models are real; the exact discrete-time
+    PLL model (the Hein–Scott-style baseline) needs [e^{AT}] and the
+    closed-loop characteristic polynomial, both provided here. *)
+
+type t
+
+val make : int -> int -> float -> t
+val init : int -> int -> (int -> int -> float) -> t
+val of_rows : float array array -> t
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+val zeros : int -> int -> t
+val identity : int -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val mul : t -> t -> t
+val mv : t -> float array -> float array
+val transpose : t -> t
+val norm_inf : t -> float
+
+(** [to_cmat m] embeds into the complex matrices. *)
+val to_cmat : t -> Cmat.t
+
+(** [solve a b] solves [A x = b] (via complex LU on the embedding).
+    @raise Lu.Singular when [a] is singular. *)
+val solve : t -> float array -> float array
+
+val inverse : t -> t
+
+(** [expm a] — matrix exponential by scaling-and-squaring with a
+    degree-6 Padé approximant. *)
+val expm : t -> t
+
+(** [char_poly a] is the characteristic polynomial [det(sI - A)]
+    (monic, real coefficients returned as a {!Poly.t}), computed with
+    the Faddeev–LeVerrier recursion. *)
+val char_poly : t -> Poly.t
+
+(** [eigenvalues a] — roots of the characteristic polynomial. *)
+val eigenvalues : t -> Cx.t list
+
+val equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

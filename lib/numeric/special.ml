@@ -1,0 +1,78 @@
+let cosh_c (z : Cx.t) =
+  { Complex.re = cosh z.re *. cos z.im; im = sinh z.re *. sin z.im }
+
+let sinh_c (z : Cx.t) =
+  { Complex.re = sinh z.re *. cos z.im; im = cosh z.re *. sin z.im }
+
+let coth z =
+  (* For large |Re z| the ratio overflows: clamp to ±1 which is the
+     correct limit (double overflows near Re z ~ 710). *)
+  if Float.abs (Cx.re z) > 350.0 then
+    Cx.of_float (if Cx.re z > 0.0 then 1.0 else -1.0)
+  else Cx.div (cosh_c z) (sinh_c z)
+
+let csch2 z =
+  if Float.abs (Cx.re z) > 350.0 then Cx.zero
+  else
+    let sh = sinh_c z in
+    Cx.inv (Cx.mul sh sh)
+
+(* Q_k as float-coefficient polynomials in c = coth(w):
+   Q_1 = c, Q_{k+1} = -(1/k) * Q_k' * (1 - c^2). Memoized. *)
+let q_table : float array list ref = ref [ [| 0.0; 1.0 |] ]
+
+let poly_deriv p =
+  if Array.length p <= 1 then [| 0.0 |]
+  else Array.init (Array.length p - 1) (fun i -> float_of_int (i + 1) *. p.(i + 1))
+
+let poly_mul a b =
+  let out = Array.make (Array.length a + Array.length b - 1) 0.0 in
+  Array.iteri
+    (fun i ai ->
+      Array.iteri (fun k bk -> out.(i + k) <- out.(i + k) +. (ai *. bk)) b)
+    a;
+  out
+
+let poly_scale s p = Array.map (fun x -> s *. x) p
+
+let rec q_poly k =
+  let table = !q_table in
+  let have = List.length table in
+  if k <= have then List.nth table (k - 1)
+  else begin
+    let prev = q_poly (k - 1) in
+    let next =
+      poly_scale
+        (-1.0 /. float_of_int (k - 1))
+        (poly_mul (poly_deriv prev) [| 1.0; 0.0; -1.0 |])
+    in
+    q_table := !q_table @ [ next ];
+    next
+  end
+
+let poly_eval_c p c =
+  let acc = ref Cx.zero in
+  for i = Array.length p - 1 downto 0 do
+    acc := Cx.add (Cx.mul !acc c) (Cx.of_float p.(i))
+  done;
+  !acc
+
+let harmonic_sum ~k ~omega0 z =
+  if k < 1 then invalid_arg "Special.harmonic_sum: k must be >= 1";
+  let ratio = Float.pi /. omega0 in
+  let w = Cx.scale ratio z in
+  let c = coth w in
+  Cx.mul (Cx.of_float (ratio ** float_of_int k)) (poly_eval_c (q_poly k) c)
+
+let harmonic_sum_truncated ~k ~omega0 ~terms z =
+  (* Sum symmetric pairs together for cancellation-friendly accumulation. *)
+  let term m =
+    Cx.pow_int (Cx.add z (Cx.jomega (float_of_int m *. omega0))) (-k)
+  in
+  let acc = ref (term 0) in
+  for m = 1 to terms do
+    acc := Cx.add !acc (Cx.add (term m) (term (-m)))
+  done;
+  !acc
+
+let sinc x = if Float.abs x < 1e-8 then 1.0 -. (x *. x /. 6.0) else sin x /. x

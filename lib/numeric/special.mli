@@ -1,0 +1,35 @@
+(** Closed-form harmonic sums.
+
+    The paper's effective open-loop gain is
+    [λ(s) = Σ_{m=-∞}^{∞} A(s + j m ω₀)] (eq. 37). With [A] in partial
+    fractions, each term reduces to the lattice sums
+
+    [S_k(z, ω₀) = Σ_{m=-∞}^{∞} 1 / (z + j m ω₀)^k],
+
+    which have closed forms built from [coth]:
+    [S₁ = (π/ω₀) coth(π z/ω₀)] and
+    [S_{k+1} = -(1/k) dS_k/dz], i.e. [S_k = (π/ω₀)^k Q_k(coth(π z/ω₀))]
+    where [Q₁(c) = c] and [Q_{k+1}(c) = -(1/k) Q'_k(c)(1 - c²)].
+
+    These make λ(s) exact — no truncation — which is what lets the HTM
+    method run "in seconds" where time-marching takes minutes. *)
+
+(** [coth z], numerically stable away from the poles [z = j k π]. *)
+val coth : Cx.t -> Cx.t
+
+(** [csch2 z] is [1/sinh² z]. *)
+val csch2 : Cx.t -> Cx.t
+
+(** [harmonic_sum ~k ~omega0 z] is [S_k(z, ω₀)] in closed form.
+    @raise Invalid_argument if [k < 1]. Supported for any [k >= 1]
+    (the coth-derivative polynomials are computed on demand and
+    memoized). *)
+val harmonic_sum : k:int -> omega0:float -> Cx.t -> Cx.t
+
+(** [harmonic_sum_truncated ~k ~omega0 ~terms z] is the symmetric
+    truncation [Σ_{m=-terms}^{terms} 1/(z + j m ω₀)^k] — the reference
+    the closed form is property-tested against. *)
+val harmonic_sum_truncated : k:int -> omega0:float -> terms:int -> Cx.t -> Cx.t
+
+(** [sinc x] is [sin x / x] with the removable singularity filled. *)
+val sinc : float -> float

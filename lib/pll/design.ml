@@ -1,0 +1,45 @@
+type spec = {
+  fref : float;
+  n_div : float;
+  icp : float;
+  kvco : float;
+  ratio : float;
+  phase_margin_deg : float;
+}
+
+let default_spec =
+  {
+    fref = 1.0e6;
+    n_div = 64.0;
+    icp = 100.0e-6;
+    kvco = 20.0e6;
+    ratio = 0.1;
+    phase_margin_deg = 55.0;
+  }
+
+let gamma_of_phase_margin pm_deg =
+  if pm_deg <= 0.0 || pm_deg >= 90.0 then
+    invalid_arg "Design.gamma_of_phase_margin: need 0 < pm < 90";
+  tan (Numeric.Stats.rad (45.0 +. (pm_deg /. 2.0)))
+
+let omega_ug spec = spec.ratio *. 2.0 *. Float.pi *. spec.fref
+
+let with_ratio spec r = { spec with ratio = r }
+
+let synthesize spec =
+  if spec.ratio <= 0.0 then invalid_arg "Design.synthesize: ratio must be positive";
+  let gamma = gamma_of_phase_margin spec.phase_margin_deg in
+  let w_ug = omega_ug spec in
+  let v0 = spec.kvco /. (spec.n_div *. spec.fref) in
+  (* |A(j w_ug)| = 1 with A(s) = fref*v0*Icp/Ctot * (1+s/wz)/(s^2 (1+s/wp))
+     and the gamma placement gives |A(j w_ug)| = K0 * gamma / w_ug^2 *)
+  let ctotal = spec.fref *. v0 *. spec.icp *. gamma /. (w_ug *. w_ug) in
+  let r, c1, c2 =
+    Loop_filter.synthesize_second_order ~omega_ug:w_ug ~gamma ~ctotal
+  in
+  let filter =
+    Loop_filter.make (Loop_filter.Second_order { r; c1; c2 }) ~icp:spec.icp
+  in
+  let vco = Vco.time_invariant ~kvco:spec.kvco ~n_div:spec.n_div ~fref:spec.fref in
+  Pll.make ~fref:spec.fref ~n_div:spec.n_div ~filter ~vco ()
+

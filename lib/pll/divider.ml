@@ -1,0 +1,13 @@
+type t = { ratio : float }
+
+let make ratio =
+  if ratio <= 0.0 then invalid_arg "Divider.make: ratio must be positive";
+  { ratio }
+
+let time_shift_gain _ = 1.0
+let radian_gain d = 1.0 /. d.ratio
+let htm _ = Htm_core.Htm.identity
+let to_radians _ ~fref theta = 2.0 *. Float.pi *. fref *. theta
+
+let vco_radians_of_time_shift d ~fref theta =
+  2.0 *. Float.pi *. d.ratio *. fref *. theta

@@ -1,0 +1,33 @@
+(** Feedback divider (prescaler).
+
+    In the paper's time-shift phase convention
+    ([V(t) = x(t + θ(t))], θ in seconds) an ideal ÷N divider is the
+    *identity* on θ: when every VCO edge moves by θ seconds, every N-th
+    edge still moves by θ seconds. The division ratio only scales the
+    VCO sensitivity [v₀ = K_vco/(N·f_ref)] (see {!Vco}).
+
+    In the more common radian convention θ_rad = ω_osc·θ the divider is
+    the familiar 1/N gain; both views are provided to keep unit
+    conversions honest in examples and tests. *)
+
+type t = { ratio : float }
+
+val make : float -> t
+
+(** Time-shift transfer (identity). *)
+val time_shift_gain : t -> float
+
+(** Radian-phase transfer (1/N). *)
+val radian_gain : t -> float
+
+(** [htm d] — identity HTM in the time-shift convention. *)
+val htm : t -> Htm_core.Htm.t
+
+(** [to_radians d ~fref theta] — seconds of time shift at the divided
+    output to radians of phase at the divider output:
+    [θ_rad = 2π f_ref θ]. *)
+val to_radians : t -> fref:float -> float -> float
+
+(** [vco_radians_of_time_shift d ~fref theta] — radians at the *VCO*
+    output: [θ_rad,vco = 2π N f_ref θ]. *)
+val vco_radians_of_time_shift : t -> fref:float -> float -> float

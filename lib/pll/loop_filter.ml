@@ -1,0 +1,74 @@
+open Lti
+
+type topology =
+  | Second_order of { r : float; c1 : float; c2 : float }
+  | Third_order of { r : float; c1 : float; c2 : float; r3 : float; c3 : float }
+  | Custom of Tf.t
+
+type t = { topology : topology; icp : float }
+
+let make topology ~icp =
+  if icp <= 0.0 then invalid_arg "Loop_filter.make: icp must be positive";
+  (match topology with
+  | Second_order { r; c1; c2 } ->
+      if r <= 0.0 || c1 <= 0.0 || c2 <= 0.0 then
+        invalid_arg "Loop_filter.make: components must be positive"
+  | Third_order { r; c1; c2; r3; c3 } ->
+      if r <= 0.0 || c1 <= 0.0 || c2 <= 0.0 || r3 <= 0.0 || c3 <= 0.0 then
+        invalid_arg "Loop_filter.make: components must be positive"
+  | Custom _ -> ());
+  { topology; icp }
+
+let of_netlist netlist ~icp ?(sense = 1) () =
+  make (Custom (Circuit.Mna.transimpedance netlist ~inject:1 ~sense)) ~icp
+
+let second_order_impedance ~r ~c1 ~c2 =
+  (* Z = (R + 1/sC1) || (1/sC2) = (1 + sRC1) / (s (C1+C2) (1 + sRCs)),
+     Cs = C1 C2 / (C1 + C2) *)
+  let ctot = c1 +. c2 in
+  let cs = c1 *. c2 /. ctot in
+  Tf.make ~num:[ 1.0; r *. c1 ] ~den:[ 0.0; ctot; ctot *. r *. cs ]
+
+let impedance f =
+  match f.topology with
+  | Second_order { r; c1; c2 } -> second_order_impedance ~r ~c1 ~c2
+  | Third_order { r; c1; c2; r3; c3 } ->
+      Tf.mul
+        (second_order_impedance ~r ~c1 ~c2)
+        (Tf.make ~num:[ 1.0 ] ~den:[ 1.0; r3 *. c3 ])
+  | Custom z -> z
+
+let tf f = Tf.scale f.icp (impedance f)
+
+let zero_freq f =
+  match f.topology with
+  | Second_order { r; c1; _ } | Third_order { r; c1; _ } -> 1.0 /. (r *. c1)
+  | Custom _ -> invalid_arg "Loop_filter.zero_freq: custom topology"
+
+let pole_freq f =
+  match f.topology with
+  | Second_order { r; c1; c2 } | Third_order { r; c1; c2; _ } ->
+      let cs = c1 *. c2 /. (c1 +. c2) in
+      1.0 /. (r *. cs)
+  | Custom _ -> invalid_arg "Loop_filter.pole_freq: custom topology"
+
+let synthesize_second_order ~omega_ug ~gamma ~ctotal =
+  if gamma <= 1.0 then
+    invalid_arg "Loop_filter.synthesize_second_order: gamma must exceed 1";
+  (* pole/zero ratio: omega_p/omega_z = (C1+C2)/C2 = gamma^2 *)
+  let c2 = ctotal /. (gamma *. gamma) in
+  let c1 = ctotal -. c2 in
+  let omega_z = omega_ug /. gamma in
+  let r = 1.0 /. (omega_z *. c1) in
+  (r, c1, c2)
+
+let pp ppf f =
+  match f.topology with
+  | Second_order { r; c1; c2 } ->
+      Format.fprintf ppf "2nd-order CP filter: R=%.4g Ω, C1=%.4g F, C2=%.4g F, Icp=%.4g A"
+        r c1 c2 f.icp
+  | Third_order { r; c1; c2; r3; c3 } ->
+      Format.fprintf ppf
+        "3rd-order CP filter: R=%.4g Ω, C1=%.4g F, C2=%.4g F, R3=%.4g Ω, C3=%.4g F, Icp=%.4g A"
+        r c1 c2 r3 c3 f.icp
+  | Custom z -> Format.fprintf ppf "custom transimpedance %a, Icp=%.4g A" Tf.pp z f.icp

@@ -1,0 +1,55 @@
+open Numeric
+
+type psd = float -> float
+
+let white level _ = level
+
+let one_over_f2 k w =
+  let w2 = w *. w in
+  if w2 = 0.0 then Float.infinity else k /. w2
+
+let lorentzian ~level ~corner w = level /. (1.0 +. ((w /. corner) ** 2.0))
+
+let fold_sum ~omega0 ~folds s w =
+  let acc = ref (s w) in
+  for m = 1 to folds do
+    let shift = float_of_int m *. omega0 in
+    acc := !acc +. s (w +. shift) +. s (w -. shift)
+  done;
+  !acc
+
+let reference_noise_out p ?(folds = 50) s_ref w =
+  let h = Cx.abs (Pll.h00 p (Cx.jomega w)) in
+  let folded = fold_sum ~omega0:(Pll.omega0 p) ~folds s_ref w in
+  h *. h *. folded
+
+let vco_noise_out p ?(folds = 50) s_vco w =
+  let h00 = Pll.h00 p (Cx.jomega w) in
+  let err = Cx.sub Cx.one h00 in
+  let direct = Cx.norm2 err *. s_vco w in
+  let omega0 = Pll.omega0 p in
+  let folded_rest =
+    let acc = ref 0.0 in
+    for m = 1 to folds do
+      let shift = float_of_int m *. omega0 in
+      acc := !acc +. s_vco (w +. shift) +. s_vco (w -. shift)
+    done;
+    !acc
+  in
+  direct +. (Cx.norm2 h00 *. folded_rest)
+
+let lti_reference_noise_out p s_ref w =
+  let h = Cx.abs (Pll.h00_lti p (Cx.jomega w)) in
+  h *. h *. s_ref w
+
+let rms_jitter s ~lo ~hi =
+  if lo <= 0.0 || hi <= lo then invalid_arg "Noise.rms_jitter: need 0 < lo < hi";
+  (* log-substitution: ∫ S dω = ∫ S(e^u) e^u du — PSDs span decades *)
+  let integral =
+    Quad.simpson ~tol:1e-14
+      (fun u ->
+        let w = exp u in
+        s w *. w)
+      (log lo) (log hi)
+  in
+  sqrt (integral /. Float.pi)

@@ -1,0 +1,45 @@
+(** Phase-noise propagation through the time-varying closed loop.
+
+    This is the extension the paper's machinery enables: because the
+    sampler aliases every band into every band, stationary noise on the
+    reference folds down with weight [|H_{0,m}(jω)|²] from each band
+    [m]. With the closed form [H_{0,m} = A(jω)/(1+λ(jω))] (independent
+    of [m]), the time-averaged output PSD at baseband is
+
+    [S_out(ω) = |H₀₀(jω)|² · Σ_m S_ref(ω + m ω₀)]  (reference noise)
+
+    [S_out(ω) = |1−H₀₀|² S_vco(ω) + |H₀₀|² Σ_{m≠0} S_vco(ω + m ω₀)]
+    (VCO noise, which enters after the sampler through the error
+    transfer [(I+G)^{-1}]).
+
+    PSDs are two-sided, in (time-shift)²·s/rad as a function of angular
+    frequency; only ratios and shapes matter to the experiments. *)
+
+type psd = float -> float
+
+(** [white level] — flat PSD. *)
+val white : float -> psd
+
+(** [one_over_f2 k] — [k/ω²], the open-loop VCO phase-noise shape
+    ([Demir et al.]'s diffusive phase noise). *)
+val one_over_f2 : float -> psd
+
+(** [lorentzian ~level ~corner] — flat to [corner], then 1/ω². *)
+val lorentzian : level:float -> corner:float -> psd
+
+(** [reference_noise_out p ?folds s_ref w] — output PSD at baseband
+    offset [w] from reference noise, folding [2*folds+1] bands
+    (default 50). *)
+val reference_noise_out : Pll.t -> ?folds:int -> psd -> float -> float
+
+(** [vco_noise_out p ?folds s_vco w] — output PSD from open-loop VCO
+    noise. *)
+val vco_noise_out : Pll.t -> ?folds:int -> psd -> float -> float
+
+(** [lti_reference_noise_out p s_ref w] — what classical LTI analysis
+    predicts: no folding, [|H₀₀,LTI|² S_ref(ω)]. *)
+val lti_reference_noise_out : Pll.t -> psd -> float -> float
+
+(** [rms_jitter s ~lo ~hi] — RMS time jitter from a (two-sided, given
+    for ω > 0) output PSD: [σ = sqrt((1/π) ∫_lo^hi S(ω) dω)]. *)
+val rms_jitter : psd -> lo:float -> hi:float -> float

@@ -1,0 +1,61 @@
+open Numeric
+
+type t =
+  | Sampling
+  | Mixing of { gain : float; harmonics : int }
+
+let sampling = Sampling
+let mixing ~gain = Mixing { gain; harmonics = 1 }
+
+let htm = function
+  | Sampling -> Htm_core.Htm.sampler
+  | Mixing { gain; harmonics } ->
+      (* gain * cos(omega0 t): coefficients gain/2 at k = +-1 *)
+      let n = Stdlib.max 1 harmonics in
+      let coeffs = Array.make ((2 * n) + 1) Cx.zero in
+      coeffs.(n + 1) <- Cx.of_float (gain /. 2.0);
+      coeffs.(n - 1) <- Cx.of_float (gain /. 2.0);
+      Htm_core.Htm.periodic_gain coeffs
+
+let lti_gain pfd ~omega0 =
+  match pfd with
+  | Sampling -> omega0 /. (2.0 *. Float.pi)
+  | Mixing _ -> 0.0
+(* a mixer has no DC-to-DC term: its LTI approximation at baseband
+   vanishes, which is exactly why sampling detectors dominate *)
+
+let sampler_matrix_rank ctx =
+  let m = Htm_core.Htm.to_matrix ctx Htm_core.Htm.sampler Cx.one in
+  (* Gaussian-elimination rank with a crude threshold; the sampler is
+     exactly rank one so this stays robust. *)
+  let n = Cmat.rows m in
+  let a = Array.init n (fun i -> Array.init n (fun k -> Cmat.get m i k)) in
+  let rank = ref 0 in
+  let row = ref 0 in
+  for col = 0 to n - 1 do
+    if !row < n then begin
+      (* find pivot *)
+      let best = ref !row and best_mag = ref (Cx.abs a.(!row).(col)) in
+      for i = !row + 1 to n - 1 do
+        let mag = Cx.abs a.(i).(col) in
+        if mag > !best_mag then begin
+          best := i;
+          best_mag := mag
+        end
+      done;
+      if !best_mag > 1e-12 then begin
+        let tmp = a.(!row) in
+        a.(!row) <- a.(!best);
+        a.(!best) <- tmp;
+        for i = !row + 1 to n - 1 do
+          let factor = Cx.div a.(i).(col) a.(!row).(col) in
+          for k = col to n - 1 do
+            a.(i).(k) <- Cx.sub a.(i).(k) (Cx.mul factor a.(!row).(k))
+          done
+        done;
+        incr rank;
+        incr row
+      end
+    end
+  done;
+  !rank

@@ -1,0 +1,33 @@
+(** Phase-frequency detector models (paper §3.1).
+
+    The sampling PFD measures the phase error once per reference period
+    and, when its output pulses are narrow relative to the loop-filter
+    time constant, acts as multiplication of the error by a Dirac
+    impulse train (Fig. 4, eqs. 16–20):
+
+    [H_PFD(s) = (ω₀/2π)·l·lᵀ]  —  a rank-one HTM: sampling aliases every
+    input band into every output band with equal weight.
+
+    A multiplying (mixer-type) detector is provided as the "arbitrary
+    PFD" extension the paper mentions: multiplication by a periodic
+    carrier, a banded Toeplitz HTM rather than a rank-one one. *)
+
+type t =
+  | Sampling  (** charge-pump PFD in the impulse-train approximation *)
+  | Mixing of { gain : float; harmonics : int }
+      (** multiplication by [gain·cos(ω₀t)] truncated to [harmonics] *)
+
+val sampling : t
+val mixing : gain:float -> t
+
+(** [htm pfd] — HTM of the detector alone (the charge-pump current and
+    filter impedance live in {!Loop_filter}). *)
+val htm : t -> Htm_core.Htm.t
+
+(** [lti_gain pfd ~omega0] — the baseband (0,0) gain used by the
+    classical LTI approximation: [ω₀/2π] for the sampler. *)
+val lti_gain : t -> omega0:float -> float
+
+(** [sampler_matrix_rank ctx] — numerical rank of the realized sampler
+    HTM (always 1; exported for the aliasing invariant test). *)
+val sampler_matrix_rank : Htm_core.Htm.ctx -> int

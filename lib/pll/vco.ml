@@ -1,0 +1,45 @@
+open Numeric
+
+type t = { v0 : float; harmonics : Cx.t array option }
+
+let sensitivity ~kvco ~n_div ~fref =
+  if kvco <= 0.0 || n_div <= 0.0 || fref <= 0.0 then
+    invalid_arg "Vco: kvco, n_div and fref must be positive";
+  kvco /. (n_div *. fref)
+
+let time_invariant ~kvco ~n_div ~fref =
+  { v0 = sensitivity ~kvco ~n_div ~fref; harmonics = None }
+
+let with_isf ~kvco ~n_div ~fref ~harmonics =
+  let v0 = sensitivity ~kvco ~n_div ~fref in
+  let k = List.length harmonics in
+  let arr = Array.make ((2 * k) + 1) Cx.zero in
+  arr.(k) <- Cx.of_float v0;
+  List.iteri
+    (fun i r ->
+      let c = Cx.scale v0 r in
+      arr.(k + i + 1) <- c;
+      arr.(k - i - 1) <- Cx.conj c)
+    harmonics;
+  { v0; harmonics = Some arr }
+
+let is_time_invariant vco = Option.is_none vco.harmonics
+
+let isf_coeffs vco ~max_harmonic =
+  let out = Array.make ((2 * max_harmonic) + 1) Cx.zero in
+  (match vco.harmonics with
+  | None -> out.(max_harmonic) <- Cx.of_float vco.v0
+  | Some src ->
+      let src_max = Array.length src / 2 in
+      for k = -max_harmonic to max_harmonic do
+        if abs k <= src_max then out.(k + max_harmonic) <- src.(k + src_max)
+      done);
+  out
+
+let htm vco =
+  let integ = Htm_core.Htm.lti (fun s -> Cx.inv s) in
+  match vco.harmonics with
+  | None -> Htm_core.Htm.series integ (Htm_core.Htm.lti (fun _ -> Cx.of_float vco.v0))
+  | Some coeffs -> Htm_core.Htm.series integ (Htm_core.Htm.periodic_gain coeffs)
+
+let tf vco = Lti.Tf.scale vco.v0 Lti.Tf.integrator

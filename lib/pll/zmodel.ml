@@ -1,0 +1,53 @@
+open Numeric
+
+type t = { phi : Rmat.t; b : float array; c : float array; period : float }
+
+let of_pll p =
+  if not (Vco.is_time_invariant p.Pll.vco) then
+    invalid_arg "Zmodel.of_pll: requires a time-invariant VCO";
+  (match p.Pll.pfd with
+  | Pfd.Sampling -> ()
+  | Pfd.Mixing _ -> invalid_arg "Zmodel.of_pll: requires a sampling PFD");
+  let period = Pll.period p in
+  (* P(s) = T * A(s): impulse-weight (seconds of phase error) to
+     time-shift response of the filter/VCO chain *)
+  let chain = Lti.Tf.scale period (Pll.open_loop_tf p) in
+  let ss = Lti.Ss.of_tf chain in
+  let phi = Rmat.expm (Rmat.scale period ss.Lti.Ss.a) in
+  { phi; b = ss.Lti.Ss.b; c = ss.Lti.Ss.c; period }
+
+let open_loop m =
+  Lti.Zdomain.from_state_space ~phi:m.phi ~b:(Rmat.mv m.phi m.b) ~c:m.c
+
+let closed_loop m = Lti.Zdomain.feedback_unity (open_loop m)
+
+let open_loop_response m w =
+  Lti.Zdomain.freq_response (open_loop m) ~period:m.period w
+
+let closed_loop_poles m =
+  let n = Rmat.rows m.phi in
+  let bc = Rmat.init n n (fun i k -> m.b.(i) *. m.c.(k)) in
+  let acl = Rmat.mul m.phi (Rmat.sub (Rmat.identity n) bc) in
+  Rmat.eigenvalues acl
+
+let is_stable ?(tol = 1e-9) m =
+  List.for_all (fun z -> Cx.abs z < 1.0 -. tol) (closed_loop_poles m)
+
+let predicted_s_poles m =
+  List.map
+    (fun z -> Cx.scale (1.0 /. m.period) (Cx.log z))
+    (List.filter (fun z -> Cx.abs z > 0.0) (closed_loop_poles m))
+
+let step_response m ~n =
+  let order = Rmat.rows m.phi in
+  let x = ref (Array.make order 0.0) in
+  Array.init n (fun _ ->
+      let theta =
+        let acc = ref 0.0 in
+        Array.iteri (fun i ci -> acc := !acc +. (ci *. !x.(i))) m.c;
+        !acc
+      in
+      let e = 1.0 -. theta in
+      let kicked = Array.mapi (fun i xi -> xi +. (m.b.(i) *. e)) !x in
+      x := Rmat.mv m.phi kicked;
+      theta)

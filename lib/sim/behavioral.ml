@@ -1,0 +1,214 @@
+type stimulus = {
+  theta_ref : float -> float;
+  vco_freq_mod : float -> float;
+}
+
+let no_mod _ = 0.0
+let quiet = { theta_ref = no_mod; vco_freq_mod = no_mod }
+
+let sine_modulation ~eps ~omega =
+  { quiet with theta_ref = (fun t -> eps *. sin (omega *. t)) }
+
+let step_modulation ~eps ~at =
+  if at <= 0.0 then invalid_arg "Behavioral.step_modulation: at must be > 0";
+  { quiet with theta_ref = (fun t -> if t >= at then eps else 0.0) }
+
+let vco_sine_disturbance ~eps ~omega ~pll =
+  (* theta_n = eps sin(w t) in seconds of VCO time shift: the phase
+     accumulator gets w_vco * d theta_n / dt *)
+  let w_vco =
+    2.0 *. Float.pi *. pll.Pll_lib.Pll.n_div *. pll.Pll_lib.Pll.fref
+  in
+  {
+    quiet with
+    vco_freq_mod = (fun t -> w_vco *. eps *. omega *. cos (omega *. t));
+  }
+
+type nonideal = {
+  reset_delay : float;
+  up_current_gain : float;
+  leakage : float;
+}
+
+let ideal = { reset_delay = 0.0; up_current_gain = 1.0; leakage = 0.0 }
+
+type config = {
+  pll : Pll_lib.Pll.t;
+  vco_freq_offset : float;
+  steps_per_period : int;
+  nonideal : nonideal;
+  div_sequence : (int -> float) option;
+}
+
+let default_config pll =
+  { pll; vco_freq_offset = 0.0; steps_per_period = 64; nonideal = ideal;
+    div_sequence = None }
+
+type record = {
+  theta : Waveform.t;
+  control : Waveform.t;
+  current : Waveform.t;
+  pulses : (float * float) list;
+}
+
+type mode = {
+  up : bool;
+  down : bool;
+  ref_index : int;  (** next reference edge number *)
+  div_target : float;  (** next divider threshold on the VCO phase, rad *)
+  div_cycle : int;  (** divider cycles completed *)
+  reset_at : float option;
+      (** pending tri-state reset instant (reset-delay model) *)
+}
+
+type tag = Ref_edge | Div_edge | Reset
+
+let run config stimulus ~t_end =
+  let p = config.pll in
+  let period = Pll_lib.Pll.period p in
+  let n_div = p.Pll_lib.Pll.n_div in
+  let fref = p.Pll_lib.Pll.fref in
+  let icp = p.Pll_lib.Pll.filter.Pll_lib.Loop_filter.icp in
+  let modulus =
+    match config.div_sequence with Some f -> f | None -> fun _ -> n_div
+  in
+  let omega_vco_nom = 2.0 *. Float.pi *. n_div *. fref in
+  let omega_free =
+    2.0 *. Float.pi *. ((n_div *. fref) +. config.vco_freq_offset)
+  in
+  let kvco_rad = 2.0 *. Float.pi *. p.Pll_lib.Pll.vco.Pll_lib.Vco.v0 *. n_div *. fref in
+  (* loop filter as a state-space block driven by the pump current *)
+  let fss = Lti.Ss.of_tf (Pll_lib.Loop_filter.impedance p.Pll_lib.Pll.filter) in
+  let nf = Lti.Ss.order fss in
+  let { reset_delay; up_current_gain; leakage } = config.nonideal in
+  (* the switched pump current alone drives the pulse bookkeeping;
+     leakage is a constant bias on top of it *)
+  let switched_current m =
+    icp
+    *. ((if m.up then up_current_gain else 0.0)
+       -. if m.down then 1.0 else 0.0)
+  in
+  let cp_current m = switched_current m -. leakage in
+  let control_of m y =
+    let i = cp_current m in
+    let x = Array.sub y 0 nf in
+    Lti.Ss.output fss x i
+  in
+  let dynamics m t y =
+    let i = cp_current m in
+    let x = Array.sub y 0 nf in
+    let dx = Lti.Ss.derivative fss x i in
+    let u = Lti.Ss.output fss x i in
+    let dphi = omega_free +. (kvco_rad *. u) +. stimulus.vco_freq_mod t in
+    Array.init (nf + 1) (fun k -> if k < nf then dx.(k) else dphi)
+  in
+  (* reference edge k fires when t + theta_ref(t) = k*period *)
+  let ref_edge_time k =
+    let target = float_of_int k *. period in
+    let t = ref target in
+    for _ = 1 to 4 do
+      t := target -. stimulus.theta_ref !t
+    done;
+    !t
+  in
+  let events =
+    [
+      Hybrid.Scheduled
+        { tag = Ref_edge; next_time = (fun m -> Some (ref_edge_time m.ref_index)) };
+      Hybrid.Guarded
+        { tag = Div_edge; guard = (fun m _t y -> y.(nf) -. m.div_target) };
+      Hybrid.Scheduled { tag = Reset; next_time = (fun m -> m.reset_at) };
+    ]
+  in
+  (* pulse bookkeeping across transitions *)
+  let pulse_start = ref None in
+  let pulses = ref [] in
+  let note_current_change t i_before i_after =
+    if i_before = 0.0 && i_after <> 0.0 then pulse_start := Some t
+    else if i_before <> 0.0 && i_after = 0.0 then begin
+      match !pulse_start with
+      | Some t0 ->
+          pulses := (t0, Float.copy_sign (t -. t0) i_before) :: !pulses;
+          pulse_start := None
+      | None -> ()
+    end
+  in
+  (* tri-state PFD: with zero reset delay an arriving edge that finds the
+     opposite flip-flop high clears both immediately; with a finite delay
+     both stay high and a reset fires [reset_delay] later *)
+  let after_both_high t m =
+    if reset_delay <= 0.0 then { m with up = false; down = false }
+    else
+      { m with
+        up = true;
+        down = true;
+        reset_at =
+          (match m.reset_at with
+          | Some _ as pending -> pending
+          | None -> Some (t +. reset_delay)) }
+  in
+  let transition m tag t y =
+    let i_before = switched_current m in
+    let m' =
+      match tag with
+      | Ref_edge ->
+          let m =
+            if m.down then after_both_high t m else { m with up = true }
+          in
+          { m with ref_index = m.ref_index + 1 }
+      | Div_edge ->
+          let m =
+            if m.up then after_both_high t m else { m with down = true }
+          in
+          { m with
+            div_target =
+              m.div_target +. (2.0 *. Float.pi *. modulus (m.div_cycle + 1));
+            div_cycle = m.div_cycle + 1 }
+      | Reset -> { m with up = false; down = false; reset_at = None }
+    in
+    note_current_change t i_before (switched_current m');
+    (m', y)
+  in
+  let model = { Hybrid.dynamics; events; transition } in
+  let dt = period /. float_of_int config.steps_per_period in
+  let n_samples = int_of_float (Float.round (t_end /. dt)) + 1 in
+  let theta_s = Array.make n_samples 0.0 in
+  let control_s = Array.make n_samples 0.0 in
+  let current_s = Array.make n_samples 0.0 in
+  let next_sample = ref 0 in
+  let observer m t y =
+    let tiny = 1e-9 *. dt in
+    if !next_sample < n_samples then begin
+      let ts = float_of_int !next_sample *. dt in
+      if t >= ts -. tiny then begin
+        theta_s.(!next_sample) <- (y.(nf) /. omega_vco_nom) -. t;
+        control_s.(!next_sample) <- control_of m y;
+        current_s.(!next_sample) <- cp_current m;
+        incr next_sample
+      end
+    end
+  in
+  (* start phase-aligned: the t=0 ref/divider edge pair cancels exactly,
+     so both schedules begin one period in *)
+  let mode0 =
+    {
+      up = false;
+      down = false;
+      ref_index = 1;
+      div_target = 2.0 *. Float.pi *. modulus 0;
+      div_cycle = 0;
+      reset_at = None;
+    }
+  in
+  let state0 = Array.make (nf + 1) 0.0 in
+  let cfg =
+    { Hybrid.t0 = 0.0; t1 = t_end; dt_max = dt; observer }
+  in
+  let _final = Hybrid.run model cfg ~mode:mode0 ~state:state0 in
+  let wf data = Waveform.create ~t0:0.0 ~dt (Array.sub data 0 !next_sample) in
+  {
+    theta = wf theta_s;
+    control = wf control_s;
+    current = wf current_s;
+    pulses = List.rev !pulses;
+  }

@@ -1,0 +1,95 @@
+open Numeric
+
+type modulator = First_order | Mash2 | Mash3
+
+type config = { modulator : modulator; n_int : int; frac : float }
+
+(* Carry sequences of cascaded first-order accumulators. Stage i
+   integrates the quantization residue of stage i-1; the MASH output
+   combines carries through (1 - z^-1) differentiators. *)
+let carries config k_max =
+  let c1 = Array.make k_max 0 and c2 = Array.make k_max 0 and c3 = Array.make k_max 0 in
+  let a1 = ref 0.0 and a2 = ref 0.0 and a3 = ref 0.0 in
+  for k = 0 to k_max - 1 do
+    a1 := !a1 +. config.frac;
+    if !a1 >= 1.0 then begin
+      a1 := !a1 -. 1.0;
+      c1.(k) <- 1
+    end;
+    a2 := !a2 +. !a1;
+    if !a2 >= 1.0 then begin
+      a2 := !a2 -. 1.0;
+      c2.(k) <- 1
+    end;
+    a3 := !a3 +. !a2;
+    if !a3 >= 1.0 then begin
+      a3 := !a3 -. 1.0;
+      c3.(k) <- 1
+    end
+  done;
+  (c1, c2, c3)
+
+let outputs config k_max =
+  let c1, c2, c3 = carries config k_max in
+  let at a k = if k < 0 then 0 else a.(k) in
+  Array.init k_max (fun k ->
+      match config.modulator with
+      | First_order -> c1.(k)
+      | Mash2 -> c1.(k) + (c2.(k) - at c2 (k - 1))
+      | Mash3 ->
+          c1.(k)
+          + (c2.(k) - at c2 (k - 1))
+          + (c3.(k) - (2 * at c3 (k - 1)) + at c3 (k - 2)))
+
+let divider_sequence config =
+  if config.frac < 0.0 || config.frac >= 1.0 then
+    invalid_arg "Fractional: frac must be in [0, 1)";
+  if config.n_int < 2 then invalid_arg "Fractional: n_int must be >= 2";
+  let memo = ref [||] in
+  fun k ->
+    if k < 0 then invalid_arg "Fractional.divider_sequence: negative index";
+    if k >= Array.length !memo then
+      memo := outputs config (Stdlib.max 1024 (2 * (k + 1)));
+    float_of_int (config.n_int + !memo.(k))
+
+let run pll config ?(steps_per_period = 96) ~periods () =
+  let expected = float_of_int config.n_int +. config.frac in
+  if Float.abs (pll.Pll_lib.Pll.n_div -. expected) > 1e-9 *. expected then
+    invalid_arg "Fractional.run: pll.n_div must equal n_int + frac";
+  let cfg =
+    {
+      (Behavioral.default_config pll) with
+      Behavioral.steps_per_period;
+      div_sequence = Some (divider_sequence config);
+    }
+  in
+  Behavioral.run cfg Behavioral.quiet
+    ~t_end:(float_of_int periods *. Pll_lib.Pll.period pll)
+
+let spur_dbc record ~pll ~frac_denominator ~harmonic ~periods =
+  if periods mod frac_denominator <> 0 then
+    invalid_arg "Fractional.spur_dbc: periods must be a multiple of the denominator";
+  let period = Pll_lib.Pll.period pll in
+  (* the quantization pattern repeats every b reference periods: measure
+     the line at harmonic * w0 / b as harmonic of the long period b*T *)
+  let theta1 =
+    Transient.periodic_component record.Behavioral.theta
+      ~period:(float_of_int frac_denominator *. period)
+      ~periods:(periods / frac_denominator)
+      ~harmonic
+  in
+  let w_vco = 2.0 *. Float.pi *. pll.Pll_lib.Pll.n_div *. pll.Pll_lib.Pll.fref in
+  let beta = w_vco *. Cx.abs theta1 in
+  20.0 *. log10 (beta /. 2.0)
+
+let predicted_first_order_spur_dbc pll ~frac_denominator =
+  let b = float_of_int frac_denominator in
+  let w0 = Pll_lib.Pll.omega0 pll in
+  let w_vco = 2.0 *. Float.pi *. pll.Pll_lib.Pll.n_div *. pll.Pll_lib.Pll.fref in
+  let t_vco = 2.0 *. Float.pi /. w_vco in
+  (* b-step sawtooth of one VCO period: fundamental amplitude
+     2/(2 b sin(pi/b)) in units of t_vco *)
+  let line_amp = t_vco /. (b *. Float.sin (Float.pi /. b)) in
+  let shaped = line_amp *. Cx.abs (Pll_lib.Pll.h00 pll (Cx.jomega (w0 /. b))) in
+  let beta = w_vco *. shaped in
+  20.0 *. log10 (beta /. 2.0)

@@ -1,0 +1,125 @@
+type ('d, 'tag) event =
+  | Scheduled of { tag : 'tag; next_time : 'd -> float option }
+  | Guarded of { tag : 'tag; guard : 'd -> float -> float array -> float }
+
+type ('d, 'tag) model = {
+  dynamics : 'd -> float -> float array -> float array;
+  events : ('d, 'tag) event list;
+  transition : 'd -> 'tag -> float -> float array -> 'd * float array;
+}
+
+type ('d, 'tag) run_config = {
+  t0 : float;
+  t1 : float;
+  dt_max : float;
+  observer : 'd -> float -> float array -> unit;
+}
+
+(* Localize the first upward zero crossing of [guard] along the RK4
+   trajectory started at (t, y): returns the step offset h* in (0, h]. *)
+let locate_crossing dynamics mode guard t y h g0 =
+  let value h' =
+    if h' = 0.0 then g0
+    else
+      let y' = Numeric.Ode.rk4_step (dynamics mode) t y h' in
+      guard mode (t +. h') y'
+  in
+  let lo = ref 0.0 and hi = ref h in
+  for _ = 1 to 60 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if value mid < 0.0 then lo := mid else hi := mid
+  done;
+  !hi
+
+let run model cfg ~mode ~state =
+  if cfg.dt_max <= 0.0 then invalid_arg "Hybrid.run: dt_max must be positive";
+  let t = ref cfg.t0 in
+  let y = ref (Array.copy state) in
+  let mode = ref mode in
+  let grid = ref 0 in
+  let tiny = 1e-12 *. cfg.dt_max in
+  let same_instant_fires = ref 0 in
+  cfg.observer !mode !t !y;
+  while !t < cfg.t1 -. tiny do
+    (* target the next base-grid boundary so samples stay uniform even
+       when events shorten steps *)
+    let next_grid_time =
+      cfg.t0 +. (float_of_int (!grid + 1) *. cfg.dt_max)
+    in
+    let target = Stdlib.min cfg.t1 next_grid_time in
+    if target <= !t +. tiny then incr grid
+    else begin
+      (* earliest scheduled event in (t, target] *)
+      let sched =
+        List.fold_left
+          (fun acc ev ->
+            match ev with
+            | Guarded _ -> acc
+            | Scheduled { tag; next_time } -> (
+                match next_time !mode with
+                | Some te when te > !t +. tiny && te <= target +. tiny -> (
+                    match acc with
+                    | Some (_, best) when best <= te -> acc
+                    | _ -> Some (tag, te))
+                | Some te when te <= !t +. tiny ->
+                    (* due now: fire at current time *)
+                    Some (tag, !t)
+                | _ -> acc))
+          None model.events
+      in
+      match sched with
+      | Some (tag, te) when te <= !t +. tiny ->
+          (* immediate scheduled event *)
+          incr same_instant_fires;
+          if !same_instant_fires > 1000 then
+            failwith "Hybrid.run: event storm at a single instant";
+          let mode', y' = model.transition !mode tag !t !y in
+          mode := mode';
+          y := y';
+          cfg.observer !mode !t !y
+      | _ ->
+          same_instant_fires := 0;
+          let step_end = match sched with Some (_, te) -> te | None -> target in
+          let h = step_end -. !t in
+          let y_trial = Numeric.Ode.rk4_step (model.dynamics !mode) !t !y h in
+          (* earliest guarded crossing within the step *)
+          let crossing =
+            List.fold_left
+              (fun acc ev ->
+                match ev with
+                | Scheduled _ -> acc
+                | Guarded { tag; guard } ->
+                    let g0 = guard !mode !t !y in
+                    let g1 = guard !mode (!t +. h) y_trial in
+                    if g0 < 0.0 && g1 >= 0.0 then begin
+                      let hc =
+                        locate_crossing model.dynamics !mode guard !t !y h g0
+                      in
+                      match acc with
+                      | Some (_, best) when best <= hc -> acc
+                      | _ -> Some (tag, hc)
+                    end
+                    else acc)
+              None model.events
+          in
+          (match crossing with
+          | Some (tag, hc) ->
+              let y_event = Numeric.Ode.rk4_step (model.dynamics !mode) !t !y hc in
+              t := !t +. hc;
+              let mode', y' = model.transition !mode tag !t y_event in
+              mode := mode';
+              y := y'
+          | None -> (
+              t := step_end;
+              y := y_trial;
+              (match sched with
+              | Some (tag, _) ->
+                  let mode', y' = model.transition !mode tag !t !y in
+                  mode := mode';
+                  y := y'
+              | None -> ());
+              if step_end >= next_grid_time -. tiny then incr grid));
+          cfg.observer !mode !t !y
+    end
+  done;
+  (!mode, !y)

@@ -1,0 +1,45 @@
+(** Generic hybrid (event + ODE) simulation engine.
+
+    This is the substrate under the behavioral PLL model: continuous
+    states integrate with RK4 between discrete events; events are either
+    *scheduled* (known firing times, e.g. reference edges) or *guarded*
+    (zero-crossings of a function of the continuous state, e.g. the VCO
+    phase passing a divider threshold), localized by bisection and
+    applied in time order. Discrete actions may change both the discrete
+    mode and the continuous state. *)
+
+type ('d, 'tag) event =
+  | Scheduled of {
+      tag : 'tag;
+      next_time : 'd -> float option;
+          (** absolute firing time; [None] disables *)
+    }
+  | Guarded of {
+      tag : 'tag;
+      guard : 'd -> float -> float array -> float;
+          (** fires when the guard crosses zero from below *)
+    }
+
+type ('d, 'tag) model = {
+  dynamics : 'd -> float -> float array -> float array;
+      (** mode-dependent vector field *)
+  events : ('d, 'tag) event list;
+  transition : 'd -> 'tag -> float -> float array -> 'd * float array;
+      (** applied at the event instant *)
+}
+
+type ('d, 'tag) run_config = {
+  t0 : float;
+  t1 : float;
+  dt_max : float;  (** base integration step *)
+  observer : 'd -> float -> float array -> unit;
+      (** called at every accepted step boundary (including event
+          instants) *)
+}
+
+(** [run model config ~mode ~state] — integrates from [t0] to [t1];
+    returns the final mode and state. Events closer than
+    [1e-12 * dt_max] apart are processed in arbitrary order.
+    @raise Failure if event localization fails to converge. *)
+val run :
+  ('d, 'tag) model -> ('d, 'tag) run_config -> mode:'d -> state:float array -> 'd * float array

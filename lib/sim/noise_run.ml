@@ -1,0 +1,101 @@
+open Numeric
+
+type result = {
+  estimate : Psd.estimate;
+  predicted : float -> float;
+  predicted_lti : float -> float;
+}
+
+let held_process values ~dt t =
+  let i = int_of_float (t /. dt) in
+  let i = Stdlib.max 0 (Stdlib.min (Array.length values - 1) i) in
+  values.(i)
+
+(* held white noise of per-step std sigma: two-sided PSD
+   sigma^2 * dt * sinc^2(w dt / 2) *)
+let held_psd ~sigma ~dt w =
+  let shape = Special.sinc (w *. dt /. 2.0) in
+  sigma *. sigma *. dt *. shape *. shape
+
+let run_and_estimate pll ~stimulus ~periods ~steps_per_period =
+  let period = Pll_lib.Pll.period pll in
+  let record =
+    Behavioral.run
+      { (Behavioral.default_config pll) with Behavioral.steps_per_period }
+      stimulus
+      ~t_end:(float_of_int periods *. period)
+  in
+  let theta = record.Behavioral.theta in
+  (* discard the lock-in transient *)
+  let warmup = Stdlib.max 64 (periods / 8) * steps_per_period in
+  let n = Waveform.length theta - warmup in
+  let samples = Array.init n (fun i -> Waveform.value theta (warmup + i)) in
+  let dt = period /. float_of_int steps_per_period in
+  let segment =
+    let target = Fft.next_pow2 (n / 16) in
+    Stdlib.max 256 (Stdlib.min 4096 target)
+  in
+  Psd.welch samples ~dt ~segment
+
+let vco_white_fm pll ~sigma_freq ~periods ?(seed = 0x5EEDL)
+    ?(steps_per_period = 128) () =
+  let period = Pll_lib.Pll.period pll in
+  let dt = period /. float_of_int steps_per_period in
+  let g = Prng.create ~seed in
+  let values =
+    Prng.gaussian_array g ((periods * steps_per_period) + 2) ~sigma:sigma_freq
+  in
+  let stimulus =
+    { Behavioral.quiet with Behavioral.vco_freq_mod = held_process values ~dt }
+  in
+  let estimate = run_and_estimate pll ~stimulus ~periods ~steps_per_period in
+  (* open-loop VCO time-shift noise: theta' = freq_mod / w_vco *)
+  let w_vco = 2.0 *. Float.pi *. pll.Pll_lib.Pll.n_div *. pll.Pll_lib.Pll.fref in
+  let s_vco w =
+    if w = 0.0 then 0.0
+    else held_psd ~sigma:sigma_freq ~dt w /. (w_vco *. w_vco *. w *. w)
+  in
+  (* fold far enough to cover the held process's sinc lobes *)
+  let folds = 4 * steps_per_period in
+  let predicted w = Pll_lib.Noise.vco_noise_out pll ~folds s_vco w in
+  let predicted_lti w =
+    let e = Cx.inv (Cx.add Cx.one (Pll_lib.Pll.a_of_s pll (Cx.jomega w))) in
+    Cx.norm2 e *. s_vco w
+  in
+  { estimate; predicted; predicted_lti }
+
+let reference_white pll ~sigma_theta ~periods ?(seed = 0xFEEDL)
+    ?(steps_per_period = 128) () =
+  let period = Pll_lib.Pll.period pll in
+  let dt = period /. float_of_int steps_per_period in
+  let g = Prng.create ~seed in
+  let values =
+    Prng.gaussian_array g ((periods * steps_per_period) + 2) ~sigma:sigma_theta
+  in
+  let stimulus =
+    { Behavioral.quiet with Behavioral.theta_ref = held_process values ~dt }
+  in
+  let estimate = run_and_estimate pll ~stimulus ~periods ~steps_per_period in
+  let s_ref w = held_psd ~sigma:sigma_theta ~dt w in
+  (* the sampler sees every alias of the held noise: fold across the
+     full sinc envelope *)
+  let folds = 4 * steps_per_period in
+  let predicted w = Pll_lib.Noise.reference_noise_out pll ~folds s_ref w in
+  let predicted_lti w = Pll_lib.Noise.lti_reference_noise_out pll s_ref w in
+  { estimate; predicted; predicted_lti }
+
+let band_ratio_generic r pred ~lo ~hi =
+  let measured = Psd.band_average r.estimate ~lo ~hi in
+  (* average the prediction on the same bins *)
+  let total = ref 0.0 and count = ref 0 in
+  Array.iter
+    (fun w ->
+      if w >= lo && w < hi then begin
+        total := !total +. pred w;
+        incr count
+      end)
+    r.estimate.Psd.omega;
+  measured /. (!total /. float_of_int !count)
+
+let band_ratio r = band_ratio_generic r r.predicted
+let band_ratio_lti r = band_ratio_generic r r.predicted_lti

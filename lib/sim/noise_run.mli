@@ -1,0 +1,51 @@
+(** Monte-Carlo noise simulation — the stochastic end-to-end check of
+    the {!Pll_lib.Noise} spectral predictions.
+
+    White VCO *frequency* noise (the diffusive noise of
+    [Demir et al.], giving the classic 1/ω² open-loop phase-noise
+    skirt) is injected into the behavioral model as a piecewise-constant
+    Gaussian disturbance on the instantaneous VCO frequency; the closed
+    loop shapes it by the time-varying error transfer. The output
+    time-shift record is Welch-analyzed and compared band-by-band with
+    [Noise.vco_noise_out].
+
+    Reference time-shift noise is injected analogously on [θ_ref] and
+    compared with [Noise.reference_noise_out] — including the folding
+    factor LTI analysis misses. *)
+
+type result = {
+  estimate : Numeric.Psd.estimate;  (** measured output PSD (two-sided) *)
+  predicted : float -> float;  (** analytic time-varying prediction *)
+  predicted_lti : float -> float;  (** classical LTI prediction *)
+}
+
+(** [vco_white_fm pll ~sigma_freq ~periods ?seed ?steps_per_period ()] —
+    inject white FM noise of per-step standard deviation [sigma_freq]
+    (rad/s at the VCO output, held over each integration step). *)
+val vco_white_fm :
+  Pll_lib.Pll.t ->
+  sigma_freq:float ->
+  periods:int ->
+  ?seed:int64 ->
+  ?steps_per_period:int ->
+  unit ->
+  result
+
+(** [reference_white pll ~sigma_theta ~periods ?seed ?steps_per_period ()]
+    — white reference time-shift noise of per-step std [sigma_theta]
+    seconds (held over each integration step). *)
+val reference_white :
+  Pll_lib.Pll.t ->
+  sigma_theta:float ->
+  periods:int ->
+  ?seed:int64 ->
+  ?steps_per_period:int ->
+  unit ->
+  result
+
+(** [band_ratio r ~lo ~hi] — (measured band average) / (predicted band
+    average): ≈1 when theory and simulation agree. *)
+val band_ratio : result -> lo:float -> hi:float -> float
+
+(** [band_ratio_lti r ~lo ~hi] — same against the LTI prediction. *)
+val band_ratio_lti : result -> lo:float -> hi:float -> float

@@ -1,0 +1,64 @@
+let locked_run pll ?(steps_per_period = 64) ?(stimulus = Behavioral.quiet)
+    ?(nonideal = Behavioral.ideal) ~periods () =
+  let config =
+    { (Behavioral.default_config pll) with
+      Behavioral.steps_per_period; nonideal }
+  in
+  let t_end = float_of_int periods *. Pll_lib.Pll.period pll in
+  Behavioral.run config stimulus ~t_end
+
+let acquisition pll ?(steps_per_period = 64) ?(nonideal = Behavioral.ideal)
+    ~freq_offset ~periods () =
+  let config =
+    { (Behavioral.default_config pll) with
+      Behavioral.vco_freq_offset = freq_offset; steps_per_period; nonideal }
+  in
+  let t_end = float_of_int periods *. Pll_lib.Pll.period pll in
+  Behavioral.run config Behavioral.quiet ~t_end
+
+let lock_time record ~tol =
+  let theta = record.Behavioral.theta in
+  let n = Waveform.length theta in
+  (* scan backwards for the last sample exceeding tol *)
+  let rec last_bad i =
+    if i < 0 then None
+    else if Float.abs (Waveform.value theta i) > tol then Some i
+    else last_bad (i - 1)
+  in
+  match last_bad (n - 1) with
+  | None -> Some (Waveform.time_of_index theta 0)
+  | Some i when i = n - 1 -> None
+  | Some i -> Some (Waveform.time_of_index theta (i + 1))
+
+let periodic_component wf ~period ~periods ~harmonic =
+  let n = Waveform.length wf in
+  let dt = wf.Waveform.dt in
+  let samples_per_period = int_of_float (Float.round (period /. dt)) in
+  let window = periods * samples_per_period in
+  if window > n then invalid_arg "Transient.periodic_component: record too short";
+  let start = n - window in
+  let xs = Array.init window (fun i -> Waveform.value wf (start + i)) in
+  let omega = 2.0 *. Float.pi *. float_of_int harmonic /. period in
+  let corr = Numeric.Fft.goertzel xs ~dt ~omega in
+  (* reference the phase to absolute time *)
+  Numeric.Cx.mul corr
+    (Numeric.Cx.cis (-.omega *. Waveform.time_of_index wf start))
+
+let reference_spur_dbc record ~pll ~periods =
+  let period = Pll_lib.Pll.period pll in
+  let theta1 =
+    periodic_component record.Behavioral.theta ~period ~periods ~harmonic:1
+  in
+  let w_vco = 2.0 *. Float.pi *. pll.Pll_lib.Pll.n_div *. pll.Pll_lib.Pll.fref in
+  let beta = w_vco *. Numeric.Cx.abs theta1 in
+  20.0 *. log10 (beta /. 2.0)
+
+let steady_state_ripple record ~period ~periods =
+  let u = record.Behavioral.control in
+  let t1 = Waveform.time_of_index u (Waveform.length u - 1) in
+  let t0 = t1 -. (float_of_int periods *. period) in
+  let s = Waveform.slice u ~from_time:(Stdlib.max 0.0 t0) ~to_time:t1 in
+  let data = Waveform.to_array s in
+  let mx = Array.fold_left Stdlib.max neg_infinity data in
+  let mn = Array.fold_left Stdlib.min infinity data in
+  mx -. mn

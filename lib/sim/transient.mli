@@ -1,0 +1,48 @@
+(** Transient experiments on the behavioral model: locked runs, lock
+    acquisition, settling measurement. *)
+
+(** [locked_run pll ?steps_per_period ?stimulus ?nonideal ~periods ()] —
+    start in lock and run for [periods] reference periods. *)
+val locked_run :
+  Pll_lib.Pll.t ->
+  ?steps_per_period:int ->
+  ?stimulus:Behavioral.stimulus ->
+  ?nonideal:Behavioral.nonideal ->
+  periods:int ->
+  unit ->
+  Behavioral.record
+
+(** [acquisition pll ?steps_per_period ?nonideal ~freq_offset ~periods ()]
+    — start with a VCO frequency error (Hz at the VCO output) and let
+    the loop pull in. *)
+val acquisition :
+  Pll_lib.Pll.t ->
+  ?steps_per_period:int ->
+  ?nonideal:Behavioral.nonideal ->
+  freq_offset:float ->
+  periods:int ->
+  unit ->
+  Behavioral.record
+
+(** [lock_time record ~tol] — the earliest time after which |θ(t)| stays
+    below [tol] (seconds of time shift) until the end of the record. *)
+val lock_time : Behavioral.record -> tol:float -> float option
+
+(** [steady_state_ripple record ~period ~periods] — peak-to-peak ripple
+    of the control voltage over the final [periods] reference periods. *)
+val steady_state_ripple : Behavioral.record -> period:float -> periods:int -> float
+
+(** [periodic_component wf ~period ~periods ~harmonic] — complex
+    amplitude [Y] (in the [Re(Y e^{jkω₀t})] convention) of the [k]-th
+    reference harmonic of a waveform, correlated over the final
+    [periods] reference periods. The in-lock ripple lines that become
+    reference spurs are read off with this. *)
+val periodic_component :
+  Waveform.t -> period:float -> periods:int -> harmonic:int -> Numeric.Cx.t
+
+(** [reference_spur_dbc record ~pll ~periods] — single-sideband level of
+    the first reference spur on the VCO output, in dBc, from the
+    periodic component of the simulated time shift: a time-shift line of
+    amplitude [|θ₁|] seconds is a phase line of [β = ω_vco·|θ₁|] rad and
+    a spur at [20·log₁₀(β/2)] (narrowband FM). *)
+val reference_spur_dbc : Behavioral.record -> pll:Pll_lib.Pll.t -> periods:int -> float

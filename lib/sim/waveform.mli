@@ -1,0 +1,26 @@
+(** Uniformly sampled waveforms recorded by the simulator. *)
+
+type t = {
+  t0 : float;
+  dt : float;
+  data : float array;
+}
+
+val create : t0:float -> dt:float -> float array -> t
+val length : t -> int
+val time_of_index : t -> int -> float
+val value : t -> int -> float
+
+(** [at w t] — linear interpolation, clamped at the ends. *)
+val at : t -> float -> float
+
+val duration : t -> float
+val map : (float -> float) -> t -> t
+
+(** [slice w ~from_time ~to_time] — the sub-waveform covering the given
+    interval (snapped outward to sample boundaries). *)
+val slice : t -> from_time:float -> to_time:float -> t
+
+val max_abs : t -> float
+val rms : t -> float
+val to_array : t -> float array

@@ -1,0 +1,208 @@
+type t =
+  | Num of float
+  | Sym of string
+  | Add of t list
+  | Mul of t list
+  | Pow of t * int
+  | App of func * t
+
+and func = Coth | Exp | Sin | Cos | Log
+
+let num x = Num x
+let sym s = Sym s
+let zero = Num 0.0
+let one = Num 1.0
+
+let is_num = function Num _ -> true | _ -> false
+let num_value = function Num x -> x | _ -> invalid_arg "Expr.num_value"
+
+let sum terms =
+  let flat =
+    List.concat_map (function Add ts -> ts | e -> [ e ]) terms
+  in
+  let constant, rest =
+    List.fold_left
+      (fun (c, acc) e -> if is_num e then (c +. num_value e, acc) else (c, e :: acc))
+      (0.0, []) flat
+  in
+  let rest = List.rev rest in
+  let terms = if constant = 0.0 then rest else rest @ [ Num constant ] in
+  match terms with [] -> zero | [ e ] -> e | ts -> Add ts
+
+let add a b = sum [ a; b ]
+
+let prod factors =
+  let flat =
+    List.concat_map (function Mul fs -> fs | e -> [ e ]) factors
+  in
+  let constant, rest =
+    List.fold_left
+      (fun (c, acc) e -> if is_num e then (c *. num_value e, acc) else (c, e :: acc))
+      (1.0, []) flat
+  in
+  let rest = List.rev rest in
+  if constant = 0.0 then zero
+  else begin
+    let factors = if constant = 1.0 then rest else Num constant :: rest in
+    match factors with [] -> one | [ e ] -> e | fs -> Mul fs
+  end
+
+let mul a b = prod [ a; b ]
+let neg e = mul (Num (-1.0)) e
+let sub a b = add a (neg b)
+
+let pow base n =
+  match (base, n) with
+  | _, 0 -> one
+  | e, 1 -> e
+  | Num x, n -> Num (x ** float_of_int n)
+  | Pow (b, m), n -> Pow (b, m * n)
+  | e, n -> Pow (e, n)
+
+let inv e = pow e (-1)
+let div a b = mul a (inv b)
+
+let app f e =
+  match (f, e) with
+  | Exp, Num 0.0 -> one
+  | Sin, Num 0.0 -> zero
+  | Cos, Num 0.0 -> one
+  | Log, Num 1.0 -> zero
+  | _ -> App (f, e)
+
+let coth e = app Coth e
+let exp e = app Exp e
+let sin e = app Sin e
+let cos e = app Cos e
+let log e = app Log e
+
+let rec eval env e =
+  let open Numeric in
+  match e with
+  | Num x -> Cx.of_float x
+  | Sym s -> env s
+  | Add ts -> List.fold_left (fun acc t -> Cx.add acc (eval env t)) Cx.zero ts
+  | Mul fs -> List.fold_left (fun acc f -> Cx.mul acc (eval env f)) Cx.one fs
+  | Pow (b, n) -> Cx.pow_int (eval env b) n
+  | App (Coth, x) -> Special.coth (eval env x)
+  | App (Exp, x) -> Cx.exp (eval env x)
+  | App (Sin, x) ->
+      let z = eval env x in
+      (* sin z = (e^{jz} - e^{-jz}) / 2j *)
+      Cx.div
+        (Cx.sub (Cx.exp (Cx.mul Cx.j z)) (Cx.exp (Cx.neg (Cx.mul Cx.j z))))
+        (Cx.scale 2.0 Cx.j)
+  | App (Cos, x) ->
+      let z = eval env x in
+      Cx.scale 0.5
+        (Cx.add (Cx.exp (Cx.mul Cx.j z)) (Cx.exp (Cx.neg (Cx.mul Cx.j z))))
+  | App (Log, x) -> Cx.log (eval env x)
+
+let eval_real env e =
+  let z = eval (fun s -> Numeric.Cx.of_float (env s)) e in
+  if Float.abs (Numeric.Cx.im z) > 1e-9 *. (1.0 +. Numeric.Cx.abs z) then
+    invalid_arg "Expr.eval_real: expression has an imaginary part";
+  Numeric.Cx.re z
+
+let rec derivative ~wrt e =
+  match e with
+  | Num _ -> zero
+  | Sym s -> if s = wrt then one else zero
+  | Add ts -> sum (List.map (derivative ~wrt) ts)
+  | Mul fs ->
+      (* product rule over the n-ary product *)
+      sum
+        (List.mapi
+           (fun i _ ->
+             prod (List.mapi (fun k f -> if k = i then derivative ~wrt f else f) fs))
+           fs)
+  | Pow (b, n) ->
+      prod [ Num (float_of_int n); pow b (n - 1); derivative ~wrt b ]
+  | App (Coth, x) ->
+      (* d coth = 1 - coth^2 *)
+      mul (sub one (pow (coth x) 2)) (derivative ~wrt x)
+  | App (Exp, x) -> mul (exp x) (derivative ~wrt x)
+  | App (Sin, x) -> mul (cos x) (derivative ~wrt x)
+  | App (Cos, x) -> mul (neg (sin x)) (derivative ~wrt x)
+  | App (Log, x) -> mul (inv x) (derivative ~wrt x)
+
+let rec subst name replacement e =
+  match e with
+  | Num _ -> e
+  | Sym s -> if s = name then replacement else e
+  | Add ts -> sum (List.map (subst name replacement) ts)
+  | Mul fs -> prod (List.map (subst name replacement) fs)
+  | Pow (b, n) -> pow (subst name replacement b) n
+  | App (f, x) -> app f (subst name replacement x)
+
+let symbols e =
+  let rec go acc = function
+    | Num _ -> acc
+    | Sym s -> s :: acc
+    | Add ts | Mul ts -> List.fold_left go acc ts
+    | Pow (b, _) -> go acc b
+    | App (_, x) -> go acc x
+  in
+  List.sort_uniq compare (go [] e)
+
+let equal a b = a = b
+
+let rec size = function
+  | Num _ | Sym _ -> 1
+  | Add ts | Mul ts -> List.fold_left (fun acc t -> acc + size t) 1 ts
+  | Pow (b, _) -> 1 + size b
+  | App (_, x) -> 1 + size x
+
+let func_name = function
+  | Coth -> "coth"
+  | Exp -> "exp"
+  | Sin -> "sin"
+  | Cos -> "cos"
+  | Log -> "log"
+
+(* precedence: Add 1, Mul 2, Pow 3, atoms 4 *)
+let rec print ~prec buf e =
+  let open Buffer in
+  let paren p body =
+    if p < prec then begin
+      add_char buf '(';
+      body ();
+      add_char buf ')'
+    end
+    else body ()
+  in
+  match e with
+  | Num x ->
+      if x < 0.0 then paren 1 (fun () -> add_string buf (Printf.sprintf "%g" x))
+      else add_string buf (Printf.sprintf "%g" x)
+  | Sym s -> add_string buf s
+  | Add ts ->
+      paren 1 (fun () ->
+          List.iteri
+            (fun i t ->
+              if i > 0 then add_string buf " + ";
+              print ~prec:1 buf t)
+            ts)
+  | Mul fs ->
+      paren 2 (fun () ->
+          List.iteri
+            (fun i f ->
+              if i > 0 then add_char buf '*';
+              print ~prec:3 buf f)
+            fs)
+  | Pow (b, n) ->
+      paren 3 (fun () ->
+          print ~prec:4 buf b;
+          add_string buf (Printf.sprintf "^%d" n))
+  | App (f, x) ->
+      add_string buf (func_name f);
+      add_char buf '(';
+      print ~prec:0 buf x;
+      add_char buf ')'
+
+let to_string e =
+  let buf = Buffer.create 64 in
+  print ~prec:0 buf e;
+  Buffer.contents buf
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)

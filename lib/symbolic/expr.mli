@@ -1,0 +1,74 @@
+(** Symbolic expressions.
+
+    The paper stresses that the HTM/rank-one approach "can be used to
+    obtain both numerical results and symbolic expressions". This module
+    is the expression substrate for that claim: a small computer-algebra
+    core over named parameters (component values, ω₀, the Laplace
+    variable), with constant folding, differentiation, substitution and
+    complex-valued evaluation. {!Sym_pll} builds the paper's λ(s) on top
+    of it as a closed-form expression in [coth].
+
+    Expressions are kept in a lightly canonical form: sums and products
+    are flattened and constants folded, so structurally equal
+    derivations compare equal in the common cases (full canonical
+    normalization is not attempted — numeric evaluation is the ground
+    truth for equivalence). *)
+
+type t =
+  | Num of float
+  | Sym of string
+  | Add of t list  (** flattened n-ary sum, at least two terms *)
+  | Mul of t list  (** flattened n-ary product, at least two factors *)
+  | Pow of t * int  (** integer powers, exponent ≠ 0, 1 *)
+  | App of func * t
+
+and func = Coth | Exp | Sin | Cos | Log
+
+(** {1 Smart constructors} — fold constants, flatten, drop identities. *)
+
+val num : float -> t
+val sym : string -> t
+val add : t -> t -> t
+val sum : t list -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val prod : t list -> t
+val div : t -> t -> t
+val pow : t -> int -> t
+val inv : t -> t
+val coth : t -> t
+val exp : t -> t
+val sin : t -> t
+val cos : t -> t
+val log : t -> t
+val zero : t
+val one : t
+
+(** {1 Operations} *)
+
+(** [eval env e] — complex evaluation; [env] maps symbol names.
+    @raise Not_found for unbound symbols. *)
+val eval : (string -> Numeric.Cx.t) -> t -> Numeric.Cx.t
+
+(** [eval_real env e] — real evaluation (imaginary part must vanish). *)
+val eval_real : (string -> float) -> t -> float
+
+(** [derivative ~wrt e] — symbolic partial derivative. *)
+val derivative : wrt:string -> t -> t
+
+(** [subst name replacement e] — capture-free substitution. *)
+val subst : string -> t -> t -> t
+
+(** [symbols e] — free symbols, sorted, without duplicates. *)
+val symbols : t -> string list
+
+(** [equal a b] — structural equality of the canonical forms (sound but
+    incomplete: [false] does not imply semantic difference). *)
+val equal : t -> t -> bool
+
+(** [size e] — node count (for sanity bounds in tests). *)
+val size : t -> int
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+open Expr
+
+(* component symbols *)
+let s = sym "s"
+let icp = sym "Icp"
+let kv = sym "Kv"
+let n_div = sym "N"
+let fref = sym "fref"
+let r = sym "R"
+let c1 = sym "C1"
+let c2 = sym "C2"
+
+(* derived quantities *)
+let ctot = add c1 c2
+let cs = div (mul c1 c2) ctot
+let omega_p = inv (mul r cs)
+let omega0 = prod [ num (2.0 *. Float.pi); fref ]
+
+(* loop gain scale: K0 = Icp*Kv/(N*Ctot); the sampler's w0/2pi = fref
+   and the VCO sensitivity v0 = Kv/(N*fref) multiply to Kv/N *)
+let k0 = div (mul icp kv) (mul n_div ctot)
+
+(* A(s) = K0 (1 + s R C1) / (s^2 (1 + s R Cs)) *)
+let a_expr =
+  div
+    (mul k0 (add one (prod [ s; r; c1 ])))
+    (mul (pow s 2) (add one (prod [ s; r; cs ])))
+
+(* Partial fractions of A: with g(s) = K0 (1 + sRC1)/(1 + sRCs),
+   A = g(s)/s^2 = r20/s^2 + r10/s + r1p/(s + wp):
+     r20 = g(0) = K0
+     r10 = g'(0) = K0 R (C1 - Cs)
+     r1p = N(-wp)/D'(-wp) with D = s^2 (1 + sRCs):
+           D'(-wp) = wp^2 R Cs, N(-wp) = K0 (1 - wp R C1) *)
+type residues = { r20 : Expr.t; r10 : Expr.t; r1p : Expr.t; pole : Expr.t }
+
+let residues =
+  let r20 = k0 in
+  let r10 = prod [ k0; r; sub c1 cs ] in
+  let r1p =
+    div
+      (mul k0 (sub one (prod [ omega_p; r; c1 ])))
+      (prod [ pow omega_p 2; r; cs ])
+  in
+  { r20; r10; r1p; pole = omega_p }
+
+(* lattice sums in closed form: S1(z) = (pi/w0) coth(pi z / w0),
+   S2(z) = (pi/w0)^2 (coth^2 - 1) since csch^2 = coth^2 - 1 *)
+let ratio = div (num Float.pi) omega0
+let warg z = mul ratio z
+let s1_of z = mul ratio (coth (warg z))
+let s2_of z = mul (pow ratio 2) (sub (pow (coth (warg z)) 2) one)
+
+let lambda_expr =
+  sum
+    [
+      mul residues.r20 (s2_of s);
+      mul residues.r10 (s1_of s);
+      mul residues.r1p (s1_of (add s residues.pole));
+    ]
+
+let h00_expr = div a_expr (add one lambda_expr)
+let h00_lti_expr = div a_expr (add one a_expr)
+
+let env_of_components ~icp ~kvco ~n_div ~fref ~r ~c1 ~c2 ~s name =
+  let open Numeric in
+  match name with
+  | "s" -> s
+  | "Icp" -> Cx.of_float icp
+  | "Kv" -> Cx.of_float kvco
+  | "N" -> Cx.of_float n_div
+  | "fref" -> Cx.of_float fref
+  | "R" -> Cx.of_float r
+  | "C1" -> Cx.of_float c1
+  | "C2" -> Cx.of_float c2
+  | other -> invalid_arg ("Sym_pll.env: unknown symbol " ^ other)
+
+let env_of_pll pll ~s =
+  match pll.Pll_lib.Pll.filter.Pll_lib.Loop_filter.topology with
+  | Pll_lib.Loop_filter.Second_order { r; c1; c2 } ->
+      let fref = pll.Pll_lib.Pll.fref in
+      let n_div = pll.Pll_lib.Pll.n_div in
+      let v0 = pll.Pll_lib.Pll.vco.Pll_lib.Vco.v0 in
+      env_of_components
+        ~icp:pll.Pll_lib.Pll.filter.Pll_lib.Loop_filter.icp
+        ~kvco:(v0 *. n_div *. fref) ~n_div ~fref ~r ~c1 ~c2 ~s
+  | _ ->
+      invalid_arg "Sym_pll.env_of_pll: needs a second-order charge-pump filter"
+
+let eval_lambda pll s = Expr.eval (env_of_pll pll ~s) lambda_expr
+let eval_h00 pll s = Expr.eval (env_of_pll pll ~s) h00_expr
+
+let sensitivity expr ~wrt pll ~s =
+  Expr.eval (env_of_pll pll ~s) (Expr.derivative ~wrt expr)

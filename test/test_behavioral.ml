@@ -1,0 +1,107 @@
+open Helpers
+module B = Sim.Behavioral
+module Transient = Sim.Transient
+module Waveform = Sim.Waveform
+
+let pll = pll_of spec_default
+let period = Pll_lib.Pll.period pll
+
+let test_quiet_lock_is_quiet () =
+  (* phase-aligned start with no stimulus: theta stays at numerical zero
+     and no charge-pump activity beyond roundoff-width pulses *)
+  let r = Transient.locked_run pll ~periods:20 () in
+  check_true "theta negligible"
+    (Waveform.max_abs r.B.theta < 1e-15 *. period *. 1e3);
+  check_true "control negligible" (Waveform.max_abs r.B.control < 1e-9)
+
+let test_sample_grid () =
+  let r = Transient.locked_run pll ~steps_per_period:32 ~periods:10 () in
+  check_int "sample count" (10 * 32 + 1) (Waveform.length r.B.theta);
+  check_close "dt" (period /. 32.0) r.B.theta.Waveform.dt
+
+let test_pulses_once_per_period () =
+  (* with a step stimulus the PFD emits one pulse pair event per period *)
+  let stim = B.step_modulation ~eps:(period /. 200.0) ~at:(2.0 *. period) in
+  let r = Transient.locked_run pll ~stimulus:stim ~periods:40 () in
+  let n = List.length r.B.pulses in
+  check_true (Printf.sprintf "pulse count plausible (%d)" n) (n >= 20 && n <= 45)
+
+let test_step_response_settles () =
+  (* type-2 loop: theta must settle to the commanded step *)
+  let eps = period /. 500.0 in
+  let stim = B.step_modulation ~eps ~at:(2.0 *. period) in
+  let r = Transient.locked_run pll ~stimulus:stim ~periods:120 () in
+  let final = Waveform.value r.B.theta (Waveform.length r.B.theta - 1) in
+  check_close ~tol:1e-3 "tracks the step" eps final
+
+let test_step_overshoot_matches_zmodel () =
+  (* overshoot of the sampled loop, behavioral vs exact discrete model *)
+  let eps = period /. 500.0 in
+  let stim = B.step_modulation ~eps ~at:(2.0 *. period) in
+  let r = Transient.locked_run pll ~stimulus:stim ~periods:150 () in
+  let sim_peak = Waveform.max_abs r.B.theta /. eps in
+  let zm = Pll_lib.Zmodel.of_pll pll in
+  let z_peak =
+    Array.fold_left Stdlib.max neg_infinity
+      (Pll_lib.Zmodel.step_response zm ~n:150)
+  in
+  check_close ~tol:0.02 "overshoot agreement" z_peak sim_peak
+
+let test_acquisition_locks () =
+  let r = Transient.acquisition pll ~freq_offset:100e3 ~periods:200 () in
+  match Transient.lock_time r ~tol:(period /. 1000.0) with
+  | Some t -> check_true "locks reasonably fast" (t < 100.0 *. period)
+  | None -> Alcotest.fail "lock expected"
+
+let test_acquisition_pulses_shrink () =
+  (* during pull-in the pump pulses start wide and end narrow *)
+  let r = Transient.acquisition pll ~freq_offset:200e3 ~periods:200 () in
+  let widths = List.map (fun (_, w) -> Float.abs w) r.B.pulses in
+  (match widths with
+  | first :: _ ->
+      let last = List.nth widths (List.length widths - 1) in
+      check_true "pulses shrink under lock" (last < first /. 10.0)
+  | [] -> Alcotest.fail "pulses expected");
+  check_close ~tol:1e-6 "ripple settles" 0.0
+    (Transient.steady_state_ripple r ~period ~periods:10)
+
+let test_unstable_design_diverges () =
+  (* ratio 0.32 is unstable per the discrete model; the nonlinear
+     simulator must agree *)
+  let fast = pll_of (Pll_lib.Design.with_ratio spec_default 0.32) in
+  let eps = Pll_lib.Pll.period fast /. 1000.0 in
+  let stim = B.step_modulation ~eps ~at:(2.0 *. Pll_lib.Pll.period fast) in
+  let r = Transient.locked_run fast ~stimulus:stim ~periods:200 () in
+  let tail = Waveform.max_abs r.B.theta in
+  check_true "oscillation grows" (tail > 10.0 *. eps)
+
+let test_sine_modulation_construction () =
+  let s = B.sine_modulation ~eps:2.0 ~omega:3.0 in
+  check_close "sine stim" (2.0 *. sin 0.9) (s.B.theta_ref 0.3);
+  Alcotest.check_raises "step at t=0 rejected"
+    (Invalid_argument "Behavioral.step_modulation: at must be > 0") (fun () ->
+      ignore (B.step_modulation ~eps:1.0 ~at:0.0))
+
+let test_lock_time_reports () =
+  let r = Transient.acquisition pll ~freq_offset:0.0 ~periods:10 () in
+  (match Transient.lock_time r ~tol:(period /. 100.0) with
+  | Some t -> check_close "always locked" 0.0 t
+  | None -> Alcotest.fail "trivially locked");
+  (* impossible tolerance: never locked *)
+  let r2 = Transient.acquisition pll ~freq_offset:300e3 ~periods:4 () in
+  check_true "not locked under tight tol within 4 periods"
+    (Option.is_none (Transient.lock_time r2 ~tol:1e-18))
+
+let suite =
+  [
+    case "quiet lock stays quiet" test_quiet_lock_is_quiet;
+    case "sampling grid" test_sample_grid;
+    case "one pulse pair per period" test_pulses_once_per_period;
+    slow_case "phase step settles" test_step_response_settles;
+    slow_case "overshoot matches discrete model" test_step_overshoot_matches_zmodel;
+    slow_case "acquisition locks" test_acquisition_locks;
+    slow_case "acquisition pulse narrowing" test_acquisition_pulses_shrink;
+    slow_case "unstable design diverges" test_unstable_design_diverges;
+    case "stimulus constructors" test_sine_modulation_construction;
+    case "lock-time reporting" test_lock_time_reports;
+  ]

@@ -1,0 +1,244 @@
+open Numeric
+open Helpers
+module Netlist = Circuit.Netlist
+module Mna = Circuit.Mna
+module Tf = Lti.Tf
+
+let check_tf_matches_direct ?(tol = 1e-9) netlist ~inject ~sense tf =
+  List.iter
+    (fun w ->
+      let s = Cx.jomega w in
+      let direct = Cvec.get (Mna.solve_at netlist ~inject s) (sense - 1) in
+      check_cx ~tol "rational vs direct LU solve" direct (Tf.eval tf s))
+    [ 1e2; 1e4; 1e6; 1e8 ]
+
+let test_single_resistor () =
+  (* R to ground: Z = R at all frequencies *)
+  let n = Netlist.create [ Netlist.r 1 0 470.0 ] in
+  let z = Mna.impedance n ~port:1 in
+  check_cx "Z = R" (Cx.of_float 470.0) (Tf.eval z (Cx.jomega 1e5));
+  check_cx "Z = R at dc" (Cx.of_float 470.0) (Tf.eval z Cx.zero)
+
+let test_single_capacitor () =
+  (* C to ground: Z = 1/sC *)
+  let n = Netlist.create [ Netlist.c 1 0 1e-9 ] in
+  let z = Mna.impedance n ~port:1 in
+  let s = Cx.jomega 1e6 in
+  check_cx ~tol:1e-12 "Z = 1/sC" (Cx.inv (Cx.scale 1e-9 s)) (Tf.eval z s);
+  (match Tf.poles z with
+  | [ p ] -> check_cx "pole at origin" Cx.zero p
+  | _ -> Alcotest.fail "one pole expected")
+
+let test_series_rl () =
+  (* R in series with L to ground: Z = R + sL (needs the inductor
+     branch-current unknown) *)
+  let n = Netlist.create [ Netlist.r 1 2 100.0; Netlist.l 2 0 1e-3 ] in
+  let z = Mna.impedance n ~port:1 in
+  let s = Cx.jomega 1e5 in
+  check_cx ~tol:1e-10 "Z = R + sL"
+    (Cx.add (Cx.of_float 100.0) (Cx.scale 1e-3 s))
+    (Tf.eval z s)
+
+let test_rlc_resonator () =
+  (* parallel RLC: resonance at 1/sqrt(LC), impedance peaks to R there *)
+  let lv = 1e-6 and cv = 1e-9 and rv = 1e3 in
+  let n =
+    Netlist.create [ Netlist.r 1 0 rv; Netlist.l 1 0 lv; Netlist.c 1 0 cv ]
+  in
+  let z = Mna.impedance n ~port:1 in
+  let w0 = 1.0 /. sqrt (lv *. cv) in
+  check_cx ~tol:1e-7 "resonance impedance = R" (Cx.of_float rv)
+    (Tf.eval z (Cx.jomega w0));
+  (* far below resonance the inductor dominates: |Z| ~ wL *)
+  let w_low = w0 /. 1000.0 in
+  check_close ~tol:1e-2 "inductive below resonance" (w_low *. lv)
+    (Cx.abs (Tf.eval z (Cx.jomega w_low)));
+  check_tf_matches_direct n ~inject:1 ~sense:1 z
+
+let test_second_order_filter_matches_formula () =
+  (* the paper's loop filter: netlist-extracted impedance must equal the
+     hand-derived rational to machine precision *)
+  let rv = 55810.0 and c1 = 3.618e-11 and c2 = 3.993e-12 in
+  let n = Netlist.second_order_cp_filter ~r:rv ~c1 ~c2 in
+  let z_mna = Mna.impedance n ~port:1 in
+  let filt =
+    Pll_lib.Loop_filter.make
+      (Pll_lib.Loop_filter.Second_order { r = rv; c1; c2 })
+      ~icp:1e-4
+  in
+  let z_ref = Pll_lib.Loop_filter.impedance filt in
+  List.iter
+    (fun w ->
+      let s = Cx.jomega w in
+      check_cx ~tol:1e-12 "netlist = formula" (Tf.eval z_ref s) (Tf.eval z_mna s))
+    [ 1e3; 1e5; 1e6; 1e7; 1e9 ]
+
+let test_third_order_transimpedance () =
+  let n =
+    Netlist.third_order_cp_filter ~r:55810.0 ~c1:3.618e-11 ~c2:3.993e-12
+      ~r3:1000.0 ~c3:1e-11
+  in
+  let z = Mna.transimpedance n ~inject:1 ~sense:3 in
+  check_int "three poles" 3 (List.length (Tf.poles z));
+  check_tf_matches_direct n ~inject:1 ~sense:3 z
+
+let test_voltage_divider () =
+  (* R-R divider driven by an ideal source: flat 1/2 *)
+  let n = Netlist.create [ Netlist.r 1 2 1000.0; Netlist.r 2 0 1000.0 ] in
+  let h = Mna.voltage_transfer n ~from_node:1 ~to_node:2 in
+  check_cx ~tol:1e-12 "half" (Cx.of_float 0.5) (Tf.eval h (Cx.jomega 1e4));
+  (* RC lowpass divider: pole at 1/RC *)
+  let n2 = Netlist.create [ Netlist.r 1 2 1000.0; Netlist.c 2 0 1e-9 ] in
+  let h2 = Mna.voltage_transfer n2 ~from_node:1 ~to_node:2 in
+  let wc = 1.0 /. (1000.0 *. 1e-9) in
+  check_close ~tol:1e-9 "corner magnitude" (1.0 /. sqrt 2.0)
+    (Cx.abs (Tf.eval h2 (Cx.jomega wc)))
+
+let test_vcvs_buffer () =
+  (* lowpass into a x2 VCVS buffer into a heavy load: the load must not
+     affect the filter because the source isolates it *)
+  let n =
+    Netlist.create
+      [
+        Netlist.r 1 2 1000.0;
+        Netlist.c 2 0 1e-9;
+        Netlist.Vcvs { out_pos = 3; out_neg = 0; in_pos = 2; in_neg = 0; gain = 2.0 };
+        Netlist.r 3 0 10.0;
+      ]
+  in
+  let h = Mna.voltage_transfer n ~from_node:1 ~to_node:3 in
+  check_close ~tol:1e-9 "buffered gain at dc" 2.0 (Cx.abs (Tf.eval h Cx.zero));
+  let wc = 1.0 /. (1000.0 *. 1e-9) in
+  check_close ~tol:1e-9 "corner follows the filter" (2.0 /. sqrt 2.0)
+    (Cx.abs (Tf.eval h (Cx.jomega wc)))
+
+let test_singular_network () =
+  (* a node connected only through a capacitor chain with no dc path is
+     fine (pole at 0), but a completely floating port is singular *)
+  let n = Netlist.create [ Netlist.r 2 0 100.0 ] in
+  Alcotest.check_raises "floating port"
+    (Mna.Singular_network "singular MNA pencil (floating node or source loop?)")
+    (fun () -> ignore (Mna.impedance n ~port:1))
+
+let test_validation () =
+  Alcotest.check_raises "negative R"
+    (Invalid_argument "Netlist: resistance must be positive") (fun () ->
+      ignore (Netlist.create [ Netlist.r 1 0 (-1.0) ]));
+  Alcotest.check_raises "bad node"
+    (Invalid_argument "Netlist: negative node") (fun () ->
+      ignore (Netlist.create [ Netlist.r (-1) 0 1.0 ]))
+
+let test_loop_filter_of_netlist () =
+  (* end-to-end: netlist-defined filter drives the PLL analysis and
+     reproduces the canonical design's margins *)
+  let spec = spec_default in
+  let base = pll_of spec in
+  let rv, c1, c2 =
+    match base.Pll_lib.Pll.filter.Pll_lib.Loop_filter.topology with
+    | Pll_lib.Loop_filter.Second_order { r; c1; c2 } -> (r, c1, c2)
+    | _ -> Alcotest.fail "expected second-order reference"
+  in
+  let filt =
+    Pll_lib.Loop_filter.of_netlist
+      (Netlist.second_order_cp_filter ~r:rv ~c1 ~c2)
+      ~icp:spec.Pll_lib.Design.icp ()
+  in
+  let p =
+    Pll_lib.Pll.make ~fref:spec.Pll_lib.Design.fref
+      ~n_div:spec.Pll_lib.Design.n_div ~filter:filt ~vco:base.Pll_lib.Pll.vco ()
+  in
+  let r_ref = Pll_lib.Analysis.effective_report base in
+  let r_net = Pll_lib.Analysis.effective_report p in
+  match
+    (r_ref.Pll_lib.Analysis.phase_margin_deg, r_net.Pll_lib.Analysis.phase_margin_deg)
+  with
+  | Some a, Some b -> check_close ~tol:1e-6 "same effective margin" a b
+  | _ -> Alcotest.fail "margins expected"
+
+let test_active_filter_in_pll () =
+  (* an actively buffered loop filter: the passive core drives a unity
+     VCVS whose output feeds the VCO; the buffer isolates the core from
+     the (here explicit) VCO input load, so the loop behaves exactly
+     like the unbuffered reference design *)
+  let spec = spec_default in
+  let base = pll_of spec in
+  let rv, c1, c2 =
+    match base.Pll_lib.Pll.filter.Pll_lib.Loop_filter.topology with
+    | Pll_lib.Loop_filter.Second_order { r; c1; c2 } -> (r, c1, c2)
+    | _ -> Alcotest.fail "expected second-order reference"
+  in
+  let buffered =
+    Netlist.create
+      [
+        Netlist.r 1 2 rv;
+        Netlist.c 2 0 c1;
+        Netlist.c 1 0 c2;
+        Netlist.Vcvs { out_pos = 3; out_neg = 0; in_pos = 1; in_neg = 0; gain = 1.0 };
+        Netlist.r 3 0 1.0 (* heavy load the buffer must isolate *);
+      ]
+  in
+  let filt =
+    Pll_lib.Loop_filter.of_netlist buffered ~icp:spec.Pll_lib.Design.icp ~sense:3 ()
+  in
+  let p =
+    Pll_lib.Pll.make ~fref:spec.Pll_lib.Design.fref
+      ~n_div:spec.Pll_lib.Design.n_div ~filter:filt ~vco:base.Pll_lib.Pll.vco ()
+  in
+  (* identical loop: same effective margin and same H00 *)
+  (match
+     ( (Pll_lib.Analysis.effective_report base).Pll_lib.Analysis.phase_margin_deg,
+       (Pll_lib.Analysis.effective_report p).Pll_lib.Analysis.phase_margin_deg )
+   with
+  | Some a, Some b -> check_close ~tol:1e-6 "buffered = passive margin" a b
+  | _ -> Alcotest.fail "margins expected");
+  let w = 0.2 *. Pll_lib.Pll.omega0 p in
+  check_cx ~tol:1e-9 "same closed loop"
+    (Pll_lib.Pll.h00 base (Cx.jomega w))
+    (Pll_lib.Pll.h00 p (Cx.jomega w))
+
+let test_characteristic_freq () =
+  let n = Netlist.create [ Netlist.r 1 0 1000.0; Netlist.c 1 0 1e-9 ] in
+  (* single RC: the scale is exactly 1/RC *)
+  check_close ~tol:1e-9 "1/RC" 1e6 (Mna.characteristic_freq n);
+  check_close "no reactive parts" 1.0
+    (Mna.characteristic_freq (Netlist.create [ Netlist.r 1 0 10.0 ]))
+
+let prop_ladder_matches_direct =
+  qcheck ~count:25 "random RC ladder: rational matches direct solve"
+    (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 4)
+       (QCheck2.Gen.pair (QCheck2.Gen.float_range 100.0 1e5)
+          (QCheck2.Gen.float_range 1e-12 1e-8))) (fun sections ->
+      let elements =
+        List.concat
+          (List.mapi
+             (fun i (rv, cv) ->
+               [ Netlist.r (i + 1) (i + 2) rv; Netlist.c (i + 2) 0 cv ])
+             sections)
+      in
+      (* ensure a dc path so the network is well-posed at s=0 too *)
+      let n = Netlist.create (Netlist.r 1 0 1e4 :: elements) in
+      let z = Mna.impedance n ~port:1 in
+      List.for_all
+        (fun w ->
+          let s = Cx.jomega w in
+          let direct = Cvec.get (Mna.solve_at n ~inject:1 s) 0 in
+          Cx.approx ~tol:1e-7 direct (Tf.eval z s))
+        [ 1e3; 1e5; 1e7 ])
+
+let suite =
+  [
+    case "single resistor" test_single_resistor;
+    case "single capacitor" test_single_capacitor;
+    case "series RL (branch current)" test_series_rl;
+    case "parallel RLC resonator" test_rlc_resonator;
+    case "second-order CP filter vs formula" test_second_order_filter_matches_formula;
+    case "third-order transimpedance" test_third_order_transimpedance;
+    case "voltage dividers" test_voltage_divider;
+    case "VCVS buffer" test_vcvs_buffer;
+    case "singular network" test_singular_network;
+    case "validation" test_validation;
+    case "loop filter from netlist (end-to-end)" test_loop_filter_of_netlist;
+    case "active (VCVS-buffered) filter in the PLL" test_active_filter_in_pll;
+    case "characteristic frequency" test_characteristic_freq;
+    prop_ladder_matches_direct;
+  ]

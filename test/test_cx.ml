@@ -1,0 +1,102 @@
+open Numeric
+open Helpers
+
+let test_literals () =
+  check_cx "zero" (Cx.make 0.0 0.0) Cx.zero;
+  check_cx "one" (Cx.make 1.0 0.0) Cx.one;
+  check_cx "j" (Cx.make 0.0 1.0) Cx.j;
+  check_cx "j^2 = -1" (Cx.neg Cx.one) (Cx.mul Cx.j Cx.j);
+  check_cx "of_float" (Cx.make 3.5 0.0) (Cx.of_float 3.5);
+  check_cx "jomega" (Cx.make 0.0 2.5) (Cx.jomega 2.5)
+
+let test_arithmetic () =
+  let a = Cx.make 1.0 2.0 and b = Cx.make 3.0 (-1.0) in
+  check_cx "add" (Cx.make 4.0 1.0) (Cx.add a b);
+  check_cx "sub" (Cx.make (-2.0) 3.0) (Cx.sub a b);
+  check_cx "mul" (Cx.make 5.0 5.0) (Cx.mul a b);
+  check_cx "div*mul round trip" a (Cx.mul (Cx.div a b) b);
+  check_cx "neg" (Cx.make (-1.0) (-2.0)) (Cx.neg a);
+  check_cx "inv" Cx.one (Cx.mul a (Cx.inv a));
+  check_cx "conj" (Cx.make 1.0 (-2.0)) (Cx.conj a);
+  check_cx "scale" (Cx.make 2.0 4.0) (Cx.scale 2.0 a)
+
+let test_polar () =
+  check_close "abs of 3+4j" 5.0 (Cx.abs (Cx.make 3.0 4.0));
+  check_close "arg of j" (Float.pi /. 2.0) (Cx.arg Cx.j);
+  check_close "norm2" 25.0 (Cx.norm2 (Cx.make 3.0 4.0));
+  check_cx "cis pi" (Cx.neg Cx.one) (Cx.cis Float.pi) ~tol:1e-12;
+  check_cx "exp(j pi/2) = j" Cx.j (Cx.exp (Cx.jomega (Float.pi /. 2.0))) ~tol:1e-12;
+  check_cx "log(exp z)" (Cx.make 0.5 1.0) (Cx.log (Cx.exp (Cx.make 0.5 1.0)));
+  check_cx "sqrt(-1) = j" Cx.j (Cx.sqrt (Cx.neg Cx.one))
+
+let test_pow_int () =
+  let z = Cx.make 1.2 (-0.7) in
+  check_cx "pow 0" Cx.one (Cx.pow_int z 0);
+  check_cx "pow 1" z (Cx.pow_int z 1);
+  check_cx "pow 3" (Cx.mul z (Cx.mul z z)) (Cx.pow_int z 3);
+  check_cx "pow -2" (Cx.inv (Cx.mul z z)) (Cx.pow_int z (-2));
+  check_cx "pow 10 vs repeated"
+    (List.fold_left (fun acc _ -> Cx.mul acc z) Cx.one (List.init 10 Fun.id))
+    (Cx.pow_int z 10)
+
+let test_finite_approx () =
+  check_true "finite" (Cx.is_finite (Cx.make 1.0 2.0));
+  check_true "nan not finite" (not (Cx.is_finite (Cx.make Float.nan 0.0)));
+  check_true "inf not finite" (not (Cx.is_finite (Cx.make 0.0 Float.infinity)));
+  check_true "approx equal" (Cx.approx Cx.one (Cx.make 1.0 1e-12));
+  check_true "approx distinct" (not (Cx.approx Cx.one (Cx.make 1.1 0.0)))
+
+let test_printing () =
+  Alcotest.(check string) "positive imag" "1+2i" (Cx.to_string (Cx.make 1.0 2.0));
+  Alcotest.(check string) "negative imag" "1-2i" (Cx.to_string (Cx.make 1.0 (-2.0)))
+
+let prop_mul_modulus =
+  qcheck "modulus multiplicative" (QCheck2.Gen.pair gen_cx gen_cx)
+    (fun (a, b) ->
+      let lhs = Cx.abs (Cx.mul a b) and rhs = Cx.abs a *. Cx.abs b in
+      Float.abs (lhs -. rhs) <= 1e-9 *. (1.0 +. lhs +. rhs))
+
+let prop_conj_mul =
+  qcheck "conj distributes over mul" (QCheck2.Gen.pair gen_cx gen_cx)
+    (fun (a, b) ->
+      Cx.approx (Cx.conj (Cx.mul a b)) (Cx.mul (Cx.conj a) (Cx.conj b)))
+
+let prop_add_assoc =
+  qcheck "addition associative" (QCheck2.Gen.triple gen_cx gen_cx gen_cx)
+    (fun (a, b, c) ->
+      Cx.approx (Cx.add a (Cx.add b c)) (Cx.add (Cx.add a b) c))
+
+let prop_mul_distrib =
+  qcheck "multiplication distributes" (QCheck2.Gen.triple gen_cx gen_cx gen_cx)
+    (fun (a, b, c) ->
+      Cx.approx ~tol:1e-8
+        (Cx.mul a (Cx.add b c))
+        (Cx.add (Cx.mul a b) (Cx.mul a c)))
+
+let prop_inv =
+  qcheck "inverse" gen_cx_nonzero (fun z ->
+      Cx.approx Cx.one (Cx.mul z (Cx.inv z)))
+
+let prop_pow_additive =
+  qcheck "pow adds exponents"
+    (QCheck2.Gen.triple gen_cx_nonzero (QCheck2.Gen.int_range (-4) 4)
+       (QCheck2.Gen.int_range (-4) 4)) (fun (z, n, m) ->
+      Cx.approx ~tol:1e-7
+        (Cx.pow_int z (n + m))
+        (Cx.mul (Cx.pow_int z n) (Cx.pow_int z m)))
+
+let suite =
+  [
+    case "literals" test_literals;
+    case "arithmetic" test_arithmetic;
+    case "polar" test_polar;
+    case "pow_int" test_pow_int;
+    case "finite/approx" test_finite_approx;
+    case "printing" test_printing;
+    prop_mul_modulus;
+    prop_conj_mul;
+    prop_add_assoc;
+    prop_mul_distrib;
+    prop_inv;
+    prop_pow_additive;
+  ]

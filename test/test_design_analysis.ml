@@ -1,0 +1,170 @@
+open Numeric
+open Helpers
+module Design = Pll_lib.Design
+module Analysis = Pll_lib.Analysis
+module Pll = Pll_lib.Pll
+
+let test_gamma () =
+  (* gamma = tan(45 + pm/2): pm = 0 -> 1 *)
+  check_close ~tol:1e-9 "pm -> 0 limit" 1.0 (Design.gamma_of_phase_margin 1e-9);
+  check_close ~tol:1e-9 "pm 53.13: gamma = 3"
+    3.0
+    (Design.gamma_of_phase_margin (Stats.deg (atan 3.0 -. atan (1.0 /. 3.0))));
+  Alcotest.check_raises "pm out of range"
+    (Invalid_argument "Design.gamma_of_phase_margin: need 0 < pm < 90")
+    (fun () -> ignore (Design.gamma_of_phase_margin 95.0))
+
+let test_synthesis_hits_targets () =
+  List.iter
+    (fun (ratio, pm) ->
+      let spec =
+        { Design.default_spec with Design.ratio; phase_margin_deg = pm }
+      in
+      let p = Design.synthesize spec in
+      let w_ug = Design.omega_ug spec in
+      (* |A(j w_ug)| = 1 by construction *)
+      let a = Pll.a_of_s p (Cx.jomega w_ug) in
+      check_close ~tol:1e-9 "unity gain at target" 1.0 (Cx.abs a);
+      check_close ~tol:1e-6 "phase margin at target" pm
+        (180.0 +. Stats.deg (Cx.arg a)))
+    [ (0.05, 45.0); (0.1, 55.0); (0.2, 60.0); (0.3, 70.0) ]
+
+let test_lti_report_matches_design () =
+  let spec = spec_default in
+  let p = pll_of spec in
+  let r = Analysis.lti_report p in
+  (match r.Analysis.omega_ug with
+  | Some w -> check_close ~tol:1e-6 "report crossover" (Design.omega_ug spec) w
+  | None -> Alcotest.fail "crossover expected");
+  match r.Analysis.phase_margin_deg with
+  | Some pm -> check_close ~tol:1e-4 "report margin" 55.0 pm
+  | None -> Alcotest.fail "margin expected"
+
+let test_effective_report_degrades () =
+  (* the paper's central quantitative claim: at w_UG/w0 = 0.1 the
+     effective phase margin is ~9% below the LTI one *)
+  let p = pll_of spec_default in
+  let eff = Analysis.effective_report p in
+  match eff.Analysis.phase_margin_deg with
+  | Some pm ->
+      let loss = (55.0 -. pm) /. 55.0 in
+      check_true "margin degraded" (pm < 55.0);
+      check_true
+        (Printf.sprintf "~9%% loss at ratio 0.1 (got %.1f%%)" (100.0 *. loss))
+        (loss > 0.07 && loss < 0.11);
+      (* effective UGF above the LTI one *)
+      (match eff.Analysis.omega_ug with
+      | Some w -> check_true "effective UGF shifted up" (w > Design.omega_ug spec_default)
+      | None -> Alcotest.fail "effective crossover expected")
+  | None -> Alcotest.fail "effective margin expected"
+
+let test_effective_report_truncated_method () =
+  let p = pll_of spec_default in
+  let a = Analysis.effective_report p in
+  let b = Analysis.effective_report ~method_:(Pll.Truncated 2000) p in
+  match (a.Analysis.phase_margin_deg, b.Analysis.phase_margin_deg) with
+  | Some x, Some y -> check_close ~tol:1e-2 "methods agree" x y
+  | _ -> Alcotest.fail "margins expected"
+
+let test_closed_loop_metrics () =
+  let p = pll_of spec_default in
+  let m = Analysis.closed_loop_metrics p in
+  check_close ~tol:1e-2 "tracks at dc" 1.0 m.Analysis.dc_mag;
+  check_true "peaking positive" (m.Analysis.peak_db > 0.0);
+  check_true "peak near the loop band"
+    (m.Analysis.peak_freq > 0.1 *. Design.omega_ug spec_default
+     && m.Analysis.peak_freq < 10.0 *. Design.omega_ug spec_default);
+  match m.Analysis.bandwidth_3db with
+  | Some bw -> check_true "bandwidth beyond peak" (bw > m.Analysis.peak_freq)
+  | None -> Alcotest.fail "bandwidth expected at ratio 0.1"
+
+let test_ratio_sweep_monotone () =
+  let rows = Analysis.ratio_sweep Design.default_spec [ 0.02; 0.1; 0.2; 0.25 ] in
+  check_int "row count" 4 (List.length rows);
+  let margins = List.map (fun r -> r.Analysis.pm_eff_deg) rows in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a > b && decreasing rest
+    | _ -> true
+  in
+  check_true "phase margin decreases with loop speed" (decreasing margins);
+  let norms = List.map (fun r -> r.Analysis.omega_ug_eff_norm) rows in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  check_true "effective UGF ratio grows" (increasing norms);
+  List.iter
+    (fun r ->
+      check_close "LTI line is flat" 55.0 r.Analysis.pm_lti_deg ~tol:1e-3;
+      check_true "all still stable here" r.Analysis.stable)
+    rows
+
+let test_stability_boundary () =
+  (* the loop loses time-varying stability between ratio 0.27 and 0.29
+     (verified against the nonlinear behavioral simulator) while LTI
+     analysis sees a healthy 55 deg margin throughout *)
+  check_true "0.27 stable" (Analysis.is_stable_tv (pll_of (Design.with_ratio Design.default_spec 0.27)));
+  check_true "0.29 unstable"
+    (not (Analysis.is_stable_tv (pll_of (Design.with_ratio Design.default_spec 0.29))))
+
+let test_metrics_consistent_with_sweep () =
+  (* the reported peak/bandwidth must agree with a direct |H00| sweep *)
+  let p = pll_of spec_default in
+  let m = Analysis.closed_loop_metrics p in
+  let w0 = Pll.omega0 p in
+  let h00 = Pll.h00_fn p Pll.Exact in
+  let mag w = Cx.abs (h00 (Cx.jomega w)) in
+  (* no grid point beats the reported peak by more than rounding *)
+  Array.iter
+    (fun w -> check_true "peak is the max" (mag w <= m.Analysis.peak_mag *. (1.0 +. 1e-4)))
+    (Optimize.logspace (w0 *. 1e-4) (w0 *. 0.49) 300);
+  (* the magnitude at the reported -3dB point is the threshold *)
+  match m.Analysis.bandwidth_3db with
+  | Some bw ->
+      check_close ~tol:1e-3 "threshold at the bandwidth edge"
+        (m.Analysis.dc_mag /. sqrt 2.0) (mag bw)
+  | None -> Alcotest.fail "bandwidth expected at ratio 0.1"
+
+let test_design_for_effective_margin () =
+  (* closing the design loop on lambda: the returned spec really
+     delivers the requested effective margin *)
+  let base = { Design.default_spec with Design.ratio = 0.15 } in
+  (match Analysis.design_for_effective_margin base ~target_deg:45.0 with
+  | Some (spec, achieved) ->
+      check_close ~tol:2e-3 "achieved = target" 45.0 achieved;
+      check_true "over-design needed" (spec.Design.phase_margin_deg > 45.0);
+      (* independent check on a fresh synthesis *)
+      let p = Design.synthesize spec in
+      (match (Analysis.effective_report p).Analysis.phase_margin_deg with
+      | Some pm -> check_close ~tol:1e-3 "fresh synthesis agrees" 45.0 pm
+      | None -> Alcotest.fail "margin expected")
+  | None -> Alcotest.fail "feasible at ratio 0.15");
+  (* infeasible at very fast ratios: reports None instead of nonsense *)
+  check_true "infeasible reported"
+    (Option.is_none
+       (Analysis.design_for_effective_margin
+          { Design.default_spec with Design.ratio = 0.3 }
+          ~target_deg:45.0))
+
+let prop_synthesis_any_ratio =
+  qcheck ~count:15 "synthesis pins |A| = 1 at every ratio"
+    (QCheck2.Gen.float_range 0.01 0.45) (fun ratio ->
+      let spec = Design.with_ratio Design.default_spec ratio in
+      let p = Design.synthesize spec in
+      let a = Pll.a_of_s p (Cx.jomega (Design.omega_ug spec)) in
+      Float.abs (Cx.abs a -. 1.0) < 1e-9)
+
+let suite =
+  [
+    case "gamma factor" test_gamma;
+    case "synthesis hits LTI targets" test_synthesis_hits_targets;
+    case "LTI report" test_lti_report_matches_design;
+    case "effective margin degradation (paper claim)" test_effective_report_degrades;
+    case "exact vs truncated reports" test_effective_report_truncated_method;
+    case "closed-loop metrics" test_closed_loop_metrics;
+    case "ratio sweep monotonicity (Fig. 7)" test_ratio_sweep_monotone;
+    case "stability boundary" test_stability_boundary;
+    case "metrics vs direct sweep" test_metrics_consistent_with_sweep;
+    slow_case "design for effective margin" test_design_for_effective_margin;
+    prop_synthesis_any_ratio;
+  ]

@@ -1,0 +1,147 @@
+open Helpers
+
+(* Integration tests: every experiment harness runs and its output obeys
+   the qualitative shape the paper reports. *)
+
+let test_fig5_shape () =
+  let rows = Experiments.Exp_fig5.compute ~points:41 () in
+  check_int "rows" 41 (List.length rows);
+  let first = List.hd rows in
+  let last = List.nth rows 40 in
+  (* -40 dB/dec at both ends: two decades below crossover ~ +80 dB,
+     two decades above ~ -80 dB (one pole cancelled by the zero, one
+     added back by the filter pole) *)
+  check_true "high gain at low freq" (first.Experiments.Exp_fig5.mag_db > 60.0);
+  check_true "low gain at high freq" (last.Experiments.Exp_fig5.mag_db < -60.0);
+  (* phase starts near -180, rises through the lead region, returns *)
+  check_true "phase starts near -180"
+    (Float.abs (first.Experiments.Exp_fig5.phase_deg +. 180.0) < 8.0);
+  check_true "phase ends near -180"
+    (Float.abs (last.Experiments.Exp_fig5.phase_deg +. 180.0) < 8.0);
+  let boost =
+    List.fold_left
+      (fun acc r -> Stdlib.max acc r.Experiments.Exp_fig5.phase_deg)
+      neg_infinity rows
+  in
+  check_close ~tol:0.5 "max phase boost = -180 + 55 + margin shape" (-125.0) boost
+
+let test_fig5_unity_crossing () =
+  let rows = Experiments.Exp_fig5.compute () in
+  (* magnitude crosses 0 dB at omega_norm = 1 by construction *)
+  let nearest =
+    List.fold_left
+      (fun acc r ->
+        if Float.abs (r.Experiments.Exp_fig5.omega_norm -. 1.0)
+           < Float.abs (acc.Experiments.Exp_fig5.omega_norm -. 1.0)
+        then r
+        else acc)
+      (List.hd rows) rows
+  in
+  check_true "0 dB near crossover" (Float.abs nearest.Experiments.Exp_fig5.mag_db < 1.0)
+
+let test_fig7_reproduces_paper () =
+  let rows = Experiments.Exp_fig7.compute ~ratios:[ 0.05; 0.1; 0.2 ] () in
+  check_int "rows" 3 (List.length rows);
+  List.iter
+    (fun r ->
+      let open Pll_lib.Analysis in
+      check_close ~tol:1e-6 "LTI line flat" 55.0 r.pm_lti_deg;
+      check_true "effective UGF >= LTI UGF" (r.omega_ug_eff_norm >= 1.0);
+      check_true "margin below LTI" (r.pm_eff_deg < 55.0))
+    rows;
+  (* the paper's 9% claim at ratio 0.1 *)
+  let r01 = List.nth rows 1 in
+  let loss = 1.0 -. (r01.Pll_lib.Analysis.pm_eff_deg /. 55.0) in
+  check_true
+    (Printf.sprintf "PM loss at 0.1 is ~9%% (got %.1f%%)" (100.0 *. loss))
+    (loss > 0.07 && loss < 0.11)
+
+let test_fig2_consistency () =
+  let r = Experiments.Exp_fig2.compute ~harmonics:2 ~n_harm:40 () in
+  check_int "sampler rank" 1 r.Experiments.Exp_fig2.sampler_rank;
+  check_true "closed form vs LU within truncation error"
+    (r.Experiments.Exp_fig2.max_rel_dev < 5e-3);
+  (* baseband row dominates all others (lowpass closed loop) *)
+  let cf = r.Experiments.Exp_fig2.closed_form in
+  check_true "baseband dominates" (cf.(2).(0) > cf.(1).(0) && cf.(2).(0) > cf.(3).(0));
+  (* rank-one structure: each row constant across input bands *)
+  Array.iter
+    (fun row ->
+      Array.iter (fun v -> check_close ~tol:1e-12 "row constant" row.(0) v) row)
+    cf
+
+let test_fig4_linear_in_width () =
+  let rows = Experiments.Exp_fig4.compute ~widths:[ 1e-3; 1e-2; 1e-1 ] () in
+  check_int "rows" 3 (List.length rows);
+  let errs = List.map (fun r -> r.Experiments.Exp_fig4.rel_err) rows in
+  (match errs with
+  | [ e1; e2; e3 ] ->
+      check_true "error grows with width" (e1 < e2 && e2 < e3);
+      (* leading error is linear in width: a decade in width is about a
+         decade in error *)
+      check_close ~tol:0.2 "slope ~ 1 decade/decade" 1.0 (log10 (e2 /. e1));
+      check_true "narrow pulses are impulses" (e1 < 1e-3)
+  | _ -> Alcotest.fail "three rows expected");
+  List.iter
+    (fun r ->
+      check_true "pulse response below impulse response"
+        (Float.abs r.Experiments.Exp_fig4.theta_pulse
+         <= Float.abs r.Experiments.Exp_fig4.theta_impulse))
+    rows
+
+let test_fig6_without_simulation () =
+  let curves =
+    Experiments.Exp_fig6.compute ~ratios:[ 0.05; 0.2 ] ~points:15 ~sim_points:0 ()
+  in
+  check_int "two curves" 2 (List.length curves);
+  let c01 = List.hd curves and c05 = List.nth curves 1 in
+  (* peaking grows with the ratio *)
+  let peak c =
+    List.fold_left
+      (fun acc p -> Stdlib.max acc p.Experiments.Exp_fig6.htm_mag)
+      0.0 c.Experiments.Exp_fig6.points
+  in
+  check_true "peaking grows with loop speed" (peak c05 > peak c01);
+  (* HTM and LTI agree at low frequency, disagree near the band edge *)
+  let low = List.hd c01.Experiments.Exp_fig6.points in
+  check_close ~tol:0.05 "agreement at low frequency"
+    low.Experiments.Exp_fig6.htm_mag low.Experiments.Exp_fig6.lti_mag
+
+let test_fig6_with_simulation () =
+  let curves =
+    Experiments.Exp_fig6.compute ~ratios:[ 0.1 ] ~points:5 ~sim_points:3 ()
+  in
+  let c = List.hd curves in
+  check_true "simulator within paper's 2%" (c.Experiments.Exp_fig6.worst_sim_err < 0.02)
+
+let test_xchk () =
+  let r = Experiments.Exp_xchk.compute () in
+  List.iter
+    (fun row ->
+      check_true "truncated close" (row.Experiments.Exp_xchk.truncated_dev < 1e-3);
+      check_true "matrix close" (row.Experiments.Exp_xchk.matrix_dev < 5e-3);
+      check_true "zmodel exact" (row.Experiments.Exp_xchk.zmodel_dev < 1e-12))
+    r.Experiments.Exp_xchk.lambda_rows;
+  List.iter
+    (fun p -> check_true "pole residual tiny" (p.Experiments.Exp_xchk.residual < 1e-6))
+    r.Experiments.Exp_xchk.pole_rows;
+  check_true "step settles" (r.Experiments.Exp_xchk.step_final_dev < 1e-6)
+
+let test_report_table_validation () =
+  Alcotest.check_raises "ragged rows"
+    (Invalid_argument "Report.table: row 0 has 1 cells, expected 2") (fun () ->
+      Experiments.Report.table Format.str_formatter ~title:"t"
+        ~header:[ "a"; "b" ] [ [ "only" ] ])
+
+let suite =
+  [
+    case "fig5 open-loop shape" test_fig5_shape;
+    case "fig5 unity crossing" test_fig5_unity_crossing;
+    case "fig7 margin collapse (paper claim)" test_fig7_reproduces_paper;
+    case "fig2 conversion map consistency" test_fig2_consistency;
+    case "fig4 pulse-impulse equivalence" test_fig4_linear_in_width;
+    case "fig6 analytic curves" test_fig6_without_simulation;
+    slow_case "fig6 simulator spot checks" test_fig6_with_simulation;
+    slow_case "cross-validation" test_xchk;
+    case "report validation" test_report_table_validation;
+  ]

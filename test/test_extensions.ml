@@ -1,0 +1,80 @@
+open Helpers
+
+(* Ablation and ISF experiment invariants. *)
+
+let test_lambda_truncation_converges () =
+  let r = Experiments.Exp_ablation.compute () in
+  let errs =
+    List.map
+      (fun (row : Experiments.Exp_ablation.lambda_row) ->
+        row.Experiments.Exp_ablation.rel_err)
+      r.Experiments.Exp_ablation.lambda_rows
+  in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a > b && decreasing rest
+    | _ -> true
+  in
+  check_true "monotone convergence" (decreasing errs);
+  (* ~1/M rate: 20x more terms, ~20x less error *)
+  (match errs with
+  | e5 :: _ ->
+      let last = List.nth errs (List.length errs - 1) in
+      check_true "large dynamic range" (e5 /. last > 100.0)
+  | [] -> Alcotest.fail "rows expected");
+  let htm_errs =
+    List.map
+      (fun (row : Experiments.Exp_ablation.htm_row) ->
+        row.Experiments.Exp_ablation.rel_err)
+      r.Experiments.Exp_ablation.htm_rows
+  in
+  check_true "HTM truncation also converges" (decreasing htm_errs)
+
+let test_filter_ablation_story () =
+  let r = Experiments.Exp_ablation.compute () in
+  let rows = r.Experiments.Exp_ablation.filter_rows in
+  let second_order = List.hd rows in
+  let tight = List.nth rows (List.length rows - 1) in
+  let open Experiments.Exp_ablation in
+  (* adding a ripple pole always costs LTI margin *)
+  check_true "LTI margin falls with the ripple pole"
+    (tight.pm_lti_deg < second_order.pm_lti_deg -. 10.0);
+  (* but the TV margin is dominated by sampling until the pole crowds
+     the crossover: for a far pole the TV margin barely moves *)
+  let far = List.nth rows 1 in
+  check_true "TV margin insensitive to a far ripple pole"
+    (Float.abs (far.pm_eff_deg -. second_order.pm_eff_deg) < 1.0);
+  List.iter (fun row -> check_true "still stable" row.stable) rows
+
+let test_isf_study () =
+  let rows = Experiments.Exp_isf.compute () in
+  check_int "six ratios" 6 (List.length rows);
+  let open Experiments.Exp_isf in
+  let base = List.hd rows in
+  check_close ~tol:1e-12 "zero ISF means zero deviation" 0.0 base.deviation;
+  let devs = List.map (fun r -> r.deviation) rows in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a <= b && increasing rest
+    | _ -> true
+  in
+  check_true "deviation grows with ISF content" (increasing devs);
+  let sidebands = List.map (fun r -> r.sideband_up) rows in
+  check_true "sidebands grow with ISF content" (increasing sidebands);
+  List.iter
+    (fun r -> check_true "rank-one closure consistent with LU" (r.lu_agreement < 1e-10))
+    rows
+
+let test_isf_small_signal_linearity () =
+  (* for small ISF the H00 deviation is linear in |v1|/v0 *)
+  let rows = Experiments.Exp_isf.compute () in
+  let open Experiments.Exp_isf in
+  let at ratio = (List.find (fun r -> r.isf_ratio = ratio) rows).deviation in
+  let d1 = at 0.05 and d2 = at 0.1 in
+  check_close ~tol:0.05 "doubling ISF doubles the deviation" 2.0 (d2 /. d1)
+
+let suite =
+  [
+    case "lambda/HTM truncation ablation" test_lambda_truncation_converges;
+    case "filter topology ablation" test_filter_ablation_story;
+    case "time-varying VCO study" test_isf_study;
+    case "ISF linearity" test_isf_small_signal_linearity;
+  ]

@@ -1,0 +1,102 @@
+open Numeric
+open Helpers
+module Extract = Sim.Extract
+
+let pll = pll_of spec_default
+
+let test_measurement_matches_htm () =
+  (* the paper verifies eq. 38 against time-marching within 2%; our
+     extraction is leakage-free so it does far better *)
+  let m = Extract.measure_h00 pll ~harmonic:3 ~window_periods:24 () in
+  check_true
+    (Printf.sprintf "relative error %.5f < 0.5%%" m.Extract.rel_err)
+    (m.Extract.rel_err < 5e-3)
+
+let test_lti_is_worse_at_fast_ratio () =
+  (* at ratio 0.25 the LTI prediction is measurably off while the HTM
+     closed form still matches simulation *)
+  let fast = pll_of spec_fast in
+  let m = Extract.measure_h00 fast ~harmonic:5 ~window_periods:24 () in
+  let lti_err =
+    Cx.abs (Cx.sub m.Extract.measured m.Extract.predicted_lti)
+    /. Cx.abs m.Extract.measured
+  in
+  check_true "HTM within 1%" (m.Extract.rel_err < 1e-2);
+  check_true
+    (Printf.sprintf "LTI off by >3%% (got %.1f%%)" (100.0 *. lti_err))
+    (lti_err > 0.03)
+
+let test_frequency_placement () =
+  let m = Extract.measure_h00 pll ~harmonic:4 ~window_periods:32 () in
+  check_close ~tol:1e-12 "w_m = j w0 / window"
+    (4.0 /. 32.0 *. Pll_lib.Pll.omega0 pll)
+    m.Extract.omega
+
+let test_phase_also_matches () =
+  let m = Extract.measure_h00 pll ~harmonic:2 ~window_periods:16 () in
+  let phase_err =
+    Float.abs (Cx.arg m.Extract.measured -. Cx.arg m.Extract.predicted)
+  in
+  check_true "phase agrees within 0.5 deg" (phase_err < Stats.rad 0.5)
+
+let test_error_transfer () =
+  (* a VCO-internal disturbance sees (I+G)^{-1}: baseband element
+     1 - A/(1+lambda) — the shaping the Noise module applies to
+     open-loop VCO phase noise *)
+  let m = Extract.measure_error_transfer pll ~harmonic:2 ~window_periods:20 () in
+  check_true
+    (Printf.sprintf "error transfer within 0.5%% (got %.5f)" m.Extract.rel_err)
+    (m.Extract.rel_err < 5e-3);
+  (* and the LTI prediction 1/(1+A) is measurably wrong here *)
+  let lti_err =
+    Cx.abs (Cx.sub m.Extract.measured m.Extract.predicted_lti)
+    /. Cx.abs m.Extract.measured
+  in
+  check_true "LTI error transfer off by >5%" (lti_err > 0.05)
+
+let test_error_transfer_highpass () =
+  (* VCO noise is rejected in band: |E00| << 1 well below crossover *)
+  let m = Extract.measure_error_transfer pll ~harmonic:1 ~window_periods:100 () in
+  check_true "in-band rejection" (Cx.abs m.Extract.measured < 0.3);
+  check_true "still matches closed form" (m.Extract.rel_err < 1e-2)
+
+let test_sweep_and_worst () =
+  let ms = Extract.sweep pll [ (1, 12); (3, 12) ] in
+  check_int "two measurements" 2 (List.length ms);
+  let worst = Extract.worst_rel_err ms in
+  check_true "worst bounded" (worst < 1e-2);
+  check_true "worst is the max"
+    (List.for_all (fun m -> m.Extract.rel_err <= worst +. 1e-15) ms)
+
+let test_validation () =
+  Alcotest.check_raises "harmonic 0"
+    (Invalid_argument "Extract.measure_h00: harmonic >= 1") (fun () ->
+      ignore (Extract.measure_h00 pll ~harmonic:0 ~window_periods:8 ()));
+  Alcotest.check_raises "window too short"
+    (Invalid_argument "Extract.measure_h00: window too short for the harmonic")
+    (fun () -> ignore (Extract.measure_h00 pll ~harmonic:5 ~window_periods:8 ()))
+
+let test_linearity_in_eps () =
+  (* halving the modulation depth must not change the measured gain:
+     the loop is in its linear small-signal regime *)
+  let period = Pll_lib.Pll.period pll in
+  let m1 =
+    Extract.measure_h00 pll ~harmonic:3 ~window_periods:16 ~eps:(period /. 2000.0) ()
+  in
+  let m2 =
+    Extract.measure_h00 pll ~harmonic:3 ~window_periods:16 ~eps:(period /. 4000.0) ()
+  in
+  check_cx ~tol:1e-3 "gain independent of depth" m1.Extract.measured m2.Extract.measured
+
+let suite =
+  [
+    slow_case "simulator vs HTM closed form" test_measurement_matches_htm;
+    slow_case "LTI visibly off for fast loops" test_lti_is_worse_at_fast_ratio;
+    case "frequency placement" test_frequency_placement;
+    slow_case "phase agreement" test_phase_also_matches;
+    slow_case "error transfer (VCO-injected)" test_error_transfer;
+    slow_case "error transfer is highpass" test_error_transfer_highpass;
+    slow_case "sweep" test_sweep_and_worst;
+    case "validation" test_validation;
+    slow_case "small-signal linearity" test_linearity_in_eps;
+  ]

@@ -1,0 +1,113 @@
+open Numeric
+open Helpers
+
+let test_next_pow2 () =
+  check_int "1" 1 (Fft.next_pow2 1);
+  check_int "5 -> 8" 8 (Fft.next_pow2 5);
+  check_int "8 -> 8" 8 (Fft.next_pow2 8);
+  check_int "1000 -> 1024" 1024 (Fft.next_pow2 1000)
+
+let test_fft_impulse () =
+  (* delta -> flat spectrum *)
+  let a = Array.make 8 Cx.zero in
+  a.(0) <- Cx.one;
+  Fft.fft a;
+  Array.iter (fun z -> check_cx "flat" Cx.one z) a
+
+let test_fft_dc () =
+  let a = Array.make 8 Cx.one in
+  Fft.fft a;
+  check_cx "dc bin" (Cx.of_float 8.0) a.(0);
+  for i = 1 to 7 do
+    check_cx ~tol:1e-12 "other bins" Cx.zero a.(i)
+  done
+
+let test_fft_tone () =
+  (* e^{2 pi i n k0 / N} puts all energy in bin k0 *)
+  let n = 16 and k0 = 3 in
+  let a =
+    Array.init n (fun i ->
+        Cx.cis (2.0 *. Float.pi *. float_of_int (i * k0) /. float_of_int n))
+  in
+  Fft.fft a;
+  check_cx ~tol:1e-10 "bin k0" (Cx.of_float (float_of_int n)) a.(k0);
+  check_cx ~tol:1e-10 "bin 0" Cx.zero a.(0)
+
+let test_fft_matches_dft () =
+  let a = Array.init 16 (fun i -> Cx.make (sin (0.9 *. float_of_int i)) (cos (1.7 *. float_of_int i))) in
+  let f = Fft.transform a in
+  for k = 0 to 15 do
+    check_cx ~tol:1e-9 (Printf.sprintf "bin %d" k) (Fft.dft_bin a k) f.(k)
+  done
+
+let test_ifft_roundtrip () =
+  let a = Array.init 32 (fun i -> Cx.make (float_of_int i) (-0.5 *. float_of_int i)) in
+  let b = Array.copy a in
+  Fft.fft b;
+  Fft.ifft b;
+  Array.iteri (fun i z -> check_cx ~tol:1e-9 "round trip" a.(i) z) b
+
+let test_parseval () =
+  let a = Array.init 64 (fun i -> Cx.make (sin (0.3 *. float_of_int i)) 0.0) in
+  let f = Fft.transform a in
+  let time_energy = Array.fold_left (fun acc z -> acc +. Cx.norm2 z) 0.0 a in
+  let freq_energy =
+    Array.fold_left (fun acc z -> acc +. Cx.norm2 z) 0.0 f /. 64.0
+  in
+  check_close ~tol:1e-9 "parseval" time_energy freq_energy
+
+let test_non_pow2_rejected () =
+  Alcotest.check_raises "length 12"
+    (Invalid_argument "Fft: length must be a power of 2") (fun () ->
+      Fft.fft (Array.make 12 Cx.zero))
+
+let test_goertzel_pure_tone () =
+  (* x = 3 cos(w t) + 4 sin(w t) over integer periods -> Y = 3 - 4j,
+     the amplitude in the Re(Y e^{jwt}) convention *)
+  let omega = 2.0 *. Float.pi *. 5.0 in
+  let periods = 4.0 in
+  let n = 1000 in
+  let dt = periods /. omega *. 2.0 *. Float.pi /. float_of_int n in
+  let xs =
+    Array.init n (fun i ->
+        let t = float_of_int i *. dt in
+        (3.0 *. cos (omega *. t)) +. (4.0 *. sin (omega *. t)))
+  in
+  let c = Fft.goertzel xs ~dt ~omega in
+  check_cx ~tol:1e-6 "amplitude recovery" (Cx.make 3.0 (-4.0)) c
+
+let test_goertzel_rejects_orthogonal () =
+  (* a tone at 2w contributes nothing at w over integer periods of both *)
+  let omega = 2.0 *. Float.pi in
+  let n = 4096 in
+  let dt = 4.0 /. float_of_int n in
+  let xs = Array.init n (fun i -> cos (2.0 *. omega *. float_of_int i *. dt)) in
+  let c = Fft.goertzel xs ~dt ~omega in
+  check_cx ~tol:1e-6 "orthogonal tone rejected" Cx.zero c
+
+let prop_fft_linear =
+  qcheck ~count:30 "fft linear"
+    (QCheck2.Gen.pair
+       (QCheck2.Gen.array_size (QCheck2.Gen.return 8) gen_cx)
+       (QCheck2.Gen.array_size (QCheck2.Gen.return 8) gen_cx)) (fun (a, b) ->
+      let sum = Array.init 8 (fun i -> Cx.add a.(i) b.(i)) in
+      let fs = Fft.transform sum in
+      let fa = Fft.transform a and fb = Fft.transform b in
+      Array.for_all
+        Fun.id
+        (Array.init 8 (fun i -> Cx.approx ~tol:1e-7 fs.(i) (Cx.add fa.(i) fb.(i)))))
+
+let suite =
+  [
+    case "next_pow2" test_next_pow2;
+    case "impulse" test_fft_impulse;
+    case "dc" test_fft_dc;
+    case "pure tone bin" test_fft_tone;
+    case "fft matches direct DFT" test_fft_matches_dft;
+    case "ifft round trip" test_ifft_roundtrip;
+    case "parseval" test_parseval;
+    case "non power of two rejected" test_non_pow2_rejected;
+    case "goertzel pure tone" test_goertzel_pure_tone;
+    case "goertzel orthogonality" test_goertzel_rejects_orthogonal;
+    prop_fft_linear;
+  ]

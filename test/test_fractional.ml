@@ -1,0 +1,122 @@
+open Helpers
+module Fr = Sim.Fractional
+
+let n_int = 64
+let b = 16
+let frac = 1.0 /. float_of_int b
+
+let seq m = Fr.divider_sequence { Fr.modulator = m; n_int; frac }
+
+let test_sequence_mean () =
+  List.iter
+    (fun m ->
+      let s = seq m in
+      let n = 16384 in
+      let total = ref 0.0 in
+      for k = 0 to n - 1 do
+        total := !total +. s k
+      done;
+      check_close ~tol:1e-9 "mean modulus = N + frac" (64.0 +. frac)
+        (!total /. float_of_int n))
+    [ Fr.First_order; Fr.Mash2; Fr.Mash3 ]
+
+let test_sequence_ranges () =
+  let check_range m lo hi =
+    let s = seq m in
+    for k = 0 to 4095 do
+      let v = s k -. 64.0 in
+      check_true "modulus step in range" (v >= lo && v <= hi)
+    done
+  in
+  check_range Fr.First_order 0.0 1.0;
+  check_range Fr.Mash2 (-1.0) 2.0;
+  check_range Fr.Mash3 (-3.0) 4.0
+
+let test_first_order_periodicity () =
+  (* frac = 1/16: the carry pattern repeats every 16 cycles *)
+  let s = seq Fr.First_order in
+  for k = 0 to 255 do
+    check_close "16-periodic" (s k) (s (k + 16))
+  done
+
+let test_memoization_consistency () =
+  let s = seq Fr.Mash3 in
+  let early = s 5 in
+  ignore (s 5000);
+  check_close "memo stable under growth" early (s 5)
+
+let test_validation () =
+  Alcotest.check_raises "frac out of range"
+    (Invalid_argument "Fractional: frac must be in [0, 1)") (fun () ->
+      ignore (Fr.divider_sequence { Fr.modulator = Fr.First_order; n_int; frac = 1.5 } 0));
+  Alcotest.check_raises "n too small"
+    (Invalid_argument "Fractional: n_int must be >= 2") (fun () ->
+      ignore (Fr.divider_sequence { Fr.modulator = Fr.First_order; n_int = 1; frac } 0))
+
+let fractional_pll ratio =
+  Pll_lib.Design.synthesize
+    {
+      Pll_lib.Design.default_spec with
+      Pll_lib.Design.n_div = float_of_int n_int +. frac;
+      ratio;
+    }
+
+let test_run_locks_to_fractional_frequency () =
+  let pll = fractional_pll 0.05 in
+  let record =
+    Fr.run pll { Fr.modulator = Fr.Mash3; n_int; frac } ~periods:400 ()
+  in
+  (* theta is measured against the fractional average frequency: if the
+     loop really locks to (N + f) fref, theta stays bounded *)
+  let theta = record.Sim.Behavioral.theta in
+  let n = Sim.Waveform.length theta in
+  let tail =
+    Array.init (n / 4) (fun i -> Sim.Waveform.value theta (n - 1 - i))
+  in
+  check_true "locked to the fractional frequency"
+    (Numeric.Stats.max_abs tail < 0.1 *. Pll_lib.Pll.period pll)
+
+let test_mismatched_pll_rejected () =
+  let pll = pll_of spec_default (* integer N = 64 *) in
+  Alcotest.check_raises "n_div mismatch"
+    (Invalid_argument "Fractional.run: pll.n_div must equal n_int + frac")
+    (fun () -> ignore (Fr.run pll { Fr.modulator = Fr.First_order; n_int; frac } ~periods:4 ()))
+
+let test_spur_prediction_and_shaping () =
+  let r = Experiments.Exp_fractional.compute ~periods:2048 () in
+  let find name =
+    List.find (fun row -> row.Experiments.Exp_fractional.modulator = name)
+      r.Experiments.Exp_fractional.rows
+  in
+  let fo = find "first-order" in
+  check_close ~tol:0.02 "first-order spur matches the sawtooth model (dB)"
+    r.Experiments.Exp_fractional.predicted_first_order
+    fo.Experiments.Exp_fractional.spur1_dbc;
+  let mash3 = find "MASH 1-1-1" in
+  check_true
+    (Printf.sprintf "MASH shaping buys > 12 dB (%.1f vs %.1f)"
+       fo.Experiments.Exp_fractional.spur1_dbc
+       mash3.Experiments.Exp_fractional.spur1_dbc)
+    (mash3.Experiments.Exp_fractional.spur1_dbc
+     < fo.Experiments.Exp_fractional.spur1_dbc -. 12.0)
+
+let test_spur_measure_validation () =
+  let pll = fractional_pll 0.05 in
+  let record = Fr.run pll { Fr.modulator = Fr.First_order; n_int; frac } ~periods:64 () in
+  Alcotest.check_raises "periods must divide"
+    (Invalid_argument "Fractional.spur_dbc: periods must be a multiple of the denominator")
+    (fun () ->
+      ignore (Fr.spur_dbc record ~pll ~frac_denominator:b ~harmonic:1 ~periods:30))
+
+let suite =
+  [
+    case "sequence means" test_sequence_mean;
+    case "sequence ranges" test_sequence_ranges;
+    case "first-order periodicity" test_first_order_periodicity;
+    case "memoization" test_memoization_consistency;
+    case "validation" test_validation;
+    slow_case "locks to the fractional frequency" test_run_locks_to_fractional_frequency;
+    case "pll mismatch rejected" test_mismatched_pll_rejected;
+    slow_case "spur prediction and MASH shaping" test_spur_prediction_and_shaping;
+    slow_case "spur measurement validation" test_spur_measure_validation;
+  ]

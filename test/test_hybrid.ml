@@ -1,0 +1,206 @@
+open Helpers
+module Hybrid = Sim.Hybrid
+
+(* a pure ODE model with no events: engine should just integrate *)
+let test_plain_integration () =
+  let model =
+    {
+      Hybrid.dynamics = (fun () _t y -> [| -.y.(0) |]);
+      events = [];
+      transition = (fun m _ _ y -> (m, y));
+    }
+  in
+  let _, y =
+    Hybrid.run model
+      { Hybrid.t0 = 0.0; t1 = 1.0; dt_max = 0.01; observer = (fun _ _ _ -> ()) }
+      ~mode:() ~state:[| 1.0 |]
+  in
+  check_close ~tol:1e-8 "exp decay" (exp (-1.0)) y.(0)
+
+(* guarded event: integrate dy = 1 until y crosses 2, then reset to 0
+   and count the crossings: a sawtooth *)
+let test_guarded_sawtooth () =
+  let model =
+    {
+      Hybrid.dynamics = (fun _ _ _ -> [| 1.0 |]);
+      events =
+        [ Hybrid.Guarded { tag = (); guard = (fun _ _ y -> y.(0) -. 2.0) } ];
+      transition = (fun count () _t _y -> (count + 1, [| 0.0 |]));
+    }
+  in
+  let count, y =
+    Hybrid.run model
+      { Hybrid.t0 = 0.0; t1 = 7.0; dt_max = 0.13; observer = (fun _ _ _ -> ()) }
+      ~mode:0 ~state:[| 0.0 |]
+  in
+  check_int "three resets" 3 count;
+  check_close ~tol:1e-6 "remainder" 1.0 y.(0)
+
+(* event-time accuracy: y' = 1 from 0, guard at y = 0.5 exactly at t = 0.5 *)
+let test_event_localization () =
+  let hit = ref nan in
+  let model =
+    {
+      Hybrid.dynamics = (fun _ _ _ -> [| 1.0 |]);
+      events =
+        [ Hybrid.Guarded { tag = (); guard = (fun _ _ y -> y.(0) -. 0.5) } ];
+      transition =
+        (fun m () t y ->
+          hit := t;
+          (m, [| y.(0) -. 10.0 |]));
+    }
+  in
+  ignore
+    (Hybrid.run model
+       { Hybrid.t0 = 0.0; t1 = 1.0; dt_max = 0.3; observer = (fun _ _ _ -> ()) }
+       ~mode:() ~state:[| 0.0 |]);
+  check_close ~tol:1e-9 "event time" 0.5 !hit
+
+(* scheduled events fire at requested times *)
+let test_scheduled_events () =
+  let fired = ref [] in
+  let model =
+    {
+      Hybrid.dynamics = (fun _ _ _ -> [| 0.0 |]);
+      events =
+        [
+          Hybrid.Scheduled
+            {
+              tag = ();
+              next_time =
+                (fun k -> if k < 4 then Some (0.25 +. (0.5 *. float_of_int k)) else None);
+            };
+        ];
+      transition =
+        (fun k () t y ->
+          fired := t :: !fired;
+          (k + 1, y));
+    }
+  in
+  let k, _ =
+    Hybrid.run model
+      { Hybrid.t0 = 0.0; t1 = 2.0; dt_max = 0.2; observer = (fun _ _ _ -> ()) }
+      ~mode:0 ~state:[| 0.0 |]
+  in
+  check_int "all fired" 4 k;
+  let times = List.rev !fired in
+  List.iteri
+    (fun i t -> check_close ~tol:1e-9 "fire time" (0.25 +. (0.5 *. float_of_int i)) t)
+    times
+
+(* the observer must visit every base-grid boundary even when events
+   shorten steps *)
+let test_grid_alignment () =
+  let samples = ref [] in
+  let model =
+    {
+      Hybrid.dynamics = (fun _ _ _ -> [| 1.0 |]);
+      events =
+        [
+          Hybrid.Scheduled
+            { tag = (); next_time = (fun k -> if k < 3 then Some (0.33 +. float_of_int k) else None) };
+        ];
+      transition = (fun k () _ y -> (k + 1, y));
+    }
+  in
+  let dt = 0.25 in
+  ignore
+    (Hybrid.run model
+       {
+         Hybrid.t0 = 0.0;
+         t1 = 2.0;
+         dt_max = dt;
+         observer = (fun _ t _ -> samples := t :: !samples);
+       }
+       ~mode:0 ~state:[| 0.0 |]);
+  let times = List.rev !samples in
+  for k = 0 to 8 do
+    let target = float_of_int k *. dt in
+    check_true
+      (Printf.sprintf "grid point %g visited" target)
+      (List.exists (fun t -> Float.abs (t -. target) < 1e-9) times)
+  done
+
+(* state continuity across an event that does not modify the state *)
+let test_state_continuity () =
+  let model =
+    {
+      Hybrid.dynamics = (fun _ _ y -> [| y.(1); -.y.(0) |]);
+      events =
+        [ Hybrid.Scheduled { tag = (); next_time = (fun k -> if k = 0 then Some 1.0 else None) } ];
+      transition = (fun k () _ y -> (k + 1, y));
+    }
+  in
+  let _, y =
+    Hybrid.run model
+      { Hybrid.t0 = 0.0; t1 = Float.pi; dt_max = 0.01; observer = (fun _ _ _ -> ()) }
+      ~mode:0 ~state:[| 1.0; 0.0 |]
+  in
+  check_close ~tol:1e-6 "cos(pi)" (-1.0) y.(0)
+
+let test_event_storm_detected () =
+  (* a scheduled event whose transition never advances its firing time
+     must be caught, not loop forever *)
+  let model =
+    {
+      Hybrid.dynamics = (fun _ _ _ -> [| 0.0 |]);
+      events =
+        [ Hybrid.Scheduled { tag = (); next_time = (fun _ -> Some 0.5) } ];
+      transition = (fun m () _ y -> (m, y));
+    }
+  in
+  Alcotest.check_raises "storm detected"
+    (Failure "Hybrid.run: event storm at a single instant") (fun () ->
+      ignore
+        (Hybrid.run model
+           { Hybrid.t0 = 0.0; t1 = 1.0; dt_max = 0.1; observer = (fun _ _ _ -> ()) }
+           ~mode:() ~state:[| 0.0 |]))
+
+let test_guard_not_refiring_after_reset () =
+  (* a guard that stays nonnegative after its transition must fire only
+     once (crossings are from below only) *)
+  let count = ref 0 in
+  let model =
+    {
+      Hybrid.dynamics = (fun _ _ _ -> [| 1.0 |]);
+      events =
+        [ Hybrid.Guarded { tag = (); guard = (fun _ _ y -> y.(0) -. 0.5) } ];
+      transition =
+        (fun m () _ y ->
+          incr count;
+          (m, y) (* state unchanged: guard stays >= 0 *));
+    }
+  in
+  ignore
+    (Hybrid.run model
+       { Hybrid.t0 = 0.0; t1 = 2.0; dt_max = 0.1; observer = (fun _ _ _ -> ()) }
+       ~mode:() ~state:[| 0.0 |]);
+  check_int "fires once" 1 !count
+
+let test_validation () =
+  let model =
+    {
+      Hybrid.dynamics = (fun _ _ _ -> [| 0.0 |]);
+      events = [];
+      transition = (fun m _ _ y -> (m, y));
+    }
+  in
+  Alcotest.check_raises "bad dt_max"
+    (Invalid_argument "Hybrid.run: dt_max must be positive") (fun () ->
+      ignore
+        (Hybrid.run model
+           { Hybrid.t0 = 0.0; t1 = 1.0; dt_max = 0.0; observer = (fun _ _ _ -> ()) }
+           ~mode:() ~state:[| 0.0 |]))
+
+let suite =
+  [
+    case "plain integration" test_plain_integration;
+    case "guarded sawtooth" test_guarded_sawtooth;
+    case "event localization" test_event_localization;
+    case "scheduled events" test_scheduled_events;
+    case "grid alignment under events" test_grid_alignment;
+    case "state continuity" test_state_continuity;
+    case "event storm detection" test_event_storm_detected;
+    case "guard fires on upward crossings only" test_guard_not_refiring_after_reset;
+    case "validation" test_validation;
+  ]

@@ -1,0 +1,110 @@
+open Numeric
+open Helpers
+module Lf = Pll_lib.Loop_filter
+module Tf = Lti.Tf
+
+let filt = Lf.make (Lf.Second_order { r = 1000.0; c1 = 1e-9; c2 = 1e-10 }) ~icp:1e-4
+
+let test_impedance_against_components () =
+  (* Z(s) = (R + 1/sC1) || (1/sC2), computed here directly from the
+     component formulas and compared with the library's rational form *)
+  let z = Lf.impedance filt in
+  List.iter
+    (fun w ->
+      let s = Cx.jomega w in
+      let branch1 =
+        Cx.add (Cx.of_float 1000.0) (Cx.inv (Cx.mul s (Cx.of_float 1e-9)))
+      in
+      let branch2 = Cx.inv (Cx.mul s (Cx.of_float 1e-10)) in
+      let expected =
+        Cx.div (Cx.mul branch1 branch2) (Cx.add branch1 branch2)
+      in
+      check_cx ~tol:1e-9 "parallel combination" expected (Tf.eval z s))
+    [ 1e3; 1e5; 1e6; 1e8 ]
+
+let test_tf_scales_by_icp () =
+  let s = Cx.jomega 1e6 in
+  check_cx "H_LF = Icp Z" (Cx.scale 1e-4 (Tf.eval (Lf.impedance filt) s))
+    (Tf.eval (Lf.tf filt) s)
+
+let test_corner_frequencies () =
+  check_close "zero at 1/RC1" (1.0 /. (1000.0 *. 1e-9)) (Lf.zero_freq filt);
+  let cs = 1e-9 *. 1e-10 /. (1e-9 +. 1e-10) in
+  check_close "pole at 1/RCs" (1.0 /. (1000.0 *. cs)) (Lf.pole_freq filt);
+  check_true "pole above zero" (Lf.pole_freq filt > Lf.zero_freq filt)
+
+let test_impedance_poles () =
+  (* one pole at dc, one at -pole_freq *)
+  let poles =
+    List.sort (fun a b -> compare (Cx.re b) (Cx.re a)) (Tf.poles (Lf.impedance filt))
+  in
+  match poles with
+  | [ p0; p1 ] ->
+      check_cx ~tol:1e-9 "dc pole" Cx.zero p0;
+      check_close ~tol:1e-6 "finite pole" (-.Lf.pole_freq filt) (Cx.re p1)
+  | _ -> Alcotest.fail "expected two poles"
+
+let test_third_order () =
+  let f3 =
+    Lf.make
+      (Lf.Third_order { r = 1000.0; c1 = 1e-9; c2 = 1e-10; r3 = 500.0; c3 = 1e-10 })
+      ~icp:1e-4
+  in
+  let z3 = Lf.impedance f3 in
+  (* beyond the ripple pole the extra attenuation appears *)
+  let w = 1.0 /. (500.0 *. 1e-10) *. 10.0 in
+  let base = Cx.abs (Tf.eval (Lf.impedance filt) (Cx.jomega w)) in
+  let with_pole = Cx.abs (Tf.eval z3 (Cx.jomega w)) in
+  check_true "ripple pole attenuates" (with_pole < base /. 5.0);
+  check_close "same zero" (Lf.zero_freq filt) (Lf.zero_freq f3)
+
+let test_custom () =
+  let z = Tf.gain 42.0 in
+  let f = Lf.make (Lf.Custom z) ~icp:2.0 in
+  check_close "custom tf" 84.0 (Tf.dc_gain (Lf.tf f));
+  Alcotest.check_raises "no zero freq for custom"
+    (Invalid_argument "Loop_filter.zero_freq: custom topology") (fun () ->
+      ignore (Lf.zero_freq f))
+
+let test_validation () =
+  Alcotest.check_raises "bad icp"
+    (Invalid_argument "Loop_filter.make: icp must be positive") (fun () ->
+      ignore (Lf.make (Lf.Custom (Tf.gain 1.0)) ~icp:0.0));
+  Alcotest.check_raises "bad component"
+    (Invalid_argument "Loop_filter.make: components must be positive") (fun () ->
+      ignore (Lf.make (Lf.Second_order { r = -1.0; c1 = 1e-9; c2 = 1e-10 }) ~icp:1e-4))
+
+let test_synthesize () =
+  let omega_ug = 1e6 and gamma = 3.0 and ctotal = 1e-9 in
+  let r, c1, c2 = Lf.synthesize_second_order ~omega_ug ~gamma ~ctotal in
+  check_close ~tol:1e-9 "total capacitance" ctotal (c1 +. c2);
+  let f = Lf.make (Lf.Second_order { r; c1; c2 }) ~icp:1e-4 in
+  check_close ~tol:1e-9 "zero placement" (omega_ug /. gamma) (Lf.zero_freq f);
+  check_close ~tol:1e-9 "pole placement" (omega_ug *. gamma) (Lf.pole_freq f);
+  Alcotest.check_raises "gamma <= 1"
+    (Invalid_argument "Loop_filter.synthesize_second_order: gamma must exceed 1")
+    (fun () -> ignore (Lf.synthesize_second_order ~omega_ug ~gamma:0.9 ~ctotal))
+
+let prop_synthesis_round_trip =
+  qcheck ~count:30 "synthesized filter hits requested corners"
+    (QCheck2.Gen.pair (QCheck2.Gen.float_range 1.5 10.0)
+       (QCheck2.Gen.float_range 1e4 1e8)) (fun (gamma, omega_ug) ->
+      let r, c1, c2 =
+        Lf.synthesize_second_order ~omega_ug ~gamma ~ctotal:1e-9
+      in
+      let f = Lf.make (Lf.Second_order { r; c1; c2 }) ~icp:1e-4 in
+      Float.abs (Lf.zero_freq f -. (omega_ug /. gamma)) < 1e-6 *. omega_ug
+      && Float.abs (Lf.pole_freq f -. (omega_ug *. gamma)) < 1e-6 *. omega_ug *. gamma)
+
+let suite =
+  [
+    case "impedance vs component math" test_impedance_against_components;
+    case "transimpedance scaling" test_tf_scales_by_icp;
+    case "corner frequencies" test_corner_frequencies;
+    case "pole structure" test_impedance_poles;
+    case "third-order ripple pole" test_third_order;
+    case "custom topology" test_custom;
+    case "validation" test_validation;
+    case "synthesis" test_synthesize;
+    prop_synthesis_round_trip;
+  ]

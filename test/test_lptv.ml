@@ -1,0 +1,70 @@
+open Numeric
+open Helpers
+module Lptv = Htm_core.Lptv
+
+let test_coeffs_of_cos () =
+  let period = 2.0 *. Float.pi in
+  let coeffs =
+    Lptv.coeffs_of_function cos ~period ~max_harmonic:2 ()
+  in
+  check_int "array length" 5 (Array.length coeffs);
+  check_cx ~tol:1e-10 "dc" Cx.zero coeffs.(2);
+  check_cx ~tol:1e-10 "k=1" (Cx.of_float 0.5) coeffs.(3);
+  check_cx ~tol:1e-10 "k=-1" (Cx.of_float 0.5) coeffs.(1);
+  check_cx ~tol:1e-10 "k=2" Cx.zero coeffs.(4)
+
+let test_eval_roundtrip () =
+  let period = 1.0 in
+  let omega0 = 2.0 *. Float.pi in
+  let f t = 0.3 +. cos (omega0 *. t) -. (0.4 *. sin (2.0 *. omega0 *. t)) in
+  let coeffs = Lptv.coeffs_of_function f ~period ~max_harmonic:3 () in
+  List.iter
+    (fun t -> check_close ~tol:1e-9 "reconstruction" (f t) (Lptv.eval_coeffs coeffs ~omega0 t))
+    [ 0.0; 0.21; 0.5; 0.93 ]
+
+let test_conj_symmetry () =
+  let coeffs =
+    Lptv.coeffs_of_function (fun t -> sin t +. cos (2.0 *. t))
+      ~period:(2.0 *. Float.pi) ~max_harmonic:3 ()
+  in
+  check_true "real function symmetric" (Lptv.conj_symmetric coeffs);
+  let bad = [| Cx.one; Cx.zero; Cx.j |] in
+  check_true "asymmetric detected" (not (Lptv.conj_symmetric bad))
+
+let test_tone_response () =
+  let coeffs = [| Cx.of_float 0.2; Cx.one; Cx.j |] in
+  let resp = Lptv.tone_response_multiplier coeffs ~omega0:1.0 ~m:2 in
+  check_int "three bands" 3 (List.length resp);
+  check_cx "band 1 (k=-1)" (Cx.of_float 0.2) (List.assoc 1 resp);
+  check_cx "band 2 (k=0)" Cx.one (List.assoc 2 resp);
+  check_cx "band 3 (k=+1)" Cx.j (List.assoc 3 resp)
+
+let test_tone_response_skips_zeros () =
+  let coeffs = [| Cx.zero; Cx.one; Cx.zero |] in
+  let resp = Lptv.tone_response_multiplier coeffs ~omega0:1.0 ~m:0 in
+  check_int "only dc passes" 1 (List.length resp)
+
+let prop_parseval_coeffs =
+  qcheck ~count:20 "coefficient energy bounded by signal power"
+    (QCheck2.Gen.triple small_float small_float small_float) (fun (a, b, c) ->
+      let period = 2.0 *. Float.pi in
+      let f t = a +. (b *. cos t) +. (c *. sin (3.0 *. t)) in
+      let coeffs = Lptv.coeffs_of_function f ~period ~max_harmonic:4 () in
+      let coeff_energy =
+        Array.fold_left (fun acc z -> acc +. Cx.norm2 z) 0.0 coeffs
+      in
+      let power =
+        Quad.periodic_trapezoid (fun t -> f t ** 2.0) ~period ~n:512 /. period
+      in
+      (* full Parseval here since all harmonics are captured *)
+      Float.abs (coeff_energy -. power) < 1e-6 *. (1.0 +. power))
+
+let suite =
+  [
+    case "fourier coefficients of cos" test_coeffs_of_cos;
+    case "synthesis round trip" test_eval_roundtrip;
+    case "conjugate symmetry" test_conj_symmetry;
+    case "multiplier tone response" test_tone_response;
+    case "zero coefficients skipped" test_tone_response_skips_zeros;
+    prop_parseval_coeffs;
+  ]

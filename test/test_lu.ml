@@ -1,0 +1,99 @@
+open Numeric
+open Helpers
+
+let test_solve_known () =
+  (* [[2, 1], [1, 3]] x = [5, 10] -> x = [1, 3] *)
+  let a = Cmat.of_rows
+      [| [| Cx.of_float 2.0; Cx.of_float 1.0 |];
+         [| Cx.of_float 1.0; Cx.of_float 3.0 |] |]
+  in
+  let x = Lu.solve_system a (Cvec.of_real_array [| 5.0; 10.0 |]) in
+  check_cx "x0" Cx.one (Cvec.get x 0);
+  check_cx "x1" (Cx.of_float 3.0) (Cvec.get x 1)
+
+let test_complex_solve () =
+  (* (1+j) x = 2 -> x = 1 - j *)
+  let a = Cmat.of_rows [| [| Cx.make 1.0 1.0 |] |] in
+  let x = Lu.solve_system a (Cvec.of_array [| Cx.of_float 2.0 |]) in
+  check_cx "complex 1x1" (Cx.make 1.0 (-1.0)) (Cvec.get x 0)
+
+let test_pivoting () =
+  (* leading zero pivot forces a row swap *)
+  let a = Cmat.of_rows
+      [| [| Cx.zero; Cx.one |]; [| Cx.one; Cx.zero |] |]
+  in
+  let x = Lu.solve_system a (Cvec.of_real_array [| 3.0; 7.0 |]) in
+  check_cx "swap x0" (Cx.of_float 7.0) (Cvec.get x 0);
+  check_cx "swap x1" (Cx.of_float 3.0) (Cvec.get x 1)
+
+let test_inverse () =
+  let a = Cmat.of_rows
+      [| [| Cx.of_float 4.0; Cx.of_float 7.0 |];
+         [| Cx.of_float 2.0; Cx.of_float 6.0 |] |]
+  in
+  let inv = Lu.inverse a in
+  check_true "A * A^-1 = I" (Cmat.equal ~tol:1e-10 (Cmat.identity 2) (Cmat.mul a inv));
+  check_true "A^-1 * A = I" (Cmat.equal ~tol:1e-10 (Cmat.identity 2) (Cmat.mul inv a))
+
+let test_det () =
+  let a = Cmat.of_rows
+      [| [| Cx.of_float 4.0; Cx.of_float 7.0 |];
+         [| Cx.of_float 2.0; Cx.of_float 6.0 |] |]
+  in
+  check_cx "det 2x2" (Cx.of_float 10.0) (Lu.det a);
+  check_cx "det identity" Cx.one (Lu.det (Cmat.identity 5));
+  (* determinant changes sign when rows are swapped *)
+  let swapped = Cmat.of_rows
+      [| [| Cx.of_float 2.0; Cx.of_float 6.0 |];
+         [| Cx.of_float 4.0; Cx.of_float 7.0 |] |]
+  in
+  check_cx "det sign under swap" (Cx.of_float (-10.0)) (Lu.det swapped);
+  check_cx "det singular" Cx.zero
+    (Lu.det (Cmat.of_rows [| [| Cx.one; Cx.one |]; [| Cx.one; Cx.one |] |]))
+
+let test_singular_raises () =
+  let a = Cmat.of_rows [| [| Cx.one; Cx.one |]; [| Cx.one; Cx.one |] |] in
+  Alcotest.check_raises "singular" Lu.Singular (fun () ->
+      ignore (Lu.decompose a))
+
+let test_solve_mat () =
+  let a = Cmat.of_rows
+      [| [| Cx.of_float 2.0; Cx.zero |]; [| Cx.zero; Cx.of_float 4.0 |] |]
+  in
+  let x = Lu.solve_mat (Lu.decompose a) (Cmat.identity 2) in
+  check_cx "diag inverse" (Cx.of_float 0.5) (Cmat.get x 0 0);
+  check_cx "diag inverse 2" (Cx.of_float 0.25) (Cmat.get x 1 1)
+
+let prop_solve_residual =
+  qcheck ~count:60 "random diagonally-dominant solve has tiny residual"
+    (QCheck2.Gen.array_size (QCheck2.Gen.return 12) gen_cx) (fun zs ->
+      let n = 3 in
+      let a =
+        Cmat.init n n (fun i k ->
+            let z = zs.((n * i) + k) in
+            if i = k then Cx.add z (Cx.of_float 30.0) else z)
+      in
+      let b = Cvec.of_array (Array.sub zs 9 3) in
+      let x = Lu.solve_system a b in
+      let r = Cvec.sub (Cmat.mv a x) b in
+      Cvec.norm_inf r <= 1e-9 *. (1.0 +. Cvec.norm_inf b))
+
+let prop_det_product =
+  qcheck ~count:40 "det multiplicative"
+    (QCheck2.Gen.array_size (QCheck2.Gen.return 8) gen_cx) (fun zs ->
+      let pick off = Cmat.init 2 2 (fun i k -> zs.((2 * i) + k + off)) in
+      let a = pick 0 and b = pick 4 in
+      Cx.approx ~tol:1e-7 (Lu.det (Cmat.mul a b)) (Cx.mul (Lu.det a) (Lu.det b)))
+
+let suite =
+  [
+    case "known 2x2 solve" test_solve_known;
+    case "complex solve" test_complex_solve;
+    case "pivoting" test_pivoting;
+    case "inverse" test_inverse;
+    case "determinant" test_det;
+    case "singular raises" test_singular_raises;
+    case "matrix solve" test_solve_mat;
+    prop_solve_residual;
+    prop_det_product;
+  ]

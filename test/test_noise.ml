@@ -1,0 +1,93 @@
+open Numeric
+open Helpers
+module Noise = Pll_lib.Noise
+module Pll = Pll_lib.Pll
+
+let pll = pll_of spec_default
+let w0 = Pll.omega0 pll
+
+let test_psd_shapes () =
+  check_close "white" 3.0 (Noise.white 3.0 123.0);
+  check_close "1/f^2" 0.25 (Noise.one_over_f2 1.0 2.0);
+  check_true "1/f^2 at dc" (Float.is_finite (Noise.one_over_f2 1.0 0.0) = false);
+  check_close "lorentzian at dc" 2.0 (Noise.lorentzian ~level:2.0 ~corner:10.0 0.0);
+  check_close "lorentzian at corner" 1.0 (Noise.lorentzian ~level:2.0 ~corner:10.0 10.0)
+
+let test_reference_folding_white () =
+  (* white reference noise folds: TV output exceeds the LTI prediction
+     by roughly the number of folded bands *)
+  let s_ref = Noise.white 1.0 in
+  let w = 0.05 *. w0 in
+  let tv = Noise.reference_noise_out pll ~folds:30 s_ref w in
+  let lti = Noise.lti_reference_noise_out pll s_ref w in
+  check_true "folding amplifies" (tv > 10.0 *. lti);
+  (* with white noise, folding multiplies by exactly (2*folds + 1),
+     modulo the H00-vs-LTI-H00 difference; compare against closed form *)
+  let h = Cx.abs (Pll.h00 pll (Cx.jomega w)) in
+  check_close ~tol:1e-9 "fold count exact" (h *. h *. 61.0) tv
+
+let test_reference_folding_bandlimited () =
+  (* noise confined below w0/2 does not fold at all *)
+  let s_ref wq = if Float.abs wq < 0.5 *. w0 then 1.0 else 0.0 in
+  let w = 0.1 *. w0 in
+  let tv = Noise.reference_noise_out pll s_ref w in
+  let h = Cx.abs (Pll.h00 pll (Cx.jomega w)) in
+  check_close ~tol:1e-9 "no folding for band-limited noise" (h *. h) tv
+
+let test_vco_noise_highpass () =
+  (* VCO noise is rejected in-band (error function small at dc) and
+     passes out of band *)
+  let s_vco = Noise.white 1.0 in
+  let low = Noise.vco_noise_out pll ~folds:0 s_vco (1e-4 *. w0) in
+  let high = Noise.vco_noise_out pll ~folds:0 s_vco (0.45 *. w0) in
+  check_true "suppressed at dc" (low < 0.05);
+  check_true "passes out of band" (high > 0.3)
+
+let test_vco_noise_formula () =
+  let s_vco = Noise.white 2.0 in
+  let w = 0.2 *. w0 in
+  let h00 = Pll.h00 pll (Cx.jomega w) in
+  let expected =
+    (Cx.norm2 (Cx.sub Cx.one h00) *. 2.0)
+    +. (Cx.norm2 h00 *. 2.0 *. float_of_int (2 * 5))
+  in
+  check_close ~tol:1e-9 "error + folded terms" expected
+    (Noise.vco_noise_out pll ~folds:5 s_vco w)
+
+let test_jitter_integration () =
+  (* analytic check: S = 1/w over [lo, hi] gives sigma^2 = ln(hi/lo)/pi *)
+  let s w = 1.0 /. w in
+  let sigma = Noise.rms_jitter s ~lo:1.0 ~hi:Float.(exp 1.0) in
+  check_close ~tol:1e-6 "log integral" (sqrt (1.0 /. Float.pi)) sigma;
+  (* flat PSD: sigma^2 = (hi - lo)/pi *)
+  let sigma2 = Noise.rms_jitter (Noise.white 1.0) ~lo:1.0 ~hi:11.0 in
+  check_close ~tol:1e-6 "flat integral" (sqrt (10.0 /. Float.pi)) sigma2;
+  Alcotest.check_raises "bad range"
+    (Invalid_argument "Noise.rms_jitter: need 0 < lo < hi") (fun () ->
+      ignore (Noise.rms_jitter s ~lo:0.0 ~hi:1.0))
+
+let test_jitter_monotone_in_band () =
+  let s_ref = Noise.white 1e-30 in
+  let out w = Noise.reference_noise_out pll s_ref w in
+  let j1 = Noise.rms_jitter out ~lo:(1e-3 *. w0) ~hi:(0.1 *. w0) in
+  let j2 = Noise.rms_jitter out ~lo:(1e-3 *. w0) ~hi:(0.4 *. w0) in
+  check_true "wider band, more jitter" (j2 > j1)
+
+let prop_folding_positive =
+  qcheck ~count:15 "output PSDs are nonnegative"
+    (QCheck2.Gen.float_range 0.01 0.45) (fun frac ->
+      let w = frac *. w0 in
+      Noise.reference_noise_out pll (Noise.white 1.0) w >= 0.0
+      && Noise.vco_noise_out pll (Noise.one_over_f2 1.0) w >= 0.0)
+
+let suite =
+  [
+    case "psd prototypes" test_psd_shapes;
+    case "reference noise folding (white)" test_reference_folding_white;
+    case "band-limited noise does not fold" test_reference_folding_bandlimited;
+    case "vco noise is highpass-shaped" test_vco_noise_highpass;
+    case "vco noise formula" test_vco_noise_formula;
+    case "jitter integration (analytic)" test_jitter_integration;
+    case "jitter grows with bandwidth" test_jitter_monotone_in_band;
+    prop_folding_positive;
+  ]

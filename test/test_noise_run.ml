@@ -1,0 +1,72 @@
+open Helpers
+module Nr = Sim.Noise_run
+
+let pll = pll_of spec_default
+let w0 = Pll_lib.Pll.omega0 pll
+
+(* Statistical tests with fixed seeds; tolerances sized for the ~111
+   Welch segments these runs produce (sigma ~ 10%). *)
+
+let test_vco_noise_shape () =
+  let r = Nr.vco_white_fm pll ~sigma_freq:(w0 *. 1e-4) ~periods:2048 () in
+  List.iter
+    (fun (lo, hi) ->
+      let ratio = Nr.band_ratio r ~lo:(lo *. w0) ~hi:(hi *. w0) in
+      check_true
+        (Printf.sprintf "vco band [%.2f,%.2f]: ratio %.3f in [0.75,1.3]" lo hi ratio)
+        (ratio > 0.75 && ratio < 1.3))
+    [ (0.02, 0.1); (0.1, 0.3); (0.3, 0.49) ]
+
+let test_vco_noise_is_highpass () =
+  (* in-band the loop suppresses VCO noise: the measured PSD at low
+     frequency is far below the open-loop 1/w^2 skirt *)
+  let sigma_freq = w0 *. 1e-4 in
+  let r = Nr.vco_white_fm pll ~sigma_freq ~periods:1024 () in
+  (* deep in band (w ~ 0.3 w_UG) the type-2 loop rejects hard *)
+  let lo = 0.02 *. w0 and hi = 0.05 *. w0 in
+  let measured = Numeric.Psd.band_average r.Nr.estimate ~lo ~hi in
+  let wc = 0.031 *. w0 in
+  let dt = Pll_lib.Pll.period pll /. 128.0 in
+  let w_vco = 2.0 *. Float.pi *. 64.0 *. 1e6 in
+  let open_loop =
+    sigma_freq *. sigma_freq *. dt /. (w_vco *. w_vco *. wc *. wc)
+  in
+  check_true
+    (Printf.sprintf "in-band suppression (%.2e vs open loop %.2e)" measured open_loop)
+    (measured < 0.15 *. open_loop)
+
+let test_reference_noise_folding () =
+  let period = Pll_lib.Pll.period pll in
+  let r = Nr.reference_white pll ~sigma_theta:(period /. 1e5) ~periods:2048 () in
+  let lo = 0.01 *. w0 and hi = 0.2 *. w0 in
+  let tv = Nr.band_ratio r ~lo ~hi in
+  let lti = Nr.band_ratio_lti r ~lo ~hi in
+  check_true
+    (Printf.sprintf "TV prediction within 40%% (ratio %.3f)" tv)
+    (tv > 0.6 && tv < 1.4);
+  check_true
+    (Printf.sprintf "LTI misses the folding by far (ratio %.0f)" lti)
+    (lti > 20.0)
+
+let test_linearity_in_sigma () =
+  (* doubling the injected noise quadruples the output PSD *)
+  let r1 = Nr.vco_white_fm pll ~sigma_freq:(w0 *. 1e-4) ~periods:512 ~seed:9L () in
+  let r2 = Nr.vco_white_fm pll ~sigma_freq:(w0 *. 2e-4) ~periods:512 ~seed:9L () in
+  let b r = Numeric.Psd.band_average r.Nr.estimate ~lo:(0.1 *. w0) ~hi:(0.3 *. w0) in
+  check_close ~tol:0.02 "same seed: exactly x4" 4.0 (b r2 /. b r1)
+
+let test_seed_reproducibility () =
+  let r1 = Nr.vco_white_fm pll ~sigma_freq:(w0 *. 1e-4) ~periods:256 ~seed:5L () in
+  let r2 = Nr.vco_white_fm pll ~sigma_freq:(w0 *. 1e-4) ~periods:256 ~seed:5L () in
+  check_close "deterministic"
+    (Numeric.Psd.band_average r1.Nr.estimate ~lo:(0.1 *. w0) ~hi:(0.3 *. w0))
+    (Numeric.Psd.band_average r2.Nr.estimate ~lo:(0.1 *. w0) ~hi:(0.3 *. w0))
+
+let suite =
+  [
+    slow_case "vco white FM: PSD matches TV prediction" test_vco_noise_shape;
+    slow_case "vco noise suppressed in band" test_vco_noise_is_highpass;
+    slow_case "reference noise folding (LTI fails)" test_reference_noise_folding;
+    slow_case "linearity in noise power" test_linearity_in_sigma;
+    slow_case "seed reproducibility" test_seed_reproducibility;
+  ]

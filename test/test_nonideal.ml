@@ -1,0 +1,110 @@
+open Helpers
+module B = Sim.Behavioral
+module Transient = Sim.Transient
+module Waveform = Sim.Waveform
+
+let pll = pll_of spec_default
+let period = Pll_lib.Pll.period pll
+
+let steady_offset record =
+  let theta = record.B.theta in
+  let n = Waveform.length theta in
+  let tail = Array.init (n / 5) (fun i -> Waveform.value theta (n - 1 - i)) in
+  Numeric.Stats.mean tail
+
+let test_reset_delay_neutral () =
+  (* matched currents: the anti-dead-zone pulse pair injects zero net
+     charge, so no offset develops *)
+  let nonideal = { B.ideal with B.reset_delay = period /. 50.0 } in
+  let r = Transient.locked_run pll ~nonideal ~periods:120 () in
+  check_true "no offset from matched reset pulses"
+    (Float.abs (steady_offset r) < 1e-13)
+
+let test_leakage_offset () =
+  (* leakage L drains L*T per period; the UP pulse replacing it has
+     width L*T/Icp, which is the static phase error *)
+  let icp = spec_default.Pll_lib.Design.icp in
+  let leakage = 0.01 *. icp in
+  let nonideal = { B.ideal with B.leakage = leakage } in
+  let r = Transient.locked_run pll ~nonideal ~steps_per_period:96 ~periods:250 () in
+  let expected = -.leakage *. period /. icp in
+  check_close ~tol:0.12 "leakage offset ~ -L*T/Icp" expected (steady_offset r);
+  (* the replacement pulse makes a visible periodic ripple *)
+  check_true "leakage creates ripple"
+    (Transient.steady_state_ripple r ~period ~periods:20 > 1e-4)
+
+let test_mismatch_offset_sign () =
+  let nonideal gain =
+    { B.ideal with B.up_current_gain = gain; reset_delay = period /. 50.0 }
+  in
+  let up = Transient.locked_run pll ~nonideal:(nonideal 1.1) ~periods:200 () in
+  let down = Transient.locked_run pll ~nonideal:(nonideal 0.9) ~periods:200 () in
+  let o_up = steady_offset up and o_down = steady_offset down in
+  check_true "stronger UP pushes offset positive" (o_up > 0.0);
+  check_true "weaker UP pushes offset negative" (o_down < 0.0);
+  (* first-order magnitude: (g-1)*t_delay *)
+  check_close ~tol:0.05 "offset magnitude" (0.1 *. period /. 50.0) o_up
+
+let test_mismatch_without_delay_invisible () =
+  (* with zero reset delay the in-lock pulses have zero width: a pure
+     gain mismatch then leaves no static signature *)
+  let nonideal = { B.ideal with B.up_current_gain = 1.2 } in
+  let r = Transient.locked_run pll ~nonideal ~periods:120 () in
+  check_true "no pulses, no offset" (Float.abs (steady_offset r) < 1e-13)
+
+let test_still_locks_with_all_nonidealities () =
+  let icp = spec_default.Pll_lib.Design.icp in
+  let nonideal =
+    {
+      B.reset_delay = period /. 40.0;
+      up_current_gain = 1.1;
+      leakage = 0.01 *. icp;
+    }
+  in
+  let r = Transient.acquisition pll ~nonideal ~freq_offset:100e3 ~periods:400 () in
+  match Transient.lock_time r ~tol:(period /. 20.0) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "loop should still acquire lock"
+
+let test_reference_spur () =
+  (* leakage produces a strong reference spur; the theta-line route and
+     the control-ripple FM route must agree, and the ideal loop must
+     show none *)
+  let icp = spec_default.Pll_lib.Design.icp in
+  let rows = Experiments.Exp_nonideal.compute () in
+  ignore icp;
+  let find label =
+    List.find (fun r -> r.Experiments.Exp_nonideal.label = label) rows
+  in
+  let leak = find "leakage 1% of Icp" in
+  check_true "leakage spur visible" (leak.Experiments.Exp_nonideal.spur_dbc > -60.0);
+  check_close ~tol:0.1 "two spur routes agree (dB scale)"
+    leak.Experiments.Exp_nonideal.spur_pred_dbc
+    leak.Experiments.Exp_nonideal.spur_dbc;
+  let ideal = find "ideal" in
+  check_true "ideal loop has no spur" (ideal.Experiments.Exp_nonideal.spur_dbc < -200.0)
+
+let test_experiment_harness () =
+  let rows = Experiments.Exp_nonideal.compute () in
+  check_int "six cases" 6 (List.length rows);
+  List.iter
+    (fun row ->
+      let open Experiments.Exp_nonideal in
+      let scale = Stdlib.max (Float.abs row.predicted_offset) (period /. 1e6) in
+      check_true
+        (Printf.sprintf "%s: measured %.2e vs predicted %.2e" row.label
+           row.measured_offset row.predicted_offset)
+        (Float.abs (row.measured_offset -. row.predicted_offset) < 0.15 *. scale
+         +. 1e-15))
+    rows
+
+let suite =
+  [
+    slow_case "matched reset delay is charge-neutral" test_reset_delay_neutral;
+    slow_case "leakage static offset" test_leakage_offset;
+    slow_case "mismatch offset and sign" test_mismatch_offset_sign;
+    slow_case "mismatch invisible without delay" test_mismatch_without_delay_invisible;
+    slow_case "locks despite non-idealities" test_still_locks_with_all_nonidealities;
+    slow_case "reference spur (two routes)" test_reference_spur;
+    slow_case "experiment harness vs theory" test_experiment_harness;
+  ]

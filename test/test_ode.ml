@@ -1,0 +1,83 @@
+open Numeric
+open Helpers
+
+(* y' = -y, y(0) = 1: y(t) = e^{-t} *)
+let decay _t y = [| -.y.(0) |]
+
+(* harmonic oscillator: x'' = -x as a first-order system *)
+let oscillator _t y = [| y.(1); -.y.(0) |]
+
+let test_rk4_decay () =
+  let y = Ode.rk4 decay ~t0:0.0 ~y0:[| 1.0 |] ~t1:1.0 ~steps:100 in
+  check_close ~tol:1e-8 "e^{-1}" (exp (-1.0)) y.(0)
+
+let test_rk4_oscillator () =
+  let y = Ode.rk4 oscillator ~t0:0.0 ~y0:[| 1.0; 0.0 |] ~t1:(2.0 *. Float.pi) ~steps:400 in
+  check_close ~tol:1e-6 "cos(2pi)" 1.0 y.(0);
+  check_close ~tol:1e-6 "sin(2pi)" 0.0 y.(1)
+
+let test_rk4_order () =
+  (* halving the step should cut the error by ~16x (4th order) *)
+  let err steps =
+    let y = Ode.rk4 decay ~t0:0.0 ~y0:[| 1.0 |] ~t1:1.0 ~steps in
+    Float.abs (y.(0) -. exp (-1.0))
+  in
+  let e1 = err 10 and e2 = err 20 in
+  check_true "4th-order convergence" (e1 /. e2 > 12.0 && e1 /. e2 < 20.0)
+
+let test_rk4_trace () =
+  let trace = Ode.rk4_trace decay ~t0:0.0 ~y0:[| 1.0 |] ~t1:1.0 ~steps:10 in
+  check_int "trace length" 11 (Array.length trace);
+  let t5, y5 = trace.(5) in
+  check_close "trace time" 0.5 t5;
+  check_close ~tol:1e-6 "trace value" (exp (-0.5)) y5.(0)
+
+let test_dopri5 () =
+  let y = Ode.dopri5 decay ~t0:0.0 ~y0:[| 1.0 |] ~t1:3.0 () in
+  check_close ~tol:1e-7 "e^{-3}" (exp (-3.0)) y.(0);
+  let y2 = Ode.dopri5 oscillator ~t0:0.0 ~y0:[| 0.0; 1.0 |] ~t1:Float.pi () in
+  check_close ~tol:1e-6 "sin(pi)" 0.0 y2.(0);
+  check_close ~tol:1e-6 "cos(pi)" (-1.0) y2.(1)
+
+let test_dopri5_stiff_tolerance () =
+  (* fast decay handled by step adaptation *)
+  let fast _t y = [| -50.0 *. y.(0) |] in
+  let y = Ode.dopri5 fast ~t0:0.0 ~y0:[| 1.0 |] ~t1:1.0 ~rtol:1e-10 () in
+  check_close ~tol:1e-8 "e^{-50}" (exp (-50.0)) y.(0)
+
+let test_linear_stepper () =
+  (* x' = -x + 1: x(t) = 1 + (x0 - 1) e^{-t} *)
+  let a = Rmat.of_rows [| [| -1.0 |] |] in
+  let step = Ode.linear_stepper ~a ~b:[| 1.0 |] ~h:0.25 in
+  let x = ref [| 0.0 |] in
+  for _ = 1 to 4 do
+    x := step !x
+  done;
+  check_close ~tol:1e-12 "affine exact step" (1.0 -. exp (-1.0)) !x.(0)
+
+let test_linear_stepper_rotation () =
+  (* rotation has no damping: norm preserved exactly by expm *)
+  let a = Rmat.of_rows [| [| 0.0; -1.0 |]; [| 1.0; 0.0 |] |] in
+  let step = Ode.linear_stepper ~a ~b:[| 0.0; 0.0 |] ~h:(Float.pi /. 2.0) in
+  let x = step [| 1.0; 0.0 |] in
+  check_close ~tol:1e-12 "quarter turn x" 0.0 x.(0);
+  check_close ~tol:1e-12 "quarter turn y" 1.0 x.(1)
+
+let prop_rk4_linear_exactness =
+  qcheck ~count:30 "rk4 solves y' = a with no error"
+    (QCheck2.Gen.pair small_float small_float) (fun (a, y0) ->
+      let y = Ode.rk4 (fun _ _ -> [| a |]) ~t0:0.0 ~y0:[| y0 |] ~t1:2.0 ~steps:7 in
+      Float.abs (y.(0) -. (y0 +. (2.0 *. a))) < 1e-9 *. (1.0 +. Float.abs y0 +. Float.abs a))
+
+let suite =
+  [
+    case "rk4 exponential decay" test_rk4_decay;
+    case "rk4 oscillator" test_rk4_oscillator;
+    case "rk4 convergence order" test_rk4_order;
+    case "rk4 trace" test_rk4_trace;
+    case "dopri5 accuracy" test_dopri5;
+    case "dopri5 fast dynamics" test_dopri5_stiff_tolerance;
+    case "linear stepper affine" test_linear_stepper;
+    case "linear stepper rotation" test_linear_stepper_rotation;
+    prop_rk4_linear_exactness;
+  ]

@@ -1,0 +1,97 @@
+open Helpers
+module Parse = Circuit.Parse
+module Netlist = Circuit.Netlist
+
+let test_values () =
+  check_close "plain" 47.0 (Parse.value "47");
+  check_close "decimal" 4.7 (Parse.value "4.7");
+  check_close "scientific" 1e-9 (Parse.value "1e-9");
+  check_close "kilo" 4700.0 (Parse.value "4.7k");
+  check_close "mega" 2e6 (Parse.value "2meg");
+  check_close "milli" 2e-3 (Parse.value "2m");
+  check_close "micro" 1e-6 (Parse.value "1u");
+  check_close "nano" 3.3e-9 (Parse.value "3.3n");
+  check_close "pico" 1e-12 (Parse.value "1p");
+  check_close "femto" 1e-15 (Parse.value "1f");
+  check_close "giga" 1e9 (Parse.value "1g");
+  check_close "negative exponent with suffix" 2.2e-8 (Parse.value "22e-9") ;
+  check_close "case insensitive" 1000.0 (Parse.value "1K")
+
+let test_bad_values () =
+  List.iter
+    (fun s ->
+      match Parse.value s with
+      | exception Failure _ -> ()
+      | v -> Alcotest.failf "expected failure for %s, got %g" s v)
+    [ ""; "k"; "1x"; "--3"; "1e" ]
+
+let test_netlist_roundtrip () =
+  let src =
+    {|* the paper's second-order charge-pump filter
+R1 1 2 55.81k  ; series resistor
+C1 2 0 36.18p
+C2 1 0 3.993p
+|}
+  in
+  let n = Parse.netlist src in
+  check_int "three elements" 3 (List.length (Netlist.elements n));
+  check_int "max node" 2 (Netlist.max_node n);
+  (* impedance equals the builder's *)
+  let built =
+    Netlist.second_order_cp_filter ~r:55.81e3 ~c1:36.18e-12 ~c2:3.993e-12
+  in
+  let z1 = Circuit.Mna.impedance n ~port:1 in
+  let z2 = Circuit.Mna.impedance built ~port:1 in
+  List.iter
+    (fun w ->
+      let s = Numeric.Cx.jomega w in
+      check_cx ~tol:1e-12 "same impedance" (Lti.Tf.eval z2 s) (Lti.Tf.eval z1 s))
+    [ 1e4; 1e6; 1e8 ]
+
+let test_vcvs_and_inductor () =
+  let src = {|
+L1 1 2 1m
+E1 3 0 2 0 2.5
+R1 3 0 50
+|} in
+  let n = Parse.netlist src in
+  check_int "elements" 3 (List.length (Netlist.elements n));
+  check_int "extra unknowns (L + E)" 2 (Netlist.extra_unknowns n)
+
+let test_errors () =
+  (match Parse.netlist "R1 1 2" with
+  | exception Parse.Parse_error { line = 1; message } ->
+      check_true "mentions fields" (String.length message > 0)
+  | _ -> Alcotest.fail "expected parse error");
+  (match Parse.netlist "X1 1 2 3" with
+  | exception Parse.Parse_error { line = 1; _ } -> ()
+  | _ -> Alcotest.fail "unknown element must fail");
+  (match Parse.netlist "R1 1 2 -5" with
+  | exception Parse.Parse_error { line = 0; _ } -> ()
+  | _ -> Alcotest.fail "negative resistance must fail");
+  match Parse.netlist "\n\nC4 a 0 1n" with
+  | exception Parse.Parse_error { line = 3; message } ->
+      check_true "bad node reported" (String.length message > 0)
+  | _ -> Alcotest.fail "bad node must fail"
+
+let test_comments_and_blanks () =
+  let n = Parse.netlist "* header\n\nR1 1 0 1k ; load\n   \n* trailing" in
+  check_int "one element" 1 (List.length (Netlist.elements n))
+
+let prop_value_scaling =
+  qcheck ~count:30 "suffixes scale linearly"
+    (QCheck2.Gen.float_range 0.1 999.0) (fun x ->
+      let s = Printf.sprintf "%.6g" x in
+      Float.abs (Parse.value (s ^ "k") -. (1000.0 *. Parse.value s))
+      < 1e-6 *. (1.0 +. (1000.0 *. x)))
+
+let suite =
+  [
+    case "engineering values" test_values;
+    case "malformed values" test_bad_values;
+    case "netlist round trip" test_netlist_roundtrip;
+    case "vcvs and inductor cards" test_vcvs_and_inductor;
+    case "error reporting" test_errors;
+    case "comments and blanks" test_comments_and_blanks;
+    prop_value_scaling;
+  ]

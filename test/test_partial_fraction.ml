@@ -1,0 +1,129 @@
+open Numeric
+open Helpers
+
+let sample_points =
+  [ Cx.make 0.5 0.3; Cx.make (-1.7) 2.2; Cx.make 4.0 (-1.0); Cx.jomega 0.8 ]
+
+let check_expansion ?(tol = 1e-7) r =
+  let e = Partial_fraction.expand r in
+  List.iter
+    (fun x ->
+      let direct = Rat.eval r x in
+      if Cx.is_finite direct then
+        check_cx ~tol "expansion matches rational" direct (Partial_fraction.eval e x))
+    sample_points;
+  e
+
+let test_simple_poles () =
+  (* 1 / ((s+1)(s+2)) = 1/(s+1) - 1/(s+2) *)
+  let r =
+    Rat.make Poly.one
+      (Poly.from_roots [ Cx.of_float (-1.0); Cx.of_float (-2.0) ])
+  in
+  let e = check_expansion r in
+  check_int "two terms" 2 (List.length e.Partial_fraction.terms);
+  List.iter
+    (fun t ->
+      let expected =
+        if Cx.abs (Cx.sub t.Partial_fraction.pole (Cx.of_float (-1.0))) < 0.01
+        then Cx.one
+        else Cx.neg Cx.one
+      in
+      check_cx ~tol:1e-9 "residue" expected t.Partial_fraction.residue)
+    e.Partial_fraction.terms
+
+let test_double_pole () =
+  (* (s + 3) / (s+1)^2 = 1/(s+1) + 2/(s+1)^2 *)
+  let r =
+    Rat.make (Poly.of_real_coeffs [ 3.0; 1.0 ])
+      (Poly.mul (Poly.of_real_coeffs [ 1.0; 1.0 ]) (Poly.of_real_coeffs [ 1.0; 1.0 ]))
+  in
+  let e = check_expansion r in
+  check_int "two terms" 2 (List.length e.Partial_fraction.terms);
+  List.iter
+    (fun t ->
+      match t.Partial_fraction.order with
+      | 1 -> check_cx ~tol:1e-8 "order-1 residue" Cx.one t.Partial_fraction.residue
+      | 2 -> check_cx ~tol:1e-8 "order-2 residue" (Cx.of_float 2.0) t.Partial_fraction.residue
+      | n -> Alcotest.failf "unexpected order %d" n)
+    e.Partial_fraction.terms
+
+let test_double_pole_at_origin () =
+  (* the PLL open loop shape: (1 + s) / (s^2 (1 + s/10)) *)
+  let r =
+    Rat.make (Poly.of_real_coeffs [ 1.0; 1.0 ])
+      (Poly.mul (Poly.of_real_coeffs [ 0.0; 0.0; 1.0 ]) (Poly.of_real_coeffs [ 1.0; 0.1 ]))
+  in
+  let e = check_expansion ~tol:1e-6 r in
+  (* must contain an order-2 term at 0 and an order-1 term at -10 *)
+  check_true "has order-2 pole at origin"
+    (List.exists
+       (fun t -> t.Partial_fraction.order = 2 && Cx.abs t.Partial_fraction.pole < 1e-6)
+       e.Partial_fraction.terms);
+  check_true "has pole at -10"
+    (List.exists
+       (fun t -> Cx.abs (Cx.sub t.Partial_fraction.pole (Cx.of_float (-10.0))) < 1e-4)
+       e.Partial_fraction.terms)
+
+let test_complex_poles () =
+  (* 1 / (s^2 + 1): poles at +-j, residues -+ j/2 *)
+  let r = Rat.make Poly.one (Poly.of_real_coeffs [ 1.0; 0.0; 1.0 ]) in
+  let e = check_expansion r in
+  List.iter
+    (fun t ->
+      let expected =
+        if Cx.im t.Partial_fraction.pole > 0.0 then Cx.scale (-0.5) Cx.j
+        else Cx.scale 0.5 Cx.j
+      in
+      check_cx ~tol:1e-9 "residue at +-j" expected t.Partial_fraction.residue)
+    e.Partial_fraction.terms
+
+let test_improper () =
+  (* (s^2 + s + 1)/(s + 1) = s + 1/(s+1) *)
+  let r =
+    Rat.make (Poly.of_real_coeffs [ 1.0; 1.0; 1.0 ]) (Poly.of_real_coeffs [ 1.0; 1.0 ])
+  in
+  let e = check_expansion r in
+  check_true "direct part is s" (Poly.equal e.Partial_fraction.direct Poly.s)
+
+let test_to_rat_roundtrip () =
+  let r =
+    Rat.make (Poly.of_real_coeffs [ 2.0; 1.0 ])
+      (Poly.from_roots [ Cx.of_float (-1.0); Cx.of_float (-4.0); Cx.of_float (-9.0) ])
+  in
+  let back = Partial_fraction.to_rat (Partial_fraction.expand r) in
+  check_true "round trip response" (Rat.equal_response ~tol:1e-6 r back)
+
+let prop_expansion_matches =
+  qcheck ~count:40 "expansion evaluates like the rational"
+    (QCheck2.Gen.pair gen_poly
+       (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 3) gen_stable_pole))
+    (fun (num, poles) ->
+      (* keep poles separated to avoid ill-conditioned near-multiples *)
+      let separated =
+        List.for_all
+          (fun a ->
+            List.for_all (fun b -> a == b || Cx.abs (Cx.sub a b) > 0.3) poles)
+          poles
+      in
+      QCheck2.assume separated;
+      QCheck2.assume (not (Poly.is_zero num));
+      let r = Rat.make num (Poly.from_roots poles) in
+      let e = Partial_fraction.expand r in
+      List.for_all
+        (fun x ->
+          let direct = Rat.eval r x in
+          (not (Cx.is_finite direct))
+          || Cx.approx ~tol:1e-5 direct (Partial_fraction.eval e x))
+        sample_points)
+
+let suite =
+  [
+    case "simple poles" test_simple_poles;
+    case "double pole" test_double_pole;
+    case "double pole at origin (PLL shape)" test_double_pole_at_origin;
+    case "complex conjugate poles" test_complex_poles;
+    case "improper rational" test_improper;
+    case "to_rat round trip" test_to_rat_roundtrip;
+    prop_expansion_matches;
+  ]

@@ -1,0 +1,131 @@
+open Numeric
+open Helpers
+
+let p123 = Poly.of_real_coeffs [ 1.0; 2.0; 3.0 ] (* 1 + 2s + 3s^2 *)
+
+let test_construction () =
+  check_int "degree" 2 (Poly.degree p123);
+  check_int "zero degree" (-1) (Poly.degree Poly.zero);
+  check_true "zero is_zero" (Poly.is_zero Poly.zero);
+  check_true "trailing zeros trimmed"
+    (Poly.degree (Poly.of_real_coeffs [ 1.0; 0.0; 0.0 ]) = 0);
+  check_cx "coeff" (Cx.of_float 2.0) (Poly.coeff p123 1);
+  check_cx "coeff beyond" Cx.zero (Poly.coeff p123 7);
+  check_int "monomial degree" 3 (Poly.degree (Poly.monomial Cx.one 3));
+  check_true "monomial of zero" (Poly.is_zero (Poly.monomial Cx.zero 3));
+  check_int "s" 1 (Poly.degree Poly.s)
+
+let test_eval () =
+  check_cx "eval at 0" Cx.one (Poly.eval p123 Cx.zero);
+  check_cx "eval at 2" (Cx.of_float 17.0) (Poly.eval p123 (Cx.of_float 2.0));
+  check_cx "eval at j" (Cx.make (-2.0) 2.0) (Poly.eval p123 Cx.j);
+  check_cx "eval zero poly" Cx.zero (Poly.eval Poly.zero (Cx.of_float 5.0))
+
+let test_arith () =
+  let q = Poly.of_real_coeffs [ 0.0; 1.0 ] in
+  check_cx "add" (Cx.of_float 3.0) (Poly.coeff (Poly.add p123 q) 1);
+  check_true "sub self" (Poly.is_zero (Poly.sub p123 p123));
+  let prod = Poly.mul p123 q in
+  check_int "mul degree" 3 (Poly.degree prod);
+  check_cx "mul shifts" (Cx.of_float 3.0) (Poly.coeff prod 3);
+  check_cx "scale" (Cx.of_float 6.0) (Poly.coeff (Poly.scale (Cx.of_float 2.0) p123) 2);
+  check_true "mul by zero" (Poly.is_zero (Poly.mul p123 Poly.zero));
+  check_int "pow" 4 (Poly.degree (Poly.pow p123 2));
+  check_true "pow 0" (Poly.equal Poly.one (Poly.pow p123 0))
+
+let test_derivative () =
+  let d = Poly.derivative p123 in
+  (* d/ds (1 + 2s + 3s^2) = 2 + 6s *)
+  check_cx "deriv c0" (Cx.of_float 2.0) (Poly.coeff d 0);
+  check_cx "deriv c1" (Cx.of_float 6.0) (Poly.coeff d 1);
+  check_true "deriv of constant" (Poly.is_zero (Poly.derivative Poly.one))
+
+let test_divmod () =
+  (* (s^2 - 1) / (s - 1) = (s + 1), r = 0 *)
+  let n = Poly.of_real_coeffs [ -1.0; 0.0; 1.0 ] in
+  let d = Poly.of_real_coeffs [ -1.0; 1.0 ] in
+  let q, r = Poly.divmod n d in
+  check_true "quotient" (Poly.equal q (Poly.of_real_coeffs [ 1.0; 1.0 ]));
+  check_true "remainder zero" (Poly.is_zero r);
+  (* s^3 + 2 over s^2: q = s, r = 2 *)
+  let q2, r2 = Poly.divmod (Poly.of_real_coeffs [ 2.0; 0.0; 0.0; 1.0 ])
+      (Poly.of_real_coeffs [ 0.0; 0.0; 1.0 ]) in
+  check_true "q2" (Poly.equal q2 Poly.s);
+  check_true "r2" (Poly.equal r2 (Poly.of_real_coeffs [ 2.0 ]));
+  Alcotest.check_raises "div by zero poly" Division_by_zero (fun () ->
+      ignore (Poly.divmod p123 Poly.zero))
+
+let test_from_roots_monic () =
+  let p = Poly.from_roots [ Cx.of_float 1.0; Cx.of_float (-2.0) ] in
+  (* (s - 1)(s + 2) = s^2 + s - 2 *)
+  check_cx "c0" (Cx.of_float (-2.0)) (Poly.coeff p 0);
+  check_cx "c1" Cx.one (Poly.coeff p 1);
+  check_cx "c2" Cx.one (Poly.coeff p 2);
+  let m = Poly.monic (Poly.scale (Cx.of_float 5.0) p) in
+  check_cx "monic lead" Cx.one (Poly.coeff m 2)
+
+let test_shift () =
+  (* p(s) = s^2; p(s + 1) = s^2 + 2s + 1 *)
+  let p = Poly.of_real_coeffs [ 0.0; 0.0; 1.0 ] in
+  let sh = Poly.shift p Cx.one in
+  check_true "shift square" (Poly.equal sh (Poly.of_real_coeffs [ 1.0; 2.0; 1.0 ]));
+  (* general property at a point *)
+  let a = Cx.make 0.7 (-0.3) and x = Cx.make (-1.2) 0.4 in
+  check_cx "shift evaluates" (Poly.eval p123 (Cx.add x a)) (Poly.eval (Poly.shift p123 a) x)
+
+let test_deflate () =
+  let p = Poly.from_roots [ Cx.of_float 2.0; Cx.of_float 3.0 ] in
+  let q = Poly.deflate p (Cx.of_float 2.0) in
+  check_true "deflated" (Poly.equal q (Poly.of_real_coeffs [ -3.0; 1.0 ]));
+  (* deflation keeps the leading coefficient *)
+  let p5 = Poly.scale (Cx.of_float 5.0) p in
+  check_cx "lead preserved" (Cx.of_float 5.0)
+    (Poly.coeff (Poly.deflate p5 (Cx.of_float 2.0)) 1)
+
+let prop_eval_hom =
+  qcheck ~count:60 "eval is a ring homomorphism"
+    (QCheck2.Gen.triple gen_poly gen_poly gen_cx) (fun (p, q, x) ->
+      Cx.approx ~tol:1e-6
+        (Poly.eval (Poly.mul p q) x)
+        (Cx.mul (Poly.eval p x) (Poly.eval q x))
+      && Cx.approx ~tol:1e-6
+           (Poly.eval (Poly.add p q) x)
+           (Cx.add (Poly.eval p x) (Poly.eval q x)))
+
+let prop_divmod_identity =
+  qcheck ~count:60 "n = q d + r" (QCheck2.Gen.pair gen_poly gen_poly)
+    (fun (n, d) ->
+      QCheck2.assume (not (Poly.is_zero d));
+      let q, r = Poly.divmod n d in
+      Poly.equal ~tol:1e-6 n (Poly.add (Poly.mul q d) r)
+      && (Poly.is_zero r || Poly.degree r < Poly.degree d))
+
+let prop_shift_inverse =
+  qcheck ~count:60 "shift by a then by -a" (QCheck2.Gen.pair gen_poly gen_cx)
+    (fun (p, a) ->
+      Poly.equal ~tol:1e-6 p (Poly.shift (Poly.shift p a) (Cx.neg a)))
+
+let prop_derivative_product_rule =
+  qcheck ~count:60 "(pq)' = p'q + pq'" (QCheck2.Gen.pair gen_poly gen_poly)
+    (fun (p, q) ->
+      Poly.equal ~tol:1e-6
+        (Poly.derivative (Poly.mul p q))
+        (Poly.add
+           (Poly.mul (Poly.derivative p) q)
+           (Poly.mul p (Poly.derivative q))))
+
+let suite =
+  [
+    case "construction" test_construction;
+    case "evaluation" test_eval;
+    case "arithmetic" test_arith;
+    case "derivative" test_derivative;
+    case "divmod" test_divmod;
+    case "from_roots / monic" test_from_roots_monic;
+    case "taylor shift" test_shift;
+    case "deflation" test_deflate;
+    prop_eval_hom;
+    prop_divmod_identity;
+    prop_shift_inverse;
+    prop_derivative_product_rule;
+  ]

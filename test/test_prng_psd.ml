@@ -1,0 +1,107 @@
+open Numeric
+open Helpers
+
+let test_determinism () =
+  let a = Prng.create ~seed:42L and b = Prng.create ~seed:42L in
+  for _ = 1 to 100 do
+    check_close "same stream" (Prng.float a) (Prng.float b)
+  done;
+  let c = Prng.create ~seed:43L in
+  check_true "different seeds differ"
+    (Prng.float (Prng.create ~seed:42L) <> Prng.float c)
+
+let test_uniform_range () =
+  let g = Prng.create ~seed:7L in
+  for _ = 1 to 1000 do
+    let x = Prng.float g in
+    check_true "in [0,1)" (x >= 0.0 && x < 1.0)
+  done;
+  let y = Prng.uniform g ~lo:(-2.0) ~hi:5.0 in
+  check_true "in range" (y >= -2.0 && y < 5.0)
+
+let test_uniform_moments () =
+  let g = Prng.create ~seed:11L in
+  let xs = Array.init 100_000 (fun _ -> Prng.float g) in
+  check_close ~tol:0.01 "mean 1/2" 0.5 (Stats.mean xs);
+  check_close ~tol:0.02 "variance 1/12" (1.0 /. 12.0) (Stats.variance xs)
+
+let test_gaussian_moments () =
+  let g = Prng.create ~seed:13L in
+  let xs = Prng.gaussian_array g 200_000 ~sigma:2.0 in
+  check_close ~tol:0.02 "zero mean" 0.0 (Stats.mean xs);
+  check_close ~tol:0.02 "variance sigma^2" 4.0 (Stats.variance xs);
+  (* tail sanity: ~2.3% beyond 2 sigma on each side *)
+  let beyond =
+    Array.fold_left (fun acc x -> if x > 4.0 then acc + 1 else acc) 0 xs
+  in
+  let frac = float_of_int beyond /. 200_000.0 in
+  check_true "upper tail ~ 2.3%" (frac > 0.018 && frac < 0.028)
+
+let test_copy_independent () =
+  let g = Prng.create ~seed:3L in
+  let h = Prng.copy g in
+  check_close "copies continue identically" (Prng.float g) (Prng.float h)
+
+let test_welch_white_noise_level () =
+  (* white noise of variance sigma^2 sampled at dt: two-sided PSD is
+     sigma^2 * dt *)
+  let g = Prng.create ~seed:21L in
+  let dt = 1e-3 and sigma = 3.0 in
+  let xs = Prng.gaussian_array g 65536 ~sigma in
+  let est = Psd.welch xs ~dt ~segment:512 in
+  let level = Psd.band_average est ~lo:(est.Psd.omega.(3)) ~hi:(est.Psd.omega.(200)) in
+  check_close ~tol:0.06 "white level" (sigma *. sigma *. dt) level;
+  (* and the integrated PSD returns the variance *)
+  check_close ~tol:0.06 "variance recovered" (sigma *. sigma) (Psd.variance_of est)
+
+let test_welch_sine_peak () =
+  (* a pure tone concentrates its power at its bin *)
+  let dt = 1e-3 in
+  let omega = 2.0 *. Float.pi *. 50.0 in
+  let xs = Array.init 16384 (fun i -> sin (omega *. float_of_int i *. dt)) in
+  let est = Psd.welch xs ~dt ~segment:1024 in
+  (* find the peak bin *)
+  let peak = ref 0 in
+  Array.iteri (fun k v -> if v > est.Psd.s.(!peak) then peak := k) est.Psd.s;
+  check_close ~tol:0.01 "peak at the tone" omega est.Psd.omega.(!peak);
+  (* integrated power of a unit sine is 1/2 *)
+  check_close ~tol:0.05 "tone power" 0.5 (Psd.variance_of est)
+
+let test_welch_validation () =
+  Alcotest.check_raises "segment not a power of two"
+    (Invalid_argument "Psd.welch: segment must be a power of two >= 4")
+    (fun () -> ignore (Psd.welch (Array.make 100 0.0) ~dt:1.0 ~segment:100));
+  Alcotest.check_raises "record too short"
+    (Invalid_argument "Psd.welch: record shorter than one segment") (fun () ->
+      ignore (Psd.welch (Array.make 100 0.0) ~dt:1.0 ~segment:128))
+
+let test_band_average_validation () =
+  let est = Psd.welch (Array.make 1024 1.0) ~dt:1.0 ~segment:256 in
+  Alcotest.check_raises "empty band"
+    (Invalid_argument "Psd.band_average: empty band") (fun () ->
+      ignore (Psd.band_average est ~lo:1e9 ~hi:2e9))
+
+let prop_psd_scales_quadratically =
+  qcheck ~count:10 "PSD scales with amplitude squared"
+    (QCheck2.Gen.float_range 0.5 4.0) (fun a ->
+      let g = Prng.create ~seed:77L in
+      let xs = Prng.gaussian_array g 8192 ~sigma:1.0 in
+      let scaled = Array.map (fun x -> a *. x) xs in
+      let e1 = Psd.welch xs ~dt:1.0 ~segment:256 in
+      let e2 = Psd.welch scaled ~dt:1.0 ~segment:256 in
+      let r = Psd.variance_of e2 /. Psd.variance_of e1 in
+      Float.abs (r -. (a *. a)) < 0.01 *. a *. a)
+
+let suite =
+  [
+    case "determinism" test_determinism;
+    case "uniform range" test_uniform_range;
+    case "uniform moments" test_uniform_moments;
+    case "gaussian moments" test_gaussian_moments;
+    case "copy" test_copy_independent;
+    case "welch white level" test_welch_white_noise_level;
+    case "welch tone" test_welch_sine_peak;
+    case "welch validation" test_welch_validation;
+    case "band average validation" test_band_average_validation;
+    prop_psd_scales_quadratically;
+  ]

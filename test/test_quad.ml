@@ -1,0 +1,95 @@
+open Numeric
+open Helpers
+
+let test_simpson_polynomials () =
+  check_close "int x^2 over [0,1]" (1.0 /. 3.0) (Quad.simpson (fun x -> x *. x) 0.0 1.0);
+  check_close "int x^3 over [0,2]" 4.0 (Quad.simpson (fun x -> x ** 3.0) 0.0 2.0);
+  check_close "empty interval" 0.0 (Quad.simpson (fun _ -> 1.0) 1.0 1.0)
+
+let test_simpson_transcendental () =
+  check_close ~tol:1e-8 "int exp over [0,1]" (Float.exp 1.0 -. 1.0)
+    (Quad.simpson Float.exp 0.0 1.0);
+  check_close ~tol:1e-8 "int sin over [0,pi]" 2.0 (Quad.simpson sin 0.0 Float.pi);
+  (* a sharp feature exercises adaptivity *)
+  check_close ~tol:1e-6 "narrow gaussian"
+    (sqrt Float.pi /. 100.0)
+    (Quad.simpson (fun x -> exp (-. ((100.0 *. x) ** 2.0))) (-1.0) 1.0)
+
+let test_periodic_trapezoid () =
+  check_close "int sin over period" 0.0
+    (Quad.periodic_trapezoid sin ~period:(2.0 *. Float.pi) ~n:64) ~tol:1e-12;
+  check_close "int sin^2 over period" Float.pi
+    (Quad.periodic_trapezoid (fun t -> sin t ** 2.0) ~period:(2.0 *. Float.pi) ~n:64)
+
+let test_fourier_coeff_cos () =
+  (* f = cos(w0 t): coefficients 1/2 at k = +-1 *)
+  let period = 2.0 in
+  let omega0 = Float.pi in
+  let f t = cos (omega0 *. t) in
+  check_cx ~tol:1e-12 "k=1" (Cx.of_float 0.5) (Quad.fourier_coeff f ~period ~k:1 ());
+  check_cx ~tol:1e-12 "k=-1" (Cx.of_float 0.5) (Quad.fourier_coeff f ~period ~k:(-1) ());
+  check_cx ~tol:1e-12 "k=0" Cx.zero (Quad.fourier_coeff f ~period ~k:0 ());
+  check_cx ~tol:1e-12 "k=2" Cx.zero (Quad.fourier_coeff f ~period ~k:2 ())
+
+let test_fourier_coeff_sin () =
+  (* f = sin(w0 t): coefficients -j/2 at k=1, +j/2 at k=-1 *)
+  let period = 1.0 in
+  let f t = sin (2.0 *. Float.pi *. t) in
+  check_cx ~tol:1e-12 "k=1" (Cx.scale (-0.5) Cx.j) (Quad.fourier_coeff f ~period ~k:1 ());
+  check_cx ~tol:1e-12 "k=-1" (Cx.scale 0.5 Cx.j) (Quad.fourier_coeff f ~period ~k:(-1) ())
+
+let test_fourier_square_wave () =
+  (* 50% duty square wave +-1: c_k = 2/(j pi k) for odd k, 0 for even *)
+  let period = 1.0 in
+  let f t =
+    let frac = t -. Float.of_int (int_of_float t) in
+    if frac < 0.5 then 1.0 else -1.0
+  in
+  let c1 = Quad.fourier_coeff f ~period ~k:1 ~n:4096 () in
+  check_cx ~tol:1e-3 "square k=1" (Cx.div (Cx.of_float 2.0) (Cx.mul Cx.j (Cx.of_float Float.pi))) c1;
+  let c2 = Quad.fourier_coeff f ~period ~k:2 ~n:4096 () in
+  check_cx ~tol:1e-3 "square k=2 vanishes" Cx.zero c2
+
+let test_fourier_eval_roundtrip () =
+  let period = 3.0 in
+  let omega0 = 2.0 *. Float.pi /. period in
+  let f t = 1.0 +. (0.5 *. cos (omega0 *. t)) -. (0.25 *. sin (2.0 *. omega0 *. t)) in
+  let coeffs = Quad.fourier_coeffs f ~period ~max_harmonic:4 () in
+  List.iter
+    (fun t -> check_close ~tol:1e-9 "synthesis" (f t) (Quad.fourier_eval coeffs ~omega0 t))
+    [ 0.0; 0.31; 1.7; 2.9 ]
+
+let test_fourier_eval_rejects_even () =
+  Alcotest.check_raises "even array"
+    (Invalid_argument "Quad.fourier_eval: even-length array") (fun () ->
+      ignore (Quad.fourier_eval [| Cx.one; Cx.one |] ~omega0:1.0 0.0))
+
+let prop_simpson_linear =
+  qcheck ~count:30 "simpson linear in the integrand"
+    (QCheck2.Gen.pair small_float small_float) (fun (a, b) ->
+      let f x = (a *. x) +. b in
+      let expected = (a /. 2.0) +. b in
+      Float.abs (Quad.simpson f 0.0 1.0 -. expected) < 1e-9 *. (1.0 +. Float.abs expected))
+
+let prop_coeff_conj_symmetry =
+  qcheck ~count:20 "real signals give conjugate-symmetric coefficients"
+    (QCheck2.Gen.triple small_float small_float small_float) (fun (a, b, c) ->
+      let f t = a +. (b *. cos t) +. (c *. sin (2.0 *. t)) in
+      let period = 2.0 *. Float.pi in
+      let ck = Quad.fourier_coeff f ~period ~k:2 () in
+      let cmk = Quad.fourier_coeff f ~period ~k:(-2) () in
+      Cx.approx ~tol:1e-9 (Cx.conj ck) cmk)
+
+let suite =
+  [
+    case "simpson on polynomials" test_simpson_polynomials;
+    case "simpson on transcendentals" test_simpson_transcendental;
+    case "periodic trapezoid" test_periodic_trapezoid;
+    case "fourier coefficients of cos" test_fourier_coeff_cos;
+    case "fourier coefficients of sin" test_fourier_coeff_sin;
+    case "fourier of square wave" test_fourier_square_wave;
+    case "fourier synthesis round trip" test_fourier_eval_roundtrip;
+    case "fourier_eval validation" test_fourier_eval_rejects_even;
+    prop_simpson_linear;
+    prop_coeff_conj_symmetry;
+  ]

@@ -1,0 +1,124 @@
+open Numeric
+open Helpers
+
+let sort_roots rs =
+  List.sort
+    (fun a b ->
+      match compare (Cx.re a) (Cx.re b) with 0 -> compare (Cx.im a) (Cx.im b) | c -> c)
+    rs
+
+let check_roots ?(tol = 1e-6) expected actual =
+  let e = sort_roots expected and a = sort_roots actual in
+  check_int "root count" (List.length e) (List.length a);
+  List.iter2 (fun x y -> check_cx ~tol "root" x y) e a
+
+let test_linear () =
+  check_roots [ Cx.of_float (-0.5) ] (Roots.all (Poly.of_real_coeffs [ 1.0; 2.0 ]))
+
+let test_quadratic_real () =
+  check_roots
+    [ Cx.of_float 2.0; Cx.of_float 3.0 ]
+    (Roots.all (Poly.of_real_coeffs [ 6.0; -5.0; 1.0 ]))
+
+let test_quadratic_complex () =
+  (* s^2 + 1 = 0 *)
+  check_roots [ Cx.neg Cx.j; Cx.j ] (Roots.all (Poly.of_real_coeffs [ 1.0; 0.0; 1.0 ]))
+
+let test_quadratic_repeated () =
+  check_roots
+    [ Cx.of_float 1.0; Cx.of_float 1.0 ]
+    (Roots.all (Poly.of_real_coeffs [ 1.0; -2.0; 1.0 ]))
+
+let test_cubic () =
+  let roots = [ Cx.of_float (-1.0); Cx.of_float 2.0; Cx.of_float 5.0 ] in
+  check_roots roots (Roots.all (Poly.from_roots roots))
+
+let test_complex_coeffs () =
+  let roots = [ Cx.make 1.0 1.0; Cx.make (-2.0) 0.5; Cx.make 0.0 (-3.0) ] in
+  check_roots ~tol:1e-5 roots (Roots.all (Poly.from_roots roots))
+
+let test_high_degree () =
+  (* s^6 - 1: the sixth roots of unity *)
+  let p = Poly.of_real_coeffs [ -1.0; 0.0; 0.0; 0.0; 0.0; 0.0; 1.0 ] in
+  let roots = Roots.all p in
+  check_int "count" 6 (List.length roots);
+  List.iter
+    (fun r ->
+      check_close ~tol:1e-8 "on unit circle" 1.0 (Cx.abs r);
+      check_cx ~tol:1e-8 "is a root" Cx.zero (Poly.eval p r))
+    roots
+
+let test_scaled_invariance () =
+  let p = Poly.scale (Cx.of_float 1e6) (Poly.from_roots [ Cx.one; Cx.j ]) in
+  check_roots ~tol:1e-6 [ Cx.one; Cx.j ] (Roots.all p)
+
+let test_constant_and_zero () =
+  check_int "constant has no roots" 0 (List.length (Roots.all Poly.one));
+  Alcotest.check_raises "zero polynomial"
+    (Invalid_argument "Roots.all: zero polynomial") (fun () ->
+      ignore (Roots.all Poly.zero))
+
+let test_newton_polish () =
+  let p = Poly.from_roots [ Cx.of_float 2.0 ] in
+  let z = Roots.newton_polish p (Cx.of_float 1.5) in
+  check_cx ~tol:1e-12 "newton converges" (Cx.of_float 2.0) z
+
+let test_cluster () =
+  let grouped =
+    Roots.cluster
+      [ Cx.of_float 1.0; Cx.of_float 1.0000001; Cx.of_float 5.0 ]
+  in
+  check_int "two clusters" 2 (List.length grouped);
+  let m1 = List.assoc_opt true (List.map (fun (r, m) -> (Cx.abs (Cx.sub r Cx.one) < 0.01, m)) grouped) in
+  Alcotest.(check (option int)) "double root multiplicity" (Some 2) m1
+
+let prop_roots_recovered =
+  qcheck ~count:40 "roots of from_roots recovered"
+    (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 4)
+       (QCheck2.Gen.map2 Cx.make
+          (QCheck2.Gen.float_range (-3.0) 3.0)
+          (QCheck2.Gen.float_range (-3.0) 3.0)))
+    (fun roots ->
+      (* keep roots pairwise separated so matching is well-posed *)
+      let separated =
+        List.for_all
+          (fun a ->
+            List.for_all (fun b -> a == b || Cx.abs (Cx.sub a b) > 0.3) roots)
+          roots
+      in
+      QCheck2.assume separated;
+      let p = Poly.from_roots roots in
+      let found = Roots.all p in
+      List.for_all
+        (fun r ->
+          List.exists (fun f -> Cx.abs (Cx.sub r f) < 1e-4) found)
+        roots)
+
+let prop_root_residual =
+  qcheck ~count:40 "every returned root nearly annihilates p" gen_poly
+    (fun p ->
+      QCheck2.assume (Poly.degree p >= 1);
+      (* normalize: coefficient scale for residual comparison *)
+      let scale_mag =
+        Array.fold_left (fun m c -> Stdlib.max m (Cx.abs c)) 1.0 (Poly.coeffs p)
+      in
+      List.for_all
+        (fun r -> Cx.abs (Poly.eval p r) <= 1e-4 *. scale_mag *. (1.0 +. (Cx.abs r ** float_of_int (Poly.degree p))))
+        (Roots.all p))
+
+let suite =
+  [
+    case "linear" test_linear;
+    case "quadratic real" test_quadratic_real;
+    case "quadratic complex" test_quadratic_complex;
+    case "quadratic repeated" test_quadratic_repeated;
+    case "cubic" test_cubic;
+    case "complex coefficients" test_complex_coeffs;
+    case "sixth roots of unity" test_high_degree;
+    case "scaling invariance" test_scaled_invariance;
+    case "degenerate inputs" test_constant_and_zero;
+    case "newton polish" test_newton_polish;
+    case "clustering" test_cluster;
+    prop_roots_recovered;
+    prop_root_residual;
+  ]

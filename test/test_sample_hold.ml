@@ -1,0 +1,132 @@
+open Numeric
+open Helpers
+module Sh = Pll_lib.Sample_hold
+module Pll = Pll_lib.Pll
+
+let pll = pll_of spec_default
+let w0 = Pll.omega0 pll
+
+let test_zoh_dc_gain () =
+  (* the hold is transparent at dc: A_sh -> A there *)
+  let s = Cx.jomega (1e-5 *. w0) in
+  check_cx ~tol:1e-4 "A_sh ~ A at dc" (Pll.a_of_s pll s) (Sh.a_of_s pll s)
+
+let test_zoh_sinc_magnitude () =
+  (* |A_sh/A| = sinc(wT/2) *)
+  let w = 0.3 *. w0 in
+  let s = Cx.jomega w in
+  let shape = Cx.div (Sh.a_of_s pll s) (Pll.a_of_s pll s) in
+  let x = w *. Pll.period pll /. 2.0 in
+  check_close ~tol:1e-9 "sinc magnitude" (Float.abs (Special.sinc x)) (Cx.abs shape);
+  (* and the hold's half-period delay *)
+  check_close ~tol:1e-9 "half-period phase lag" (-.x) (Cx.arg shape)
+
+let test_lambda_exact_vs_truncated () =
+  List.iter
+    (fun frac ->
+      let s = Cx.jomega (frac *. w0) in
+      check_cx ~tol:1e-9 "lambda_sh exact vs truncated"
+        (Sh.lambda pll s)
+        (Sh.lambda_fn pll (Pll.Truncated 2000) s))
+    [ 0.07; 0.23; 0.44 ]
+
+let test_impulse_invariance_zoh () =
+  (* L_sh(e^{jwT}) = lambda_sh(jw): matrix exponential vs coth sums *)
+  let dm = Sh.discretize pll in
+  List.iter
+    (fun frac ->
+      let w = frac *. w0 in
+      check_cx ~tol:1e-12 "zoh identity" (Sh.lambda pll (Cx.jomega w))
+        (Sh.open_loop_response dm w))
+    [ 0.04; 0.19; 0.33; 0.49 ]
+
+let test_h00_vs_generic_htm () =
+  let ctx = Htm_core.Htm.ctx ~n_harm:60 ~omega0:w0 in
+  let s = Cx.jomega (0.2 *. w0) in
+  let c = Htm_core.Htm.index_of_harmonic ctx 0 in
+  let lu = Cmat.get (Htm_core.Htm.to_matrix ctx (Sh.closed_loop_htm pll) s) c c in
+  check_cx ~tol:1e-6 "closed form vs LU" (Sh.h00 pll s) lu
+
+let test_h00_tracks_at_dc () =
+  let h = Sh.h00 pll (Cx.jomega (1e-4 *. w0)) in
+  check_close ~tol:1e-3 "unity tracking" 1.0 (Cx.abs h)
+
+let test_margin_comparison () =
+  (* the hold's T/2 delay costs margin relative to the impulse pump *)
+  let lam = Pll.lambda_fn pll Pll.Exact in
+  let lam_sh = Sh.lambda_fn pll Pll.Exact in
+  let pm f =
+    let r =
+      Lti.Margins.analyze (fun w -> f (Cx.jomega w)) ~lo:(w0 *. 1e-5)
+        ~hi:(w0 *. 0.4999)
+    in
+    Option.get r.Lti.Margins.phase_margin_deg
+  in
+  let pm_imp = pm lam and pm_sh = pm lam_sh in
+  check_true
+    (Printf.sprintf "S&H margin (%.1f) well below impulse margin (%.1f)" pm_sh pm_imp)
+    (pm_sh < pm_imp -. 8.0);
+  (* roughly the held delay: dPM ~ (T/2) * w_ug in degrees *)
+  let expected_loss = Stats.deg (0.5 *. Pll.period pll *. 0.1 *. w0) in
+  check_close ~tol:0.35 "loss ~ half-period delay" expected_loss (pm_imp -. pm_sh)
+
+let test_graceful_degradation () =
+  (* the S&H loop stays (barely) stable beyond the charge pump's Gardner
+     collapse: two different failure modes *)
+  let fast = pll_of (Pll_lib.Design.with_ratio spec_default 0.32) in
+  check_true "impulse loop collapsed" (not (Pll_lib.Analysis.is_stable_tv fast));
+  check_true "S&H loop still stable" (Sh.is_stable fast)
+
+let test_discrete_requires_ti_vco () =
+  let vco =
+    Pll_lib.Vco.with_isf ~kvco:20e6 ~n_div:64.0 ~fref:1e6
+      ~harmonics:[ Cx.of_float 0.1 ]
+  in
+  let p = Pll.make ~fref:1e6 ~n_div:64.0 ~filter:pll.Pll.filter ~vco () in
+  Alcotest.check_raises "tv vco rejected"
+    (Invalid_argument "Sample_hold.discretize: requires a time-invariant VCO")
+    (fun () -> ignore (Sh.discretize p))
+
+let test_experiment () =
+  let rows = Experiments.Exp_pfd.compute ~ratios:[ 0.1; 0.3 ] () in
+  check_int "two rows" 2 (List.length rows);
+  List.iter
+    (fun r ->
+      check_true "zoh identity tiny" (r.Experiments.Exp_pfd.identity_dev < 1e-10))
+    rows;
+  let r01 = List.hd rows and r03 = List.nth rows 1 in
+  check_true "impulse better at 0.1"
+    (r01.Experiments.Exp_pfd.pm_impulse > r01.Experiments.Exp_pfd.pm_sh);
+  check_true "impulse collapsed at 0.3, S&H not"
+    ((not r03.Experiments.Exp_pfd.stable_impulse) && r03.Experiments.Exp_pfd.stable_sh)
+
+let prop_h00_conjugate_symmetry =
+  qcheck ~count:20 "H00_sh(-jw) = conj H00_sh(jw)"
+    (QCheck2.Gen.float_range 0.01 0.45) (fun frac ->
+      let s = Cx.jomega (frac *. w0) in
+      Cx.approx ~tol:1e-8 (Sh.h00 pll (Cx.neg s)) (Cx.conj (Sh.h00 pll s)))
+
+let prop_identity_random =
+  qcheck ~count:15 "zoh impulse invariance at random designs"
+    (QCheck2.Gen.pair (QCheck2.Gen.float_range 0.03 0.4)
+       (QCheck2.Gen.float_range 0.01 0.49)) (fun (ratio, frac) ->
+      let p = pll_of (Pll_lib.Design.with_ratio spec_default ratio) in
+      let dm = Sh.discretize p in
+      let w = frac *. Pll.omega0 p in
+      Cx.approx ~tol:1e-9 (Sh.lambda p (Cx.jomega w)) (Sh.open_loop_response dm w))
+
+let suite =
+  [
+    case "dc transparency" test_zoh_dc_gain;
+    case "sinc shape and half-period lag" test_zoh_sinc_magnitude;
+    case "lambda_sh exact vs truncated" test_lambda_exact_vs_truncated;
+    case "zoh impulse invariance" test_impulse_invariance_zoh;
+    case "H00 vs generic HTM" test_h00_vs_generic_htm;
+    case "tracks at dc" test_h00_tracks_at_dc;
+    case "margin cost of the hold" test_margin_comparison;
+    case "graceful vs abrupt failure" test_graceful_degradation;
+    case "time-varying VCO rejected" test_discrete_requires_ti_vco;
+    case "experiment harness" test_experiment;
+    prop_h00_conjugate_symmetry;
+    prop_identity_random;
+  ]

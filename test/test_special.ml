@@ -1,0 +1,121 @@
+open Numeric
+open Helpers
+
+let test_coth_basics () =
+  (* coth(x) = cosh x / sinh x; coth(1) ~ 1.3130352854993312 *)
+  check_cx ~tol:1e-12 "coth(1)" (Cx.of_float 1.3130352854993312)
+    (Special.coth Cx.one);
+  (* odd function *)
+  let z = Cx.make 0.7 0.4 in
+  check_cx ~tol:1e-12 "coth odd" (Cx.neg (Special.coth z)) (Special.coth (Cx.neg z));
+  (* large-argument limits *)
+  check_cx "coth(+400)" Cx.one (Special.coth (Cx.of_float 400.0));
+  check_cx "coth(-400)" (Cx.neg Cx.one) (Special.coth (Cx.of_float (-400.0)))
+
+let test_coth_identity () =
+  (* coth^2 - csch^2 = 1 *)
+  let z = Cx.make 0.9 (-0.3) in
+  let c = Special.coth z and k = Special.csch2 z in
+  check_cx ~tol:1e-10 "coth^2 - csch^2 = 1" Cx.one (Cx.sub (Cx.mul c c) k)
+
+let test_sinc () =
+  check_close "sinc 0" 1.0 (Special.sinc 0.0);
+  check_close "sinc pi" 0.0 (Special.sinc Float.pi) ~tol:1e-12;
+  check_close "sinc 1" (sin 1.0) (Special.sinc 1.0)
+
+(* the core invariant: closed-form lattice sums match brute force *)
+let check_sum k z omega0 =
+  let closed = Special.harmonic_sum ~k ~omega0 z in
+  let brute = Special.harmonic_sum_truncated ~k ~omega0 ~terms:20000 z in
+  (* k=1 truncation converges slowly (~1/M); loosen accordingly *)
+  let tol = match k with 1 -> 2e-4 | 2 -> 1e-5 | _ -> 1e-7 in
+  check_cx ~tol
+    (Printf.sprintf "S_%d at %s" k (Cx.to_string z))
+    closed brute
+
+let test_s1 () =
+  List.iter
+    (fun z -> check_sum 1 z 2.0)
+    [ Cx.of_float 0.3; Cx.make 0.5 0.4; Cx.make (-0.7) 0.2 ]
+
+let test_s2 () =
+  List.iter
+    (fun z -> check_sum 2 z 3.0)
+    [ Cx.of_float 0.3; Cx.make 0.5 0.4; Cx.make 1.5 (-0.8) ]
+
+let test_s3_s4_s5 () =
+  List.iter
+    (fun k -> check_sum k (Cx.make 0.4 0.7) 1.0)
+    [ 3; 4; 5 ]
+
+let test_s2_known_value () =
+  (* sum over all m of 1/(z + j m)^2 with a = 2*pi gives
+     S_2(z, 2*pi) = (1/4) csch^2(z/2) at omega0 = 2 pi *)
+  let z = Cx.of_float 1.0 in
+  let expected =
+    Cx.scale 0.25 (Special.csch2 (Cx.of_float 0.5))
+  in
+  check_cx ~tol:1e-10 "S2 closed value" expected
+    (Special.harmonic_sum ~k:2 ~omega0:(2.0 *. Float.pi) z)
+
+let test_periodicity () =
+  (* S_k(z + j omega0) = S_k(z): the lattice sum is periodic *)
+  let omega0 = 2.5 in
+  let z = Cx.make 0.3 0.4 in
+  let shifted = Cx.add z (Cx.jomega omega0) in
+  List.iter
+    (fun k ->
+      check_cx ~tol:1e-9
+        (Printf.sprintf "S_%d periodic" k)
+        (Special.harmonic_sum ~k ~omega0 z)
+        (Special.harmonic_sum ~k ~omega0 shifted))
+    [ 1; 2; 3 ]
+
+let test_invalid_k () =
+  Alcotest.check_raises "k = 0 rejected"
+    (Invalid_argument "Special.harmonic_sum: k must be >= 1") (fun () ->
+      ignore (Special.harmonic_sum ~k:0 ~omega0:1.0 Cx.one))
+
+let prop_s2_matches_truncation =
+  qcheck ~count:30 "S2 closed form vs truncation"
+    (QCheck2.Gen.pair
+       (QCheck2.Gen.float_range 0.1 2.0)
+       (QCheck2.Gen.float_range (-1.0) 1.0)) (fun (re, im) ->
+      let z = Cx.make re im in
+      let omega0 = 2.0 in
+      let closed = Special.harmonic_sum ~k:2 ~omega0 z in
+      let brute = Special.harmonic_sum_truncated ~k:2 ~omega0 ~terms:5000 z in
+      Cx.approx ~tol:1e-3 closed brute)
+
+let prop_derivative_recursion =
+  qcheck ~count:30 "S_{k+1} = -(1/k) dS_k/dz (finite difference)"
+    (QCheck2.Gen.pair
+       (QCheck2.Gen.float_range 0.3 1.5)
+       (QCheck2.Gen.float_range (-0.8) 0.8)) (fun (re, im) ->
+      let z = Cx.make re im in
+      let omega0 = 2.0 in
+      let h = 1e-5 in
+      let k = 2 in
+      let d =
+        Cx.scale (0.5 /. h)
+          (Cx.sub
+             (Special.harmonic_sum ~k ~omega0 (Cx.add z (Cx.of_float h)))
+             (Special.harmonic_sum ~k ~omega0 (Cx.sub z (Cx.of_float h))))
+      in
+      let expected = Cx.scale (-1.0 /. float_of_int k) d in
+      Cx.approx ~tol:1e-4 expected (Special.harmonic_sum ~k:(k + 1) ~omega0 z))
+
+let suite =
+  [
+    case "coth basics" test_coth_basics;
+    case "coth/csch identity" test_coth_identity;
+    case "sinc" test_sinc;
+    case "S1 vs truncation" test_s1;
+    case "S2 vs truncation" test_s2;
+    case "S3..S5 vs truncation" test_s3_s4_s5;
+    case "S2 closed value" test_s2_known_value;
+    case "lattice periodicity" test_periodicity;
+    case "invalid order" test_invalid_k;
+    prop_s2_matches_truncation;
+    prop_derivative_recursion;
+  ]

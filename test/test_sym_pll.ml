@@ -1,0 +1,131 @@
+open Numeric
+open Helpers
+module Sym_pll = Symbolic.Sym_pll
+module Expr = Symbolic.Expr
+
+let pll = pll_of spec_default
+let w0 = Pll_lib.Pll.omega0 pll
+
+let test_a_expr_matches_numeric () =
+  List.iter
+    (fun frac ->
+      let s = Cx.jomega (frac *. w0) in
+      check_cx ~tol:1e-12 "symbolic A(s)"
+        (Pll_lib.Pll.a_of_s pll s)
+        (Expr.eval (Sym_pll.env_of_pll pll ~s) Sym_pll.a_expr))
+    [ 0.03; 0.2; 0.45; 3.0 ]
+
+let test_lambda_expr_matches_numeric () =
+  (* the headline: a hand-derived symbolic coth expression equals the
+     numeric partial-fraction + lattice-sum pipeline to roundoff *)
+  List.iter
+    (fun frac ->
+      let s = Cx.jomega (frac *. w0) in
+      check_cx ~tol:1e-12 "symbolic lambda"
+        (Pll_lib.Pll.lambda pll s)
+        (Sym_pll.eval_lambda pll s))
+    [ 0.05; 0.17; 0.29; 0.41; 0.49 ]
+
+let test_h00_expr_matches_numeric () =
+  List.iter
+    (fun frac ->
+      let s = Cx.jomega (frac *. w0) in
+      check_cx ~tol:1e-12 "symbolic H00" (Pll_lib.Pll.h00 pll s)
+        (Sym_pll.eval_h00 pll s);
+      check_cx ~tol:1e-12 "symbolic LTI H00" (Pll_lib.Pll.h00_lti pll s)
+        (Expr.eval (Sym_pll.env_of_pll pll ~s) Sym_pll.h00_lti_expr))
+    [ 0.08; 0.24; 0.4 ]
+
+let test_residues_match_partial_fractions () =
+  (* the symbolic residues vs the generic numeric expansion *)
+  let env = Sym_pll.env_of_pll pll ~s:Cx.zero in
+  let expansion =
+    Partial_fraction.expand (Lti.Tf.to_rat (Pll_lib.Pll.open_loop_tf pll))
+  in
+  let wp = Cx.re (Expr.eval env Sym_pll.residues.Sym_pll.pole) in
+  List.iter
+    (fun { Partial_fraction.pole; order; residue } ->
+      if Cx.abs pole < 1.0 then begin
+        (* origin cluster *)
+        if order = 2 then
+          check_cx ~tol:1e-9 "r20" residue (Expr.eval env Sym_pll.residues.Sym_pll.r20)
+        else
+          check_cx ~tol:1e-9 "r10" residue (Expr.eval env Sym_pll.residues.Sym_pll.r10)
+      end
+      else begin
+        check_close ~tol:1e-9 "pole location" (-.wp) (Cx.re pole);
+        check_cx ~tol:1e-9 "r1p" residue (Expr.eval env Sym_pll.residues.Sym_pll.r1p)
+      end)
+    expansion.Partial_fraction.terms
+
+let test_works_across_designs () =
+  List.iter
+    (fun ratio ->
+      let p = pll_of (Pll_lib.Design.with_ratio spec_default ratio) in
+      let s = Cx.jomega (0.2 *. Pll_lib.Pll.omega0 p) in
+      check_cx ~tol:1e-11 "any design" (Pll_lib.Pll.lambda p s)
+        (Sym_pll.eval_lambda p s))
+    [ 0.03; 0.12; 0.3 ]
+
+let test_sensitivity () =
+  (* d lambda / d R via symbolic differentiation vs finite differences
+     on the numeric pipeline *)
+  let s = Cx.jomega (0.2 *. w0) in
+  let sym_sens = Sym_pll.sensitivity Sym_pll.lambda_expr ~wrt:"R" pll ~s in
+  let rv, c1v, c2v =
+    match pll.Pll_lib.Pll.filter.Pll_lib.Loop_filter.topology with
+    | Pll_lib.Loop_filter.Second_order { r; c1; c2 } -> (r, c1, c2)
+    | _ -> Alcotest.fail "second order expected"
+  in
+  let lambda_at rv' =
+    let filter =
+      Pll_lib.Loop_filter.make
+        (Pll_lib.Loop_filter.Second_order { r = rv'; c1 = c1v; c2 = c2v })
+        ~icp:spec_default.Pll_lib.Design.icp
+    in
+    let p =
+      Pll_lib.Pll.make ~fref:pll.Pll_lib.Pll.fref ~n_div:pll.Pll_lib.Pll.n_div
+        ~filter ~vco:pll.Pll_lib.Pll.vco ()
+    in
+    Pll_lib.Pll.lambda p s
+  in
+  let h = rv *. 1e-6 in
+  let fd =
+    Cx.scale (1.0 /. (2.0 *. h)) (Cx.sub (lambda_at (rv +. h)) (lambda_at (rv -. h)))
+  in
+  check_cx ~tol:1e-5 "d lambda / dR" fd sym_sens
+
+let test_symbols_inventory () =
+  Alcotest.(check (list string)) "lambda symbols"
+    [ "C1"; "C2"; "Icp"; "Kv"; "N"; "R"; "fref"; "s" ]
+    (Expr.symbols Sym_pll.lambda_expr)
+
+let test_env_rejects_custom_filter () =
+  let filt = Pll_lib.Loop_filter.make (Pll_lib.Loop_filter.Custom (Lti.Tf.gain 1.0)) ~icp:1e-4 in
+  let p =
+    Pll_lib.Pll.make ~fref:1e6 ~n_div:64.0 ~filter:filt ~vco:pll.Pll_lib.Pll.vco ()
+  in
+  Alcotest.check_raises "custom rejected"
+    (Invalid_argument "Sym_pll.env_of_pll: needs a second-order charge-pump filter")
+    (fun () -> ignore (Sym_pll.env_of_pll p ~s:Cx.one "s"))
+
+let prop_symbolic_equals_numeric =
+  qcheck ~count:25 "symbolic lambda = numeric lambda at random points"
+    (QCheck2.Gen.pair (QCheck2.Gen.float_range 0.02 0.4)
+       (QCheck2.Gen.float_range 0.01 0.49)) (fun (ratio, frac) ->
+      let p = pll_of (Pll_lib.Design.with_ratio spec_default ratio) in
+      let s = Cx.jomega (frac *. Pll_lib.Pll.omega0 p) in
+      Cx.approx ~tol:1e-10 (Pll_lib.Pll.lambda p s) (Sym_pll.eval_lambda p s))
+
+let suite =
+  [
+    case "A(s) expression" test_a_expr_matches_numeric;
+    case "lambda(s) closed form" test_lambda_expr_matches_numeric;
+    case "H00 expressions" test_h00_expr_matches_numeric;
+    case "symbolic residues" test_residues_match_partial_fractions;
+    case "across designs" test_works_across_designs;
+    case "parametric sensitivity dlambda/dR" test_sensitivity;
+    case "symbol inventory" test_symbols_inventory;
+    case "custom filter rejected" test_env_rejects_custom_filter;
+    prop_symbolic_equals_numeric;
+  ]

@@ -1,0 +1,98 @@
+open Numeric
+open Helpers
+module Zd = Lti.Zdomain
+
+let test_eval () =
+  (* H(z) = 1 / (z - 0.5) *)
+  let h = Zd.make ~num:[ 1.0 ] ~den:[ -0.5; 1.0 ] in
+  check_cx "at z=1" (Cx.of_float 2.0) (Zd.eval h Cx.one);
+  check_cx "at z=2" (Cx.of_float (1.0 /. 1.5)) (Zd.eval h (Cx.of_float 2.0))
+
+let test_freq_response () =
+  let h = Zd.make ~num:[ 1.0 ] ~den:[ -0.5; 1.0 ] in
+  let period = 0.1 in
+  (* w = 0 -> z = 1 *)
+  check_cx "dc" (Cx.of_float 2.0) (Zd.freq_response h ~period 0.0);
+  (* w = pi/T -> z = -1 *)
+  check_cx ~tol:1e-9 "nyquist" (Cx.of_float (-1.0 /. 1.5))
+    (Zd.freq_response h ~period (Float.pi /. period))
+
+let test_stability () =
+  check_true "pole inside" (Zd.is_stable (Zd.make ~num:[ 1.0 ] ~den:[ -0.5; 1.0 ]));
+  check_true "pole outside"
+    (not (Zd.is_stable (Zd.make ~num:[ 1.0 ] ~den:[ -1.5; 1.0 ])));
+  check_true "pole on circle"
+    (not (Zd.is_stable (Zd.make ~num:[ 1.0 ] ~den:[ -1.0; 1.0 ])))
+
+let test_feedback () =
+  (* G = k/(z-a); closed loop pole at a - k *)
+  let g = Zd.make ~num:[ 0.3 ] ~den:[ -0.9; 1.0 ] in
+  let cl = Zd.feedback_unity g in
+  match Zd.poles cl with
+  | [ p ] -> check_cx ~tol:1e-9 "closed-loop pole" (Cx.of_float 0.6) p
+  | _ -> Alcotest.fail "one pole expected"
+
+let test_from_state_space_first_order () =
+  (* x_{k+1} = 0.5 x_k + u_k, y = 2 x: H(z) = 2/(z - 0.5) *)
+  let h =
+    Zd.from_state_space
+      ~phi:(Rmat.of_rows [| [| 0.5 |] |])
+      ~b:[| 1.0 |] ~c:[| 2.0 |]
+  in
+  List.iter
+    (fun z ->
+      check_cx ~tol:1e-10 "1st order ss"
+        (Cx.div (Cx.of_float 2.0) (Cx.sub z (Cx.of_float 0.5)))
+        (Zd.eval h z))
+    [ Cx.of_float 2.0; Cx.make 0.3 1.0; Cx.cis 1.0 ]
+
+let test_from_state_space_second_order () =
+  let phi = Rmat.of_rows [| [| 0.9; 0.1 |]; [| -0.2; 0.7 |] |] in
+  let b = [| 1.0; 0.5 |] and c = [| 2.0; -1.0 |] in
+  let h = Zd.from_state_space ~phi ~b ~c in
+  (* compare against direct resolvent computation *)
+  List.iter
+    (fun z ->
+      let zi_phi =
+        Cmat.init 2 2 (fun i k ->
+            let p = Cx.of_float (-.Rmat.get phi i k) in
+            if i = k then Cx.add z p else p)
+      in
+      let x = Lu.solve_system zi_phi (Cvec.of_real_array b) in
+      let direct =
+        Cx.add
+          (Cx.scale c.(0) (Cvec.get x 0))
+          (Cx.scale c.(1) (Cvec.get x 1))
+      in
+      check_cx ~tol:1e-9 "resolvent match" direct (Zd.eval h z))
+    [ Cx.of_float 2.0; Cx.make 0.1 1.3; Cx.cis 0.5 ]
+
+let test_from_state_space_poles_are_eigenvalues () =
+  let phi = Rmat.of_rows [| [| 0.8; 0.3 |]; [| 0.0; 0.4 |] |] in
+  let h = Zd.from_state_space ~phi ~b:[| 1.0; 1.0 |] ~c:[| 1.0; 0.0 |] in
+  let ps = List.sort (fun a b -> compare (Cx.re a) (Cx.re b)) (Zd.poles h) in
+  match ps with
+  | [ p1; p2 ] ->
+      check_cx ~tol:1e-8 "eig 0.4" (Cx.of_float 0.4) p1;
+      check_cx ~tol:1e-8 "eig 0.8" (Cx.of_float 0.8) p2
+  | _ -> Alcotest.fail "two poles expected"
+
+let test_algebra () =
+  let a = Zd.make ~num:[ 1.0 ] ~den:[ -0.5; 1.0 ] in
+  let b = Zd.make ~num:[ 2.0 ] ~den:[ 0.3; 1.0 ] in
+  let z = Cx.cis 0.4 in
+  check_cx "add" (Cx.add (Zd.eval a z) (Zd.eval b z)) (Zd.eval (Zd.add a b) z);
+  check_cx "mul" (Cx.mul (Zd.eval a z) (Zd.eval b z)) (Zd.eval (Zd.mul a b) z);
+  check_cx "scale" (Cx.scale 3.0 (Zd.eval a z)) (Zd.eval (Zd.scale 3.0 a) z)
+
+let suite =
+  [
+    case "evaluation" test_eval;
+    case "unit-circle response" test_freq_response;
+    case "stability" test_stability;
+    case "feedback" test_feedback;
+    case "state space 1st order" test_from_state_space_first_order;
+    case "state space 2nd order vs resolvent" test_from_state_space_second_order;
+    case "ss poles are eigenvalues" test_from_state_space_poles_are_eigenvalues;
+    case "algebra" test_algebra;
+  ]

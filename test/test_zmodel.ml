@@ -1,0 +1,115 @@
+open Numeric
+open Helpers
+module Zmodel = Pll_lib.Zmodel
+module Pll = Pll_lib.Pll
+
+let pll = pll_of spec_default
+let zm = Zmodel.of_pll pll
+let w0 = Pll.omega0 pll
+
+let test_construction () =
+  check_int "third-order chain" 3 (Rmat.rows zm.Zmodel.phi);
+  check_close "period" 1e-6 zm.Zmodel.period
+
+let test_impulse_invariance_identity () =
+  (* the central theorem: L(e^{jwT}) = lambda(jw) exactly, because the
+     chain has relative degree 2 so its impulse response vanishes at 0 *)
+  let lam = Pll.lambda_fn pll Pll.Exact in
+  List.iter
+    (fun frac ->
+      let w = frac *. w0 in
+      check_cx ~tol:1e-10 "z-model open loop = lambda"
+        (lam (Cx.jomega w))
+        (Zmodel.open_loop_response zm w))
+    [ 0.03; 0.11; 0.24; 0.37; 0.49 ]
+
+let test_open_loop_rational () =
+  (* the explicit z-rational must agree with the resolvent route *)
+  let l = Zmodel.open_loop zm in
+  let w = 0.2 *. w0 in
+  check_cx ~tol:1e-9 "rational vs response"
+    (Zmodel.open_loop_response zm w)
+    (Lti.Zdomain.eval l (Cx.exp (Cx.jomega (w *. zm.Zmodel.period))))
+
+let test_closed_loop_poles_solve_lambda () =
+  (* z-poles map to roots of 1 + lambda(s) via s = ln(z)/T *)
+  let lam = Pll.lambda_fn pll Pll.Exact in
+  let poles = Zmodel.closed_loop_poles zm in
+  check_int "pole count" 3 (List.length poles);
+  List.iter
+    (fun z ->
+      if Cx.abs z > 1e-6 then begin
+        let s = Cx.scale (1.0 /. zm.Zmodel.period) (Cx.log z) in
+        let residual = Cx.abs (Cx.add Cx.one (lam s)) in
+        check_true
+          (Printf.sprintf "1+lambda ~ 0 at mapped pole (res %.2e)" residual)
+          (residual < 1e-6)
+      end)
+    poles
+
+let test_stability_matches_ratio () =
+  check_true "default design stable" (Zmodel.is_stable zm);
+  let fast = pll_of (Pll_lib.Design.with_ratio spec_default 0.35) in
+  check_true "fast design unstable" (not (Zmodel.is_stable (Zmodel.of_pll fast)))
+
+let test_closed_loop_stability_consistency () =
+  (* closed_loop rational poles = closed_loop_poles eigen route *)
+  let cl = Zmodel.closed_loop zm in
+  let from_rat =
+    List.sort (fun a b -> compare (Cx.abs a) (Cx.abs b)) (Lti.Zdomain.poles cl)
+  in
+  let from_eig =
+    List.sort (fun a b -> compare (Cx.abs a) (Cx.abs b))
+      (Zmodel.closed_loop_poles zm)
+  in
+  List.iter2 (fun a b -> check_cx ~tol:1e-6 "pole sets agree" a b) from_rat from_eig
+
+let test_step_response () =
+  let step = Zmodel.step_response zm ~n:300 in
+  check_int "length" 300 (Array.length step);
+  check_close "starts at zero" 0.0 step.(0);
+  (* type-2 loop tracks a phase step exactly *)
+  check_close ~tol:1e-6 "settles to 1" 1.0 step.(299);
+  (* and overshoots on the way (underdamped sampled loop) *)
+  let peak = Array.fold_left Stdlib.max neg_infinity step in
+  check_true "overshoot present" (peak > 1.0)
+
+let test_predicted_s_poles () =
+  let s_poles = Zmodel.predicted_s_poles zm in
+  check_true "all in left half plane for stable loop"
+    (List.for_all (fun s -> Cx.re s < 0.0) s_poles)
+
+let test_requires_time_invariant () =
+  let vco =
+    Pll_lib.Vco.with_isf ~kvco:20e6 ~n_div:64.0 ~fref:1e6
+      ~harmonics:[ Cx.of_float 0.1 ]
+  in
+  let p = Pll.make ~fref:1e6 ~n_div:64.0 ~filter:pll.Pll.filter ~vco () in
+  Alcotest.check_raises "tv vco rejected"
+    (Invalid_argument "Zmodel.of_pll: requires a time-invariant VCO") (fun () ->
+      ignore (Zmodel.of_pll p))
+
+let prop_impulse_invariance_random_ratio =
+  qcheck ~count:10 "L(e^{jwT}) = lambda(jw) at random ratios and offsets"
+    (QCheck2.Gen.pair
+       (QCheck2.Gen.float_range 0.03 0.4)
+       (QCheck2.Gen.float_range 0.01 0.49)) (fun (ratio, frac) ->
+      let p = pll_of (Pll_lib.Design.with_ratio spec_default ratio) in
+      let m = Zmodel.of_pll p in
+      let w = frac *. Pll.omega0 p in
+      let lam = Pll.lambda p (Cx.jomega w) in
+      Cx.approx ~tol:1e-8 lam (Zmodel.open_loop_response m w))
+
+let suite =
+  [
+    case "construction" test_construction;
+    case "impulse invariance: L(e^{jwT}) = lambda(jw)" test_impulse_invariance_identity;
+    case "explicit z-rational" test_open_loop_rational;
+    case "z-poles solve 1+lambda=0" test_closed_loop_poles_solve_lambda;
+    case "stability vs ratio" test_stability_matches_ratio;
+    case "pole-set consistency" test_closed_loop_stability_consistency;
+    case "phase-step response" test_step_response;
+    case "s-plane pole mapping" test_predicted_s_poles;
+    case "time-varying VCO rejected" test_requires_time_invariant;
+    prop_impulse_invariance_random_ratio;
+  ]
