@@ -78,6 +78,114 @@ let bench_lambda_exact =
   Test.make ~name:"kernel: lambda(s) exact (coth lattice sums)"
     (Staged.stage (fun () -> ignore (lam (Numeric.Cx.jomega (0.3 *. w0)))))
 
+(* -- parallel sweep engine: sequential vs Domain pools ------------- *)
+
+(* a denser width grid than Exp_fig4's default, so the sweep has enough
+   independent matrix exponentials to distribute *)
+let parallel_bench_widths =
+  Array.to_list (Numeric.Optimize.logspace 1e-4 3e-1 64)
+
+(* pools are created on first use and reused across benchmark
+   iterations — spawning domains is part of pool setup, not of a map *)
+let pool_table : (int, Parallel.Pool.t) Hashtbl.t = Hashtbl.create 4
+
+let pool_of_size n =
+  match Hashtbl.find_opt pool_table n with
+  | Some p -> p
+  | None ->
+      let p = Parallel.Pool.create ~domains:n () in
+      Hashtbl.add pool_table n p;
+      p
+
+let parallel_pool_sizes =
+  List.sort_uniq compare [ 1; 2; 4; Parallel.Pool.default_domains () ]
+
+let fig4_sweep pool =
+  Experiments.Exp_fig4.compute ~spec ~widths:parallel_bench_widths ?pool ()
+
+let bench_parallel_tests =
+  Test.make ~name:"parallel: fig4 sweep (sequential, no pool involved)"
+    (Staged.stage (fun () ->
+         ignore (Parallel.Pool.with_pool ~domains:1 (fun p -> fig4_sweep (Some p)))))
+  :: List.map
+       (fun n ->
+         Test.make
+           ~name:(Printf.sprintf "parallel: fig4 sweep (pool, %d domains)" n)
+           (Staged.stage (fun () -> ignore (fig4_sweep (Some (pool_of_size n))))))
+       parallel_pool_sizes
+
+(* Wall-clock comparison with a bit-identity check, emitted as
+   machine-readable JSON (BENCH_parallel.json) for CI tracking. *)
+let run_parallel_bench () =
+  Format.printf "@.== Parallel sweep engine: sequential vs Domain pool ==@.";
+  let time_best f =
+    let best = ref infinity in
+    let result = ref None in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    (!best, Option.get !result)
+  in
+  let runs =
+    List.map
+      (fun n ->
+        let pool = pool_of_size n in
+        Parallel.Pool.reset_stats pool;
+        let seconds, rows = time_best (fun () -> fig4_sweep (Some pool)) in
+        (n, seconds, rows, Parallel.Pool.stats pool))
+      parallel_pool_sizes
+  in
+  let _, seq_seconds, seq_rows, _ = List.find (fun (n, _, _, _) -> n = 1) runs in
+  let bit_identical =
+    List.for_all (fun (_, _, rows, _) -> compare rows seq_rows = 0) runs
+  in
+  Format.printf "fig4 sweep over %d widths, best of 3 runs:@."
+    (List.length parallel_bench_widths);
+  List.iter
+    (fun (n, seconds, _, st) ->
+      Format.printf
+        "  %d domain(s): %8.4f s  (%.2fx vs 1 domain; measured lane speedup %.2fx)@."
+        n seconds (seq_seconds /. seconds)
+        (Parallel.Pool.speedup st))
+    runs;
+  Format.printf "bit-identical outputs across pool sizes: %b@." bit_identical;
+  let oc = open_out "BENCH_parallel.json" in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"benchmark\": \"exp_fig4 pulse-vs-impulse sweep\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"widths\": %d,\n" (List.length parallel_bench_widths));
+  Buffer.add_string b
+    (Printf.sprintf "  \"recommended_domain_count\": %d,\n"
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string b
+    (Printf.sprintf "  \"pllscope_domains_env\": %s,\n"
+       (match Sys.getenv_opt "PLLSCOPE_DOMAINS" with
+       | Some v -> Printf.sprintf "\"%s\"" (String.escaped v)
+       | None -> "null"));
+  Buffer.add_string b "  \"runs\": [\n";
+  List.iteri
+    (fun i (n, seconds, _, st) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"domains\": %d, \"seconds\": %.6f, \"speedup_vs_sequential\": \
+            %.4f, \"lane_speedup\": %.4f}%s\n"
+           n seconds (seq_seconds /. seconds)
+           (Parallel.Pool.speedup st)
+           (if i = List.length runs - 1 then "" else ",")))
+    runs;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"bit_identical\": %b\n" bit_identical);
+  Buffer.add_string b "}\n";
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.printf "wrote BENCH_parallel.json@."
+
 let bench_sim_period =
   Test.make ~name:"kernel: behavioral simulation (10 periods)"
     (Staged.stage
@@ -95,7 +203,7 @@ let run_benchmarks () =
   Format.printf "@.== Bechamel micro-benchmarks (one per figure) ==@.";
   let test =
     Test.make_grouped ~name:"pllscope"
-      [
+      ([
         bench_fig2;
         bench_fig2_generic;
         bench_fig4;
@@ -108,6 +216,7 @@ let run_benchmarks () =
         bench_lambda_exact;
         bench_sim_period;
       ]
+      @ bench_parallel_tests)
   in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
   let raw_results = Benchmark.all cfg Instance.[ monotonic_clock ] test in
@@ -147,13 +256,15 @@ let run_figures which =
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
   | "bench" -> run_benchmarks ()
+  | "parallel" -> run_parallel_bench ()
   | ("2" | "4" | "5" | "6" | "7" | "perf" | "xchk" | "ablation" | "isf" | "nonideal" | "pfd" | "noise" | "fractional") as f ->
       run_figures f
   | "all" ->
       run_figures "all";
-      run_benchmarks ()
+      run_benchmarks ();
+      run_parallel_bench ()
   | other ->
       Format.printf
-        "unknown argument %s (want 2|4|5|6|7|perf|xchk|ablation|isf|nonideal|pfd|noise|fractional|bench|all)@."
+        "unknown argument %s (want 2|4|5|6|7|perf|xchk|ablation|isf|nonideal|pfd|noise|fractional|bench|parallel|all)@."
         other;
       exit 1

@@ -91,32 +91,68 @@ let apply_to_tone c t ~m w =
   if abs m > c.n_harm then invalid_arg "Htm.apply_to_tone: harmonic outside truncation";
   Cmat.col (to_matrix c t (Cx.jomega w)) (index_of_harmonic c m)
 
-let max_singular_value ?(iterations = 200) ?(tol = 1e-10) c t w =
+let max_singular_value ?(iterations = 200) ?(tol = 1e-10) ?(seed = 0x51C0FFEEL)
+    c t w =
   (* power iteration on B = MᴴM with a unit-normalized iterate: for unit
-     v, |Mv| converges to the largest singular value *)
+     v, |Mv| converges to the largest singular value. The iterate starts
+     from a seeded pseudo-random vector: a fixed structured start (the
+     old all-ones-ish ramp) can sit exactly in the null space of a
+     rank-deficient HTM — e.g. a rank-one sampler composition whose row
+     space is orthogonal to it — and stall the iteration at σ = 0. A
+     null-space start is detected (MᴴMv = 0 before convergence) and
+     retried with a fresh vector from the same deterministic stream. *)
   let m = to_matrix c t (Cx.jomega w) in
   let mh = Cmat.conj_transpose m in
   let n = dim c in
-  let v = ref (Cvec.init n (fun i -> Cx.make 1.0 (0.1 *. float_of_int (i + 1)))) in
+  let g = Prng.create ~seed in
   let renormalize u =
     let norm = Cvec.norm2 u in
     if norm = 0.0 then None else Some (Cvec.scale (Cx.of_float (1.0 /. norm)) u)
   in
-  (match renormalize !v with Some u -> v := u | None -> ());
+  let random_unit () =
+    let rec fresh attempts =
+      let u = Cvec.init n (fun _ -> Cx.make (Prng.gaussian g) (Prng.gaussian g)) in
+      match renormalize u with
+      | Some u -> u
+      | None -> if attempts <= 0 then u else fresh (attempts - 1)
+    in
+    fresh 8
+  in
+  let v = ref (random_unit ()) in
   let sigma = ref 0.0 in
+  let prev = ref Float.neg_infinity in
+  let restarts = ref (Stdlib.min 4 n) in
   (try
      for _ = 1 to iterations do
        let mv = Cmat.mv m !v in
        let est = Cvec.norm2 mv in
-       let converged = Float.abs (est -. !sigma) <= tol *. (1.0 +. est) in
-       sigma := est;
+       let converged = Float.abs (est -. !prev) <= tol *. (1.0 +. est) in
+       prev := est;
+       if est > !sigma then sigma := est;
        if converged then raise Exit;
        match renormalize (Cmat.mv mh mv) with
        | Some u -> v := u
-       | None -> raise Exit
+       | None ->
+           (* current iterate maps into the null space: restart rather
+              than conclude σ = 0 for a nonzero matrix *)
+           if !restarts > 0 then begin
+             decr restarts;
+             prev := Float.neg_infinity;
+             v := random_unit ()
+           end
+           else raise Exit
      done
    with Exit -> ());
   !sigma
+
+let baseband_sweep ?pool c t ws =
+  Parallel.Sweep.grid ?pool (fun w -> baseband c t w) ws
+
+let conversion_sweep ?pool c t ws =
+  Parallel.Sweep.grid ?pool (conversion_map c t) ws
+
+let max_singular_value_sweep ?pool ?iterations ?tol ?seed c t ws =
+  Parallel.Sweep.grid ?pool (fun w -> max_singular_value ?iterations ?tol ?seed c t w) ws
 
 let is_lti ?(tol = 1e-12) c t s =
   let m = to_matrix c t s in

@@ -111,6 +111,33 @@ val is_lti : ?tol:float -> ctx -> t -> Numeric.Cx.t -> bool
     [max_m |H(jω + jmω₀)|]; for a genuinely LPTV closed loop it exceeds
     the baseband [|H₀₀|] by the band-conversion leakage — a conservative
     peaking metric unavailable to LTI analysis. Computed by power
-    iteration on [HᴴH] (only matrix products, no factorization). *)
+    iteration on [HᴴH] (only matrix products, no factorization),
+    started from a deterministic [seed]ed pseudo-random vector and
+    restarted when the iterate lands in the null space of a
+    rank-deficient HTM, so rank-one matrices cannot stall it at 0. *)
 val max_singular_value :
-  ?iterations:int -> ?tol:float -> ctx -> t -> float -> float
+  ?iterations:int -> ?tol:float -> ?seed:int64 -> ctx -> t -> float -> float
+
+(** {1 Parallel sweeps}
+
+    Grid evaluations of one HTM at many frequencies are embarrassingly
+    parallel: each point realizes and factors its own matrices. These
+    helpers run on [pool] (default: the shared [Parallel.Pool.default])
+    with output order and values independent of the pool size. *)
+
+val baseband_sweep :
+  ?pool:Parallel.Pool.t -> ctx -> t -> float array -> Numeric.Cx.t array
+
+(** [conversion_sweep ctx t ws] — {!conversion_map} at each [ω]. *)
+val conversion_sweep :
+  ?pool:Parallel.Pool.t -> ctx -> t -> float array -> float array array array
+
+val max_singular_value_sweep :
+  ?pool:Parallel.Pool.t ->
+  ?iterations:int ->
+  ?tol:float ->
+  ?seed:int64 ->
+  ctx ->
+  t ->
+  float array ->
+  float array

@@ -9,7 +9,8 @@ type row = {
 
 let default_widths = [ 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 1e-1; 3e-1 ]
 
-let compute ?(spec = Pll_lib.Design.default_spec) ?(widths = default_widths) () =
+let compute ?(spec = Pll_lib.Design.default_spec) ?(widths = default_widths)
+    ?pool () =
   let p = Pll_lib.Design.synthesize spec in
   let period = Pll_lib.Pll.period p in
   let icp = p.Pll_lib.Pll.filter.Pll_lib.Loop_filter.icp in
@@ -20,7 +21,7 @@ let compute ?(spec = Pll_lib.Design.default_spec) ?(widths = default_widths) () 
       (Pll_lib.Vco.tf p.Pll_lib.Pll.vco)
   in
   let ss = Lti.Ss.of_tf chain in
-  List.map
+  Parallel.Sweep.map_list ?pool
     (fun width_frac ->
       let w = width_frac *. period in
       (* pulse: constant current over [0, w], then free evolution *)

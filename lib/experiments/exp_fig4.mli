@@ -17,7 +17,15 @@ type row = {
   rel_err : float;
 }
 
-val compute : ?spec:Pll_lib.Design.spec -> ?widths:float list -> unit -> row list
+(** Widths are analyzed in parallel on [pool] (default
+    [Parallel.Pool.default]); rows are bit-identical for any pool
+    size. *)
+val compute :
+  ?spec:Pll_lib.Design.spec ->
+  ?widths:float list ->
+  ?pool:Parallel.Pool.t ->
+  unit ->
+  row list
 
 (** Typical in-lock pulse widths from the behavioral simulator, for
     context: (max width)/T during a modulated locked run. *)

@@ -1,11 +1,11 @@
 type row = { omega_norm : float; mag_db : float; phase_deg : float }
 
-let compute ?(spec = Pll_lib.Design.default_spec) ?(points = 33) () =
+let compute ?(spec = Pll_lib.Design.default_spec) ?(points = 33) ?pool () =
   let p = Pll_lib.Design.synthesize spec in
   let w_ug = Pll_lib.Design.omega_ug spec in
   let a = Pll_lib.Pll.open_loop_tf p in
   let sweep =
-    Lti.Bode.sweep_tf a ~lo:(w_ug /. 100.0) ~hi:(w_ug *. 100.0) ~points
+    Lti.Bode.sweep_tf ?pool a ~lo:(w_ug /. 100.0) ~hi:(w_ug *. 100.0) ~points
   in
   Array.to_list
     (Array.map

@@ -11,7 +11,12 @@ type row = {
   phase_deg : float;
 }
 
-val compute : ?spec:Pll_lib.Design.spec -> ?points:int -> unit -> row list
+val compute :
+  ?spec:Pll_lib.Design.spec ->
+  ?points:int ->
+  ?pool:Parallel.Pool.t ->
+  unit ->
+  row list
 
 (** Invariant checks usable by the test suite: magnitude slope is
     −40 dB/dec at both ends, −20 dB/dec near crossover; phase peaks at

@@ -30,8 +30,8 @@ let log_spaced_ints ~count ~top =
    the stable region, which show the same bandwidth shift and growing
    passband-edge peaking the paper describes. *)
 let compute ?(spec = Pll_lib.Design.default_spec)
-    ?(ratios = [ 0.05; 0.1; 0.2 ]) ?(points = 25) ?(sim_points = 6) () =
-  List.map
+    ?(ratios = [ 0.05; 0.1; 0.2 ]) ?(points = 25) ?(sim_points = 6) ?pool () =
+  Parallel.Sweep.map_list ?pool
     (fun ratio ->
       let sub_spec = Pll_lib.Design.with_ratio spec ratio in
       let p = Pll_lib.Design.synthesize sub_spec in
@@ -45,7 +45,7 @@ let compute ?(spec = Pll_lib.Design.default_spec)
       let grid = Optimize.logspace (0.05 *. w_ug) hi points in
       let analytic =
         Array.to_list
-          (Array.map
+          (Parallel.Sweep.grid ?pool
              (fun w ->
                {
                  omega_norm = w /. w_ug;
@@ -60,7 +60,7 @@ let compute ?(spec = Pll_lib.Design.default_spec)
       let window = 48 in
       let top = int_of_float (0.47 *. float_of_int window) in
       let sim_rows =
-        List.map
+        Parallel.Sweep.map_list ?pool
           (fun j ->
             let m = Sim.Extract.measure_h00 p ~harmonic:j ~window_periods:window () in
             let w = m.Sim.Extract.omega in

@@ -25,12 +25,15 @@ type curve = {
 
 (** [compute ()] — all three curves. [sim_points] spot frequencies per
     curve are simulated (default 6; 0 disables the simulator — handy for
-    quick sweeps). *)
+    quick sweeps). Curves, grid points and simulator spot checks are all
+    evaluated in parallel on [pool] (default [Parallel.Pool.default]);
+    output is bit-identical for any pool size. *)
 val compute :
   ?spec:Pll_lib.Design.spec ->
   ?ratios:float list ->
   ?points:int ->
   ?sim_points:int ->
+  ?pool:Parallel.Pool.t ->
   unit ->
   curve list
 

@@ -1,8 +1,9 @@
 let default_ratios =
   [ 0.02; 0.05; 0.08; 0.1; 0.15; 0.2; 0.25; 0.3; 0.35; 0.4; 0.45; 0.5 ]
 
-let compute ?(spec = Pll_lib.Design.default_spec) ?(ratios = default_ratios) () =
-  Pll_lib.Analysis.ratio_sweep spec ratios
+let compute ?(spec = Pll_lib.Design.default_spec) ?(ratios = default_ratios)
+    ?pool () =
+  Pll_lib.Analysis.ratio_sweep ?pool spec ratios
 
 let print ppf rows =
   Report.section ppf "FIG7: effective UGF and phase margin of lambda vs w_UG/w0";

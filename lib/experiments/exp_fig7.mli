@@ -9,7 +9,11 @@
 val default_ratios : float list
 
 val compute :
-  ?spec:Pll_lib.Design.spec -> ?ratios:float list -> unit -> Pll_lib.Analysis.ratio_point list
+  ?spec:Pll_lib.Design.spec ->
+  ?ratios:float list ->
+  ?pool:Parallel.Pool.t ->
+  unit ->
+  Pll_lib.Analysis.ratio_point list
 
 val print : Format.formatter -> Pll_lib.Analysis.ratio_point list -> unit
 val run : unit -> unit

@@ -22,9 +22,9 @@ let unwrap phases =
     out
   end
 
-let sweep f ~lo ~hi ~points =
+let sweep ?pool f ~lo ~hi ~points =
   let ws = Optimize.logspace lo hi points in
-  let responses = Array.map f ws in
+  let responses = Parallel.Sweep.grid ?pool f ws in
   let raw_phases = Array.map (fun z -> Stats.deg (Cx.arg z)) responses in
   let phases = unwrap raw_phases in
   Array.init points (fun i ->
@@ -35,6 +35,6 @@ let sweep f ~lo ~hi ~points =
         phase_deg = phases.(i);
       })
 
-let sweep_tf tf = sweep (Tf.freq_response tf)
+let sweep_tf ?pool tf = sweep ?pool (Tf.freq_response tf)
 let mag_db_at f w = Stats.db (Cx.abs (f w))
 let phase_deg_at f w = Stats.deg (Cx.arg (f w))

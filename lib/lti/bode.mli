@@ -13,11 +13,20 @@ type point = {
 }
 
 (** [sweep f ~lo ~hi ~points] evaluates [f] on a log grid and unwraps the
-    phase continuously from the low-frequency end. *)
-val sweep : (float -> Numeric.Cx.t) -> lo:float -> hi:float -> points:int -> point array
+    phase continuously from the low-frequency end. Grid points are
+    evaluated on [pool] (default [Parallel.Pool.default]); the result is
+    bit-identical for any pool size. *)
+val sweep :
+  ?pool:Parallel.Pool.t ->
+  (float -> Numeric.Cx.t) ->
+  lo:float ->
+  hi:float ->
+  points:int ->
+  point array
 
 (** [sweep_tf tf ~lo ~hi ~points] sweeps an LTI transfer function. *)
-val sweep_tf : Tf.t -> lo:float -> hi:float -> points:int -> point array
+val sweep_tf :
+  ?pool:Parallel.Pool.t -> Tf.t -> lo:float -> hi:float -> points:int -> point array
 
 (** [mag_db_at f w] / [phase_deg_at f w] — single-point helpers (phase
     in (-180, 180], not unwrapped). *)

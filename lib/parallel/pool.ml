@@ -1,0 +1,244 @@
+type stats = {
+  domains : int;
+  maps : int;
+  tasks : int;
+  items : int;
+  wall_seconds : float;
+  busy_seconds : float;
+}
+
+type t = {
+  size : int;
+  m : Mutex.t;
+  nonempty : Condition.t;  (* a task was queued / shutdown requested *)
+  finished : Condition.t;  (* some map call's last helper completed *)
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+  maps : int Atomic.t;
+  tasks : int Atomic.t;
+  items : int Atomic.t;
+  wall_us : int Atomic.t;
+  busy_us : int Atomic.t;
+}
+
+let default_domains () =
+  match Sys.getenv_opt "PLLSCOPE_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> Stdlib.min d 64
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* Queued thunks never raise: chunk loops catch everything into the
+   per-map failure slot, so a worker survives any mapped function. *)
+let rec worker_loop pool =
+  Mutex.lock pool.m;
+  while Queue.is_empty pool.queue && not pool.closed do
+    Condition.wait pool.nonempty pool.m
+  done;
+  if Queue.is_empty pool.queue then Mutex.unlock pool.m
+  else begin
+    let task = Queue.pop pool.queue in
+    Mutex.unlock pool.m;
+    task ();
+    worker_loop pool
+  end
+
+let create ?domains () =
+  let size =
+    match domains with
+    | Some d -> Stdlib.max 1 d
+    | None -> Stdlib.max 1 (default_domains ())
+  in
+  let pool =
+    {
+      size;
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      finished = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [];
+      maps = Atomic.make 0;
+      tasks = Atomic.make 0;
+      items = Atomic.make 0;
+      wall_us = Atomic.make 0;
+      busy_us = Atomic.make 0;
+    }
+  in
+  pool.workers <-
+    List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size pool = pool.size
+
+let default_mutex = Mutex.create ()
+let default_pool = ref None
+
+let default () =
+  Mutex.lock default_mutex;
+  let p =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+        let p = create () in
+        default_pool := Some p;
+        p
+  in
+  Mutex.unlock default_mutex;
+  p
+
+let add_us counter dt = ignore (Atomic.fetch_and_add counter (int_of_float (dt *. 1e6)))
+
+(* Run [body i] for [i = 0 .. n-1], split into chunks handed out through
+   an atomic cursor. The caller is always one of the lanes; worker
+   domains pick up at most [chunks - 1] helper thunks from the shared
+   queue. Each index is executed exactly once by whichever lane claims
+   its chunk, and each lane writes only its own indices, so results
+   cannot depend on the schedule. *)
+let run_indices ?chunk pool n body =
+  if pool.closed then invalid_arg "Pool: pool has been shut down";
+  if n > 0 then begin
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | Some _ -> invalid_arg "Pool.map: chunk must be >= 1"
+      | None -> Stdlib.max 1 (Stdlib.min 32 (n / (4 * pool.size)))
+    in
+    let chunks = (n + chunk - 1) / chunk in
+    let cursor = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let lane () =
+      let rec loop () =
+        if Atomic.get failure = None then begin
+          let c = Atomic.fetch_and_add cursor 1 in
+          if c < chunks then begin
+            let t0 = Unix.gettimeofday () in
+            (try
+               let lo = c * chunk in
+               let hi = Stdlib.min n (lo + chunk) - 1 in
+               for i = lo to hi do
+                 body i
+               done
+             with e ->
+               let bt = Printexc.get_raw_backtrace () in
+               ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+            Atomic.incr pool.tasks;
+            add_us pool.busy_us (Unix.gettimeofday () -. t0);
+            loop ()
+          end
+        end
+      in
+      loop ()
+    in
+    let helpers = Stdlib.min (pool.size - 1) (chunks - 1) in
+    let remaining = Atomic.make helpers in
+    let t0 = Unix.gettimeofday () in
+    if helpers > 0 then begin
+      Mutex.lock pool.m;
+      for _ = 1 to helpers do
+        Queue.push
+          (fun () ->
+            lane ();
+            if Atomic.fetch_and_add remaining (-1) = 1 then begin
+              Mutex.lock pool.m;
+              Condition.broadcast pool.finished;
+              Mutex.unlock pool.m
+            end)
+          pool.queue
+      done;
+      Condition.broadcast pool.nonempty;
+      Mutex.unlock pool.m
+    end;
+    lane ();
+    (* Wait for the helper thunks — but keep draining the shared queue
+       while doing so. A lane that maps on its own pool (nested sweep)
+       would otherwise park here while the tasks it is waiting for sit
+       unclaimed behind it in the queue. *)
+    let rec wait () =
+      if Atomic.get remaining > 0 then begin
+        Mutex.lock pool.m;
+        if Queue.is_empty pool.queue then begin
+          if Atomic.get remaining > 0 then Condition.wait pool.finished pool.m;
+          Mutex.unlock pool.m
+        end
+        else begin
+          let task = Queue.pop pool.queue in
+          Mutex.unlock pool.m;
+          task ()
+        end;
+        wait ()
+      end
+    in
+    wait ();
+    Atomic.incr pool.maps;
+    ignore (Atomic.fetch_and_add pool.items n);
+    add_us pool.wall_us (Unix.gettimeofday () -. t0);
+    match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let extract out =
+  Array.map (function Some v -> v | None -> assert false) out
+
+let mapi ?chunk pool f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    run_indices ?chunk pool n (fun i -> out.(i) <- Some (f i a.(i)));
+    extract out
+  end
+
+let map ?chunk pool f a = mapi ?chunk pool (fun _ x -> f x) a
+
+let init ?chunk pool n f =
+  if n < 0 then invalid_arg "Pool.init: negative size";
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    run_indices ?chunk pool n (fun i -> out.(i) <- Some (f i));
+    extract out
+  end
+
+let stats pool =
+  {
+    domains = pool.size;
+    maps = Atomic.get pool.maps;
+    tasks = Atomic.get pool.tasks;
+    items = Atomic.get pool.items;
+    wall_seconds = float_of_int (Atomic.get pool.wall_us) *. 1e-6;
+    busy_seconds = float_of_int (Atomic.get pool.busy_us) *. 1e-6;
+  }
+
+let reset_stats pool =
+  Atomic.set pool.maps 0;
+  Atomic.set pool.tasks 0;
+  Atomic.set pool.items 0;
+  Atomic.set pool.wall_us 0;
+  Atomic.set pool.busy_us 0
+
+let speedup s = s.busy_seconds /. s.wall_seconds
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "pool: %d domains, %d maps, %d tasks, %d items, wall %.3fs, busy %.3fs, \
+     speedup %.2fx"
+    s.domains s.maps s.tasks s.items s.wall_seconds s.busy_seconds (speedup s)
+
+let shutdown pool =
+  Mutex.lock pool.m;
+  if pool.closed then Mutex.unlock pool.m
+  else begin
+    pool.closed <- true;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.m;
+    List.iter Domain.join pool.workers;
+    pool.workers <- []
+  end
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

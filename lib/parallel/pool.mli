@@ -1,0 +1,85 @@
+(** Fixed pool of worker domains for embarrassingly parallel sweeps.
+
+    A pool owns [size - 1] long-lived worker domains plus the calling
+    domain, which always participates in the work. Work items are
+    dispatched as chunks of a contiguous index range; every output slot
+    is written by exactly one chunk at its own index, so the result of
+    {!map} is {b independent of scheduling} — bit-identical for any pool
+    size, including 1. A size-1 pool spawns no domains and runs the very
+    same chunk loop on the caller, so the sequential fallback exercises
+    the exact code path of the parallel one.
+
+    Pools are safe for nested use: a worker that calls {!map} on the
+    pool it is running on helps drain the shared queue while waiting for
+    its own chunks, so nested maps cannot deadlock.
+
+    Exceptions raised by the mapped function are caught in the worker,
+    the sweep is cancelled (remaining chunks are skipped), and the first
+    exception is re-raised in the caller with its backtrace. The pool
+    stays usable afterwards. *)
+
+type t
+
+(** Cumulative per-pool instrumentation. [busy_seconds] sums the time
+    every lane (workers and caller) spent executing chunks;
+    [wall_seconds] sums the elapsed time of each {!map} call as seen by
+    the caller. Their ratio estimates the achieved speedup over running
+    the same chunks on one lane. *)
+type stats = {
+  domains : int;  (** lanes: worker domains + the calling domain *)
+  maps : int;  (** {!map}/{!init} calls serviced *)
+  tasks : int;  (** chunks executed *)
+  items : int;  (** elements mapped *)
+  wall_seconds : float;
+  busy_seconds : float;
+}
+
+(** [default_domains ()] — pool size used by {!default}: the
+    [PLLSCOPE_DOMAINS] environment variable when set to a positive
+    integer (clamped to 64), otherwise [Domain.recommended_domain_count
+    ()]. *)
+val default_domains : unit -> int
+
+(** [create ?domains ()] — spawn a pool of [domains] lanes (default
+    {!default_domains}; clamped below by 1). [domains - 1] worker
+    domains are spawned immediately and live until {!shutdown}. *)
+val create : ?domains:int -> unit -> t
+
+(** The shared lazily-created pool used by sweep helpers when no
+    explicit pool is given. Never shut down. *)
+val default : unit -> t
+
+(** Number of lanes (worker domains + caller). *)
+val size : t -> int
+
+(** [map ?chunk pool f a] — [Array.map f a], computed by all lanes in
+    chunks of [chunk] indices (default: balanced across lanes, at most
+    32 items). Output ordering and values are independent of pool size
+    and scheduling. *)
+val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [mapi ?chunk pool f a] — indexed variant of {!map}. *)
+val mapi : ?chunk:int -> t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
+(** [init ?chunk pool n f] — [Array.init n f] with the same guarantees
+    as {!map}. *)
+val init : ?chunk:int -> t -> int -> (int -> 'b) -> 'b array
+
+(** Snapshot of the cumulative counters. *)
+val stats : t -> stats
+
+val reset_stats : t -> unit
+
+(** [speedup s] — [busy_seconds /. wall_seconds], the measured effective
+    parallelism (1.0 on a single lane; [nan] before any work). *)
+val speedup : stats -> float
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** [shutdown pool] — join the worker domains. Idempotent. Maps on a
+    shut-down pool raise [Invalid_argument]. *)
+val shutdown : t -> unit
+
+(** [with_pool ?domains f] — [create], run [f], [shutdown] (also on
+    exception). *)
+val with_pool : ?domains:int -> (t -> 'a) -> 'a

@@ -1,0 +1,19 @@
+let pool_of = function Some p -> p | None -> Pool.default ()
+
+let grid ?pool ?chunk f a = Pool.map ?chunk (pool_of pool) f a
+
+let map_list ?pool ?chunk f l =
+  Array.to_list (Pool.map ?chunk (pool_of pool) f (Array.of_list l))
+
+let init ?pool ?chunk n f = Pool.init ?chunk (pool_of pool) n f
+
+let sum ?pool ?chunk n term =
+  if n <= 0 then 0.0
+  else begin
+    let terms = Pool.init ?chunk (pool_of pool) n term in
+    let acc = ref terms.(0) in
+    for i = 1 to n - 1 do
+      acc := !acc +. terms.(i)
+    done;
+    !acc
+  end

@@ -1,0 +1,25 @@
+(** Deterministic parallel sweeps over frequency grids and parameter
+    lists.
+
+    Thin wrappers over {!Pool} that default to the shared {!Pool.default}
+    pool. All helpers guarantee that both the {b ordering} and the
+    {b values} of the result are independent of the pool size and of the
+    scheduling of chunks: every output element is computed by exactly
+    one lane from its own input element, and reductions ({!sum}) combine
+    the materialized per-index terms sequentially in index order. A
+    sweep run on a 1-lane pool and on an N-lane pool is bit-identical. *)
+
+(** [grid ?pool ?chunk f a] — [Array.map f a] on the pool. *)
+val grid : ?pool:Pool.t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [map_list ?pool ?chunk f l] — [List.map f l] on the pool, preserving
+    order. *)
+val map_list : ?pool:Pool.t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [init ?pool ?chunk n f] — [Array.init n f] on the pool. *)
+val init : ?pool:Pool.t -> ?chunk:int -> int -> (int -> 'b) -> 'b array
+
+(** [sum ?pool ?chunk n term] — [term 0 +. term 1 +. ... +. term (n-1)],
+    terms evaluated in parallel, then reduced {b sequentially in index
+    order} so the float rounding never depends on the schedule. *)
+val sum : ?pool:Pool.t -> ?chunk:int -> int -> (int -> float) -> float

@@ -34,13 +34,13 @@ let effective_report ?(method_ = Pll.Exact) p =
      meaningful crossover lives strictly inside (0, ω₀/2). *)
   of_margins (Lti.Margins.analyze f ~lo:(w0 *. 1e-5) ~hi:(w0 *. 0.4999))
 
-let closed_loop_metrics ?(method_ = Pll.Exact) ?(points = 800) p =
+let closed_loop_metrics ?(method_ = Pll.Exact) ?(points = 800) ?pool p =
   let h = Pll.h00_fn p method_ in
   let w0 = Pll.omega0 p in
   let mag w = Cx.abs (h (Cx.jomega w)) in
   let lo = w0 *. 1e-5 and hi = w0 *. 0.4999 in
   let ws = Optimize.logspace lo hi points in
-  let mags = Array.map mag ws in
+  let mags = Parallel.Sweep.grid ?pool mag ws in
   let dc_mag = mags.(0) in
   let peak_idx = ref 0 in
   Array.iteri (fun i m -> if m > mags.(!peak_idx) then peak_idx := i) mags;
@@ -86,13 +86,13 @@ type ratio_point = {
 
 let is_stable_tv p = Zmodel.is_stable (Zmodel.of_pll p)
 
-let ratio_sweep spec ratios =
-  List.map
+let ratio_sweep ?pool spec ratios =
+  Parallel.Sweep.map_list ?pool
     (fun ratio ->
       let p = Design.synthesize (Design.with_ratio spec ratio) in
       let lti = lti_report p in
       let eff = effective_report p in
-      let metrics = closed_loop_metrics p in
+      let metrics = closed_loop_metrics ?pool p in
       let w_ug = Design.omega_ug (Design.with_ratio spec ratio) in
       {
         ratio;

@@ -29,10 +29,16 @@ val lti_report : Pll.t -> loop_report
     (0, ω₀/2). Default method: [Exact]. *)
 val effective_report : ?method_:Pll.lambda_method -> Pll.t -> loop_report
 
-(** [closed_loop_metrics ?method_ ?points p] — peaking and bandwidth of
-    [|H₀₀(jω)|] (eq. 38) on a log grid up to ω₀/2. *)
+(** [closed_loop_metrics ?method_ ?points ?pool p] — peaking and
+    bandwidth of [|H₀₀(jω)|] (eq. 38) on a log grid up to ω₀/2. The grid
+    is evaluated on [pool] (default [Parallel.Pool.default]); results
+    are bit-identical for any pool size. *)
 val closed_loop_metrics :
-  ?method_:Pll.lambda_method -> ?points:int -> Pll.t -> closed_loop_metrics
+  ?method_:Pll.lambda_method ->
+  ?points:int ->
+  ?pool:Parallel.Pool.t ->
+  Pll.t ->
+  closed_loop_metrics
 
 (** Row of the Fig. 7 sweep. *)
 type ratio_point = {
@@ -44,9 +50,12 @@ type ratio_point = {
   stable : bool;  (** closed loop stable per the discrete-time model *)
 }
 
-(** [ratio_sweep spec ratios] — re-synthesizes the loop at each ratio
-    and evaluates the Fig. 7 quantities. *)
-val ratio_sweep : Design.spec -> float list -> ratio_point list
+(** [ratio_sweep ?pool spec ratios] — re-synthesizes the loop at each
+    ratio and evaluates the Fig. 7 quantities. Ratios are analyzed in
+    parallel on [pool] (default [Parallel.Pool.default]); row order and
+    every float are bit-identical for any pool size. *)
+val ratio_sweep :
+  ?pool:Parallel.Pool.t -> Design.spec -> float list -> ratio_point list
 
 (** [is_stable_tv p] — time-varying stability: all closed-loop poles of
     the exact discrete-time model inside the unit circle. *)

@@ -10,31 +10,35 @@ let one_over_f2 k w =
 
 let lorentzian ~level ~corner w = level /. (1.0 +. ((w /. corner) ** 2.0))
 
-let fold_sum ~omega0 ~folds s w =
-  let acc = ref (s w) in
-  for m = 1 to folds do
-    let shift = float_of_int m *. omega0 in
-    acc := !acc +. s (w +. shift) +. s (w -. shift)
-  done;
-  !acc
+(* Alias terms of the folding sums, laid out in the order the original
+   sequential loop accumulated them — [s(w); s(w+ω₀); s(w-ω₀); ...] —
+   so the parallel evaluation + in-order reduction of [Sweep.sum] is
+   bit-identical to the historical left-to-right sum. *)
+let alias_term ~omega0 s w i =
+  if i = 0 then s w
+  else begin
+    let shift = float_of_int ((i + 1) / 2) *. omega0 in
+    if i land 1 = 1 then s (w +. shift) else s (w -. shift)
+  end
 
-let reference_noise_out p ?(folds = 50) s_ref w =
+let fold_sum ?pool ~omega0 ~folds s w =
+  Parallel.Sweep.sum ?pool ((2 * folds) + 1) (alias_term ~omega0 s w)
+
+let reference_noise_out p ?(folds = 50) ?pool s_ref w =
   let h = Cx.abs (Pll.h00 p (Cx.jomega w)) in
-  let folded = fold_sum ~omega0:(Pll.omega0 p) ~folds s_ref w in
+  let folded = fold_sum ?pool ~omega0:(Pll.omega0 p) ~folds s_ref w in
   h *. h *. folded
 
-let vco_noise_out p ?(folds = 50) s_vco w =
+let vco_noise_out p ?(folds = 50) ?pool s_vco w =
   let h00 = Pll.h00 p (Cx.jomega w) in
   let err = Cx.sub Cx.one h00 in
   let direct = Cx.norm2 err *. s_vco w in
   let omega0 = Pll.omega0 p in
+  (* skip the m = 0 term: VCO noise at baseband enters through the error
+     transfer instead (the [direct] term) *)
   let folded_rest =
-    let acc = ref 0.0 in
-    for m = 1 to folds do
-      let shift = float_of_int m *. omega0 in
-      acc := !acc +. s_vco (w +. shift) +. s_vco (w -. shift)
-    done;
-    !acc
+    Parallel.Sweep.sum ?pool (2 * folds) (fun i ->
+        alias_term ~omega0 s_vco w (i + 1))
   in
   direct +. (Cx.norm2 h00 *. folded_rest)
 

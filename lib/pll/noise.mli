@@ -27,14 +27,18 @@ val one_over_f2 : float -> psd
 (** [lorentzian ~level ~corner] — flat to [corner], then 1/ω². *)
 val lorentzian : level:float -> corner:float -> psd
 
-(** [reference_noise_out p ?folds s_ref w] — output PSD at baseband
-    offset [w] from reference noise, folding [2*folds+1] bands
-    (default 50). *)
-val reference_noise_out : Pll.t -> ?folds:int -> psd -> float -> float
+(** [reference_noise_out p ?folds ?pool s_ref w] — output PSD at
+    baseband offset [w] from reference noise, folding [2*folds+1] bands
+    (default 50). Alias terms are evaluated on [pool] (default
+    [Parallel.Pool.default]) and reduced in a fixed order, so the sum is
+    bit-identical to the sequential one for any pool size. *)
+val reference_noise_out :
+  Pll.t -> ?folds:int -> ?pool:Parallel.Pool.t -> psd -> float -> float
 
-(** [vco_noise_out p ?folds s_vco w] — output PSD from open-loop VCO
-    noise. *)
-val vco_noise_out : Pll.t -> ?folds:int -> psd -> float -> float
+(** [vco_noise_out p ?folds ?pool s_vco w] — output PSD from open-loop
+    VCO noise. *)
+val vco_noise_out :
+  Pll.t -> ?folds:int -> ?pool:Parallel.Pool.t -> psd -> float -> float
 
 (** [lti_reference_noise_out p s_ref w] — what classical LTI analysis
     predicts: no folding, [|H₀₀,LTI|² S_ref(ω)]. *)

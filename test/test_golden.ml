@@ -1,0 +1,79 @@
+(* Golden regression tests: the paper-facing numbers (closed-loop
+   bandwidth/peaking, effective phase margins, Fig. 4 pulse-vs-impulse
+   rows) are snapshot in test/golden/fig_metrics.txt and recomputed here
+   on the shared parallel pool with tolerance 1e-9 — so refactors of the
+   sweep machinery (parallelization included) provably preserve the
+   reproduction. Regenerate an intentionally changed snapshot with
+   tools/gen_golden. *)
+
+open Helpers
+
+let golden_path = "golden/fig_metrics.txt"
+
+let load () =
+  let tbl = Hashtbl.create 64 in
+  let ic = open_in golden_path in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if String.length line > 0 && line.[0] <> '#' then begin
+         match String.index_opt line ' ' with
+         | None -> Alcotest.failf "malformed golden line: %s" line
+         | Some i ->
+             let k = String.sub line 0 i in
+             let v =
+               float_of_string
+                 (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+             in
+             Hashtbl.replace tbl k v
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  tbl
+
+let check_golden tbl key actual =
+  match Hashtbl.find_opt tbl key with
+  | None -> Alcotest.failf "golden key %s missing from %s" key golden_path
+  | Some expected ->
+      if Float.is_nan expected then
+        check_true (key ^ " (nan)") (Float.is_nan actual)
+      else check_close ~tol:1e-9 key expected actual
+
+let test_metrics_golden () =
+  let tbl = load () in
+  let spec = Pll_lib.Design.default_spec in
+  List.iter
+    (fun ratio ->
+      let p = Pll_lib.Design.synthesize (Pll_lib.Design.with_ratio spec ratio) in
+      let m = Pll_lib.Analysis.closed_loop_metrics p in
+      let eff = Pll_lib.Analysis.effective_report p in
+      let key fmt = Printf.sprintf "ratio_%g.%s" ratio fmt in
+      check_golden tbl (key "dc_mag") m.Pll_lib.Analysis.dc_mag;
+      check_golden tbl (key "peak_db") m.Pll_lib.Analysis.peak_db;
+      check_golden tbl (key "peak_freq") m.Pll_lib.Analysis.peak_freq;
+      check_golden tbl (key "bandwidth_3db")
+        (Option.value ~default:Float.nan m.Pll_lib.Analysis.bandwidth_3db);
+      check_golden tbl (key "pm_eff_deg")
+        (Option.value ~default:Float.nan eff.Pll_lib.Analysis.phase_margin_deg);
+      check_golden tbl (key "omega_ug_eff")
+        (Option.value ~default:Float.nan eff.Pll_lib.Analysis.omega_ug))
+    [ 0.05; 0.1; 0.2 ]
+
+let test_fig4_golden () =
+  let tbl = load () in
+  List.iter
+    (fun r ->
+      let key fmt =
+        Printf.sprintf "fig4_w%g.%s" r.Experiments.Exp_fig4.width_frac fmt
+      in
+      check_golden tbl (key "theta_pulse") r.Experiments.Exp_fig4.theta_pulse;
+      check_golden tbl (key "theta_impulse") r.Experiments.Exp_fig4.theta_impulse;
+      check_golden tbl (key "rel_err") r.Experiments.Exp_fig4.rel_err)
+    (Experiments.Exp_fig4.compute ())
+
+let suite =
+  [
+    case "closed-loop + effective-margin metrics vs snapshot" test_metrics_golden;
+    case "fig4 pulse-vs-impulse rows vs snapshot" test_fig4_golden;
+  ]

@@ -160,6 +160,38 @@ let test_max_singular_value () =
   (* zero *)
   check_close "zero sigma" 0.0 (Htm.max_singular_value ctx3 Htm.zero 1.0)
 
+let test_max_singular_rank_one_stall () =
+  (* regression: the power iteration used to start from the fixed ramp
+     v0_i = 1 + 0.1(i+1)j. For a rank-one HTM M = u vᴴ with v ⊥ v0 the
+     very first product M v0 is exactly zero, so the old iteration
+     stalled and reported σ = 0 instead of |u||v|. The seeded random
+     start (plus null-space restarts) must recover the true value. *)
+  let ctx1 = Htm.ctx ~n_harm:1 ~omega0:2.0 in
+  let v0 = Array.init 3 (fun i -> Cx.make 1.0 (0.1 *. float_of_int (i + 1))) in
+  (* vᴴ v0 = conj(v_0) v0_0 + conj(v_1) v0_1 = v0_1 v0_0 - v0_0 v0_1 = 0 *)
+  let v = [| Cx.conj v0.(1); Cx.neg (Cx.conj v0.(0)); Cx.zero |] in
+  let u = [| Cx.make 0.3 0.7; Cx.make (-1.1) 0.2; Cx.make 0.0 2.0 |] in
+  let h =
+    Htm.custom (fun c _s ->
+        Cmat.init (Htm.dim c) (Htm.dim c) (fun i k ->
+            Cx.mul u.(i) (Cx.conj v.(k))))
+  in
+  let norm a =
+    sqrt (Array.fold_left (fun acc z -> acc +. Cx.norm2 z) 0.0 a)
+  in
+  let expected = norm u *. norm v in
+  (* confirm the stall construction: vᴴ v0 is exactly zero *)
+  let vh_v0 = ref Cx.zero in
+  Array.iteri
+    (fun k z -> vh_v0 := Cx.add !vh_v0 (Cx.mul (Cx.conj v.(k)) z))
+    v0;
+  check_cx "old start vector is in the null space" Cx.zero !vh_v0;
+  let sv = Htm.max_singular_value ctx1 h 0.4 in
+  check_close ~tol:1e-8 "rank-one sigma recovered" expected sv;
+  (* the result is deterministic: same seed, same value *)
+  check_true "seeded start is deterministic"
+    (sv = Htm.max_singular_value ctx1 h 0.4)
+
 let test_max_singular_bounds_baseband () =
   (* sigma_max of a multiplier dominates any single element *)
   let h = Htm.periodic_gain [| Cx.of_float 0.4; Cx.one; Cx.of_float 0.4 |] in
@@ -208,6 +240,7 @@ let suite =
     case "conversion map" test_conversion_map;
     case "custom block" test_custom;
     case "max singular value" test_max_singular_value;
+    case "rank-one null-space stall (regression)" test_max_singular_rank_one_stall;
     case "singular value bounds" test_max_singular_bounds_baseband;
     prop_sampler_rank_one;
     prop_series_associative;

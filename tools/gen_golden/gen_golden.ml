@@ -1,0 +1,51 @@
+(* Regenerates test/golden/fig_metrics.txt — the snapshot of the
+   paper-facing numbers that the golden regression tests compare against
+   (tolerance 1e-9). Run after an *intentional* change to the modeled
+   figures:
+
+     dune exec tools/gen_golden/gen_golden.exe > test/golden/fig_metrics.txt
+
+   Values are printed with %.17g (round-trip exact for doubles) and
+   computed on a 1-domain pool; the test suite recomputes them on the
+   shared default pool, so this file also locks down the determinism
+   guarantee of the parallel sweep engine. *)
+
+let pr key v = Printf.printf "%s %.17g\n" key v
+
+let () =
+  let spec = Pll_lib.Design.default_spec in
+  Parallel.Pool.with_pool ~domains:1 (fun pool ->
+      print_endline
+        "# golden snapshot of paper-facing metrics; regenerate with";
+      print_endline
+        "#   dune exec tools/gen_golden/gen_golden.exe > test/golden/fig_metrics.txt";
+      (* Fig. 6 / Fig. 7 family: closed-loop bandwidth + peaking and the
+         effective (time-varying) margins at the paper's ratios *)
+      List.iter
+        (fun ratio ->
+          let sub = Pll_lib.Design.with_ratio spec ratio in
+          let p = Pll_lib.Design.synthesize sub in
+          let m = Pll_lib.Analysis.closed_loop_metrics ~pool p in
+          let eff = Pll_lib.Analysis.effective_report p in
+          let key fmt = Printf.sprintf "ratio_%g.%s" ratio fmt in
+          pr (key "dc_mag") m.Pll_lib.Analysis.dc_mag;
+          pr (key "peak_db") m.Pll_lib.Analysis.peak_db;
+          pr (key "peak_freq") m.Pll_lib.Analysis.peak_freq;
+          pr (key "bandwidth_3db")
+            (Option.value ~default:Float.nan m.Pll_lib.Analysis.bandwidth_3db);
+          pr (key "pm_eff_deg")
+            (Option.value ~default:Float.nan
+               eff.Pll_lib.Analysis.phase_margin_deg);
+          pr (key "omega_ug_eff")
+            (Option.value ~default:Float.nan eff.Pll_lib.Analysis.omega_ug))
+        [ 0.05; 0.1; 0.2 ];
+      (* Fig. 4: pulse-vs-impulse equivalence rows *)
+      List.iter
+        (fun r ->
+          let key fmt =
+            Printf.sprintf "fig4_w%g.%s" r.Experiments.Exp_fig4.width_frac fmt
+          in
+          pr (key "theta_pulse") r.Experiments.Exp_fig4.theta_pulse;
+          pr (key "theta_impulse") r.Experiments.Exp_fig4.theta_impulse;
+          pr (key "rel_err") r.Experiments.Exp_fig4.rel_err)
+        (Experiments.Exp_fig4.compute ~spec ~pool ()))
