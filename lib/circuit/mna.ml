@@ -103,7 +103,7 @@ let clean_poly coeffs =
   let scale_mag =
     Array.fold_left (fun acc z -> Stdlib.max acc (Cx.abs z)) 0.0 coeffs
   in
-  if scale_mag = 0.0 then Poly.zero
+  if Float.equal scale_mag 0.0 then Poly.zero
   else
     Poly.of_array
       (Array.map
@@ -137,7 +137,7 @@ let det_poly p ~omega_c ~replace_col =
 let cramer netlist ~rhs ~out_row =
   let p = assemble netlist in
   if out_row < 0 || out_row >= p.dim then
-    invalid_arg "Mna: node index out of range";
+    invalid_arg "Mna.cramer: node index out of range";
   let omega_c = characteristic_freq netlist in
   let den = det_poly p ~omega_c ~replace_col:None in
   if Poly.is_zero den then
@@ -149,13 +149,15 @@ let unit_current ~node dim =
   Cvec.init dim (fun i -> if i = node then Cx.one else Cx.zero)
 
 let transimpedance netlist ~inject ~sense =
-  if inject < 1 || sense < 1 then invalid_arg "Mna: ports are nodes >= 1";
+  if inject < 1 || sense < 1 then
+    invalid_arg "Mna.transimpedance: ports are nodes >= 1";
   cramer netlist ~rhs:(unit_current ~node:(inject - 1)) ~out_row:(sense - 1)
 
 let impedance netlist ~port = transimpedance netlist ~inject:port ~sense:port
 
 let voltage_transfer netlist ~from_node ~to_node =
-  if from_node < 1 || to_node < 1 then invalid_arg "Mna: ports are nodes >= 1";
+  if from_node < 1 || to_node < 1 then
+    invalid_arg "Mna.voltage_transfer: ports are nodes >= 1";
   (* drive from_node with a 1 V ideal source: add a source branch *)
   let driven =
     Netlist.create

@@ -8,17 +8,20 @@ type t = element list
 
 let validate = function
   | Resistor { a; b; ohms } ->
-      if a < 0 || b < 0 then invalid_arg "Netlist: negative node";
-      if ohms <= 0.0 then invalid_arg "Netlist: resistance must be positive"
+      if a < 0 || b < 0 then invalid_arg "Netlist.validate: negative node";
+      if ohms <= 0.0 then
+        invalid_arg "Netlist.validate: resistance must be positive"
   | Capacitor { a; b; farads } ->
-      if a < 0 || b < 0 then invalid_arg "Netlist: negative node";
-      if farads <= 0.0 then invalid_arg "Netlist: capacitance must be positive"
+      if a < 0 || b < 0 then invalid_arg "Netlist.validate: negative node";
+      if farads <= 0.0 then
+        invalid_arg "Netlist.validate: capacitance must be positive"
   | Inductor { a; b; henries } ->
-      if a < 0 || b < 0 then invalid_arg "Netlist: negative node";
-      if henries <= 0.0 then invalid_arg "Netlist: inductance must be positive"
+      if a < 0 || b < 0 then invalid_arg "Netlist.validate: negative node";
+      if henries <= 0.0 then
+        invalid_arg "Netlist.validate: inductance must be positive"
   | Vcvs { out_pos; out_neg; in_pos; in_neg; gain = _ } ->
       if out_pos < 0 || out_neg < 0 || in_pos < 0 || in_neg < 0 then
-        invalid_arg "Netlist: negative node"
+        invalid_arg "Netlist.validate: negative node"
 
 let create elements =
   List.iter validate elements;

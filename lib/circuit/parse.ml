@@ -13,9 +13,13 @@ let suffix_scale = function
   | "t" -> Some 1e12
   | _ -> None
 
+(* The [failwith] messages below are deliberately unprefixed: [value_at]
+   rewraps them into [Parse_error], where they surface verbatim in user
+   netlist diagnostics ("line 3: malformed value: 1x") — a
+   "Parse.value:" prefix would be noise there. *)
 let value str =
   let str = String.lowercase_ascii (String.trim str) in
-  if str = "" then failwith "empty value";
+  if str = "" then (failwith "empty value" [@lint.allow "error-message-prefix"]);
   (* split the longest numeric prefix from the suffix *)
   let n = String.length str in
   let is_num_char c =
@@ -36,13 +40,18 @@ let value str =
     else i
   in
   let cut = prefix_end 0 in
-  if cut = 0 then failwith ("malformed value: " ^ str);
+  if cut = 0 then
+    (failwith ("malformed value: " ^ str) [@lint.allow "error-message-prefix"]);
   let num = String.sub str 0 cut in
   let suffix = String.sub str cut (n - cut) in
   match (float_of_string_opt num, suffix_scale suffix) with
   | Some x, Some scale -> x *. scale
-  | None, _ -> failwith ("malformed number: " ^ num)
-  | _, None -> failwith ("unknown suffix: " ^ suffix)
+  | None, _ ->
+      (failwith ("malformed number: " ^ num)
+      [@lint.allow "error-message-prefix"])
+  | _, None ->
+      (failwith ("unknown suffix: " ^ suffix)
+      [@lint.allow "error-message-prefix"])
 
 let node_of_string line str =
   match int_of_string_opt str with

@@ -107,7 +107,8 @@ let max_singular_value ?(iterations = 200) ?(tol = 1e-10) ?(seed = 0x51C0FFEEL)
   let g = Prng.create ~seed in
   let renormalize u =
     let norm = Cvec.norm2 u in
-    if norm = 0.0 then None else Some (Cvec.scale (Cx.of_float (1.0 /. norm)) u)
+    if Float.equal norm 0.0 then None
+    else Some (Cvec.scale (Cx.of_float (1.0 /. norm)) u)
   in
   let random_unit () =
     let rec fresh attempts =

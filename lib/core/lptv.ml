@@ -10,7 +10,7 @@ let tone_response_multiplier coeffs ~omega0:_ ~m =
   List.filter_map
     (fun k ->
       let c = coeffs.(k + kmax) in
-      if Cx.abs c = 0.0 then None else Some (m + k, c))
+      if Float.equal (Cx.abs c) 0.0 then None else Some (m + k, c))
     (List.init ((2 * kmax) + 1) (fun i -> i - kmax))
 
 let conj_symmetric ?(tol = 1e-9) coeffs =

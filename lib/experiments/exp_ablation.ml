@@ -43,7 +43,7 @@ let htm_truncation p =
 let with_ripple_pole spec factor =
   let base = Pll_lib.Design.synthesize spec in
   match factor with
-  | f when f = Float.infinity -> base
+  | f when Float.equal f Float.infinity -> base
   | f ->
       let w_pole = f *. Pll_lib.Design.omega_ug spec in
       let filter =
@@ -110,7 +110,8 @@ let print ppf r =
     (List.map
        (fun row ->
          [
-           (if row.ripple_pole_factor = Float.infinity then "none (2nd order)"
+           (if Float.equal row.ripple_pole_factor Float.infinity then
+              "none (2nd order)"
             else Report.g row.ripple_pole_factor);
            Report.f3 row.pm_lti_deg;
            Report.f3 row.pm_eff_deg;

@@ -20,7 +20,7 @@ let compute ?(spec = Pll_lib.Design.default_spec) ?(omega_frac = 0.15)
   List.map
     (fun isf_ratio ->
       let vco =
-        if isf_ratio = 0.0 then base.Pll_lib.Pll.vco
+        if Float.equal isf_ratio 0.0 then base.Pll_lib.Pll.vco
         else
           Pll_lib.Vco.with_isf ~kvco:spec.Pll_lib.Design.kvco
             ~n_div:spec.Pll_lib.Design.n_div ~fref:spec.Pll_lib.Design.fref

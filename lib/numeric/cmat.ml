@@ -20,7 +20,7 @@ let col (m : t) k = Cvec.init (rows m) (fun i -> m.(i).(k))
 
 let lift2 op a b =
   if rows a <> rows b || cols a <> cols b then
-    invalid_arg "Cmat: dimension mismatch";
+    invalid_arg "Cmat.lift2: dimension mismatch";
   init (rows a) (cols a) (fun i k -> op a.(i).(k) b.(i).(k))
 
 let add = lift2 Cx.add

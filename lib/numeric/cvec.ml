@@ -14,7 +14,7 @@ let ones n = Array.make n Cx.one
 let basis n i = init n (fun k -> if k = i then Cx.one else Cx.zero)
 
 let lift2 op a b =
-  if dim a <> dim b then invalid_arg "Cvec: dimension mismatch";
+  if dim a <> dim b then invalid_arg "Cvec.lift2: dimension mismatch";
   Array.init (dim a) (fun i -> op a.(i) b.(i))
 
 let add = lift2 Cx.add

@@ -21,7 +21,8 @@ let bit_reverse_permute a =
 
 let fft_dir sign a =
   let n = Array.length a in
-  if n land (n - 1) <> 0 then invalid_arg "Fft: length must be a power of 2";
+  if n land (n - 1) <> 0 then
+    invalid_arg "Fft.fft_dir: length must be a power of 2";
   if n > 1 then begin
     bit_reverse_permute a;
     let len = ref 2 in

@@ -18,7 +18,7 @@ let decompose m =
         best_mag := mag
       end
     done;
-    if !best_mag = 0.0 then raise Singular;
+    if Float.equal !best_mag 0.0 then raise Singular;
     if !best <> k then begin
       let tmp = a.(k) in
       a.(k) <- a.(!best);

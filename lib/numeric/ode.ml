@@ -63,7 +63,7 @@ let dopri5 f ~t0 ~y0 ~t1 ?(rtol = 1e-9) ?(atol = 1e-12) ?h0 () =
       let ys = Array.copy !y in
       for l = 0 to s - 1 do
         let a = dp_a.(s).(l) in
-        if a <> 0.0 then
+        if not (Float.equal a 0.0) then
           Array.iteri (fun i v -> ys.(i) <- v +. (!h *. a *. stage_values.(l).(i))) ys
       done;
       stage_values.(s) <- f (!t +. (dp_c.(s) *. !h)) ys
@@ -87,7 +87,9 @@ let dopri5 f ~t0 ~y0 ~t1 ?(rtol = 1e-9) ?(atol = 1e-12) ?h0 () =
       t := !t +. !h;
       y := y5
     end;
-    let factor = if err = 0.0 then 5.0 else 0.9 *. (err ** -0.2) in
+    let factor =
+      if Float.equal err 0.0 then 5.0 else 0.9 *. (err ** -0.2)
+    in
     let factor = Stdlib.min 5.0 (Stdlib.max 0.2 factor) in
     h := !h *. factor;
     if !h < 1e-16 *. (1.0 +. Float.abs !t) then

@@ -2,8 +2,8 @@ exception No_bracket
 
 let bisect ?(tol = 1e-12) ?(max_iter = 200) f a b =
   let fa = f a and fb = f b in
-  if fa = 0.0 then a
-  else if fb = 0.0 then b
+  if Float.equal fa 0.0 then a
+  else if Float.equal fb 0.0 then b
   else if fa *. fb > 0.0 then raise No_bracket
   else begin
     let a = ref a and b = ref b and fa = ref fa in
@@ -12,7 +12,7 @@ let bisect ?(tol = 1e-12) ?(max_iter = 200) f a b =
       incr count;
       let m = 0.5 *. (!a +. !b) in
       let fm = f m in
-      if fm = 0.0 then begin
+      if Float.equal fm 0.0 then begin
         a := m;
         b := m
       end
@@ -27,8 +27,8 @@ let bisect ?(tol = 1e-12) ?(max_iter = 200) f a b =
 
 let brent ?(tol = 1e-13) ?(max_iter = 200) f a b =
   let fa = f a and fb = f b in
-  if fa = 0.0 then a
-  else if fb = 0.0 then b
+  if Float.equal fa 0.0 then a
+  else if Float.equal fb 0.0 then b
   else if fa *. fb > 0.0 then raise No_bracket
   else begin
     let a = ref a and b = ref b and fa = ref fa and fb = ref fb in
@@ -108,7 +108,7 @@ let scan_crossings ?(steps = 400) f ~lo ~hi =
     let x = xs.(i) in
     let fx = f x in
     if Float.is_finite !prev_f && Float.is_finite fx && !prev_f *. fx <= 0.0
-       && (!prev_f <> 0.0 || fx <> 0.0)
+       && not (Float.equal !prev_f 0.0 && Float.equal fx 0.0)
     then out := (!prev_x, x) :: !out;
     prev_x := x;
     prev_f := fx

@@ -52,7 +52,7 @@ let rec gaussian g =
       let u = uniform g ~lo:(-1.0) ~hi:1.0 in
       let v = uniform g ~lo:(-1.0) ~hi:1.0 in
       let s = (u *. u) +. (v *. v) in
-      if s >= 1.0 || s = 0.0 then gaussian g
+      if s >= 1.0 || Float.equal s 0.0 then gaussian g
       else begin
         let factor = sqrt (-2.0 *. log s /. s) in
         g.spare <- Some (v *. factor);

@@ -13,7 +13,7 @@ let identity n = init n n (fun i k -> if i = k then 1.0 else 0.0)
 
 let lift2 op a b =
   if rows a <> rows b || cols a <> cols b then
-    invalid_arg "Rmat: dimension mismatch";
+    invalid_arg "Rmat.lift2: dimension mismatch";
   init (rows a) (cols a) (fun i k -> op a.(i).(k) b.(i).(k))
 
 let add = lift2 ( +. )
@@ -27,7 +27,7 @@ let mul a b =
   for i = 0 to n - 1 do
     for l = 0 to q - 1 do
       let ail = a.(i).(l) in
-      if ail <> 0.0 then
+      if not (Float.equal ail 0.0) then
         for k = 0 to p - 1 do
           out.(i).(k) <- out.(i).(k) +. (ail *. b.(l).(k))
         done

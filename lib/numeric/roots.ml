@@ -4,7 +4,7 @@ let newton_polish ?(steps = 8) p z0 =
     if n = 0 then z
     else
       let d = Poly.eval dp z in
-      if Cx.abs d = 0.0 then z
+      if Float.equal (Cx.abs d) 0.0 then z
       else begin
         let step = Cx.div (Poly.eval p z) d in
         let z' = Cx.sub z step in
@@ -24,7 +24,7 @@ let quadratic a b c =
       Cx.scale (-0.5) (b + disc)
     else Cx.scale (-0.5) (b - disc)
   in
-  if Cx.abs q = 0.0 then
+  if Float.equal (Cx.abs q) 0.0 then
     let r = Cx.div (Cx.neg b) (Cx.scale 2.0 a) in
     [ r; r ]
   else [ Cx.div q a; Cx.div c q ]

@@ -91,6 +91,11 @@ let default () =
 
 let add_us counter dt = ignore (Atomic.fetch_and_add counter (int_of_float (dt *. 1e6)))
 
+(* Wall-clock reads feed only the stats counters (wall_us/busy_us) that
+   [pp_stats] reports; they never touch map results, so the pool's
+   bit-identical-at-any-size guarantee is unaffected. *)
+let now () = (Unix.gettimeofday () [@lint.allow "nondeterminism"])
+
 (* Run [body i] for [i = 0 .. n-1], split into chunks handed out through
    an atomic cursor. The caller is always one of the lanes; worker
    domains pick up at most [chunks - 1] helper thunks from the shared
@@ -98,7 +103,7 @@ let add_us counter dt = ignore (Atomic.fetch_and_add counter (int_of_float (dt *
    its chunk, and each lane writes only its own indices, so results
    cannot depend on the schedule. *)
 let run_indices ?chunk pool n body =
-  if pool.closed then invalid_arg "Pool: pool has been shut down";
+  if pool.closed then invalid_arg "Pool.run_indices: pool has been shut down";
   if n > 0 then begin
     let chunk =
       match chunk with
@@ -114,7 +119,7 @@ let run_indices ?chunk pool n body =
         if Atomic.get failure = None then begin
           let c = Atomic.fetch_and_add cursor 1 in
           if c < chunks then begin
-            let t0 = Unix.gettimeofday () in
+            let t0 = now () in
             (try
                let lo = c * chunk in
                let hi = Stdlib.min n (lo + chunk) - 1 in
@@ -125,7 +130,7 @@ let run_indices ?chunk pool n body =
                let bt = Printexc.get_raw_backtrace () in
                ignore (Atomic.compare_and_set failure None (Some (e, bt))));
             Atomic.incr pool.tasks;
-            add_us pool.busy_us (Unix.gettimeofday () -. t0);
+            add_us pool.busy_us (now () -. t0);
             loop ()
           end
         end
@@ -134,7 +139,7 @@ let run_indices ?chunk pool n body =
     in
     let helpers = Stdlib.min (pool.size - 1) (chunks - 1) in
     let remaining = Atomic.make helpers in
-    let t0 = Unix.gettimeofday () in
+    let t0 = now () in
     if helpers > 0 then begin
       Mutex.lock pool.m;
       for _ = 1 to helpers do
@@ -174,7 +179,7 @@ let run_indices ?chunk pool n body =
     wait ();
     Atomic.incr pool.maps;
     ignore (Atomic.fetch_and_add pool.items n);
-    add_us pool.wall_us (Unix.gettimeofday () -. t0);
+    add_us pool.wall_us (now () -. t0);
     match Atomic.get failure with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ()

@@ -6,7 +6,7 @@ let white level _ = level
 
 let one_over_f2 k w =
   let w2 = w *. w in
-  if w2 = 0.0 then Float.infinity else k /. w2
+  if Float.equal w2 0.0 then Float.infinity else k /. w2
 
 let lorentzian ~level ~corner w = level /. (1.0 +. ((w /. corner) ** 2.0))
 

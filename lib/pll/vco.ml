@@ -4,7 +4,7 @@ type t = { v0 : float; harmonics : Cx.t array option }
 
 let sensitivity ~kvco ~n_div ~fref =
   if kvco <= 0.0 || n_div <= 0.0 || fref <= 0.0 then
-    invalid_arg "Vco: kvco, n_div and fref must be positive";
+    invalid_arg "Vco.sensitivity: kvco, n_div and fref must be positive";
   kvco /. (n_div *. fref)
 
 let time_invariant ~kvco ~n_div ~fref =

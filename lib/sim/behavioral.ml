@@ -124,8 +124,9 @@ let run config stimulus ~t_end =
   let pulse_start = ref None in
   let pulses = ref [] in
   let note_current_change t i_before i_after =
-    if i_before = 0.0 && i_after <> 0.0 then pulse_start := Some t
-    else if i_before <> 0.0 && i_after = 0.0 then begin
+    let on x = not (Float.equal x 0.0) in
+    if (not (on i_before)) && on i_after then pulse_start := Some t
+    else if on i_before && not (on i_after) then begin
       match !pulse_start with
       | Some t0 ->
           pulses := (t0, Float.copy_sign (t -. t0) i_before) :: !pulses;

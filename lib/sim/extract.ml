@@ -51,7 +51,7 @@ let correlate pll ~stimulus ~omega_m ~eps ~warmup_periods ~window_periods
   let start_index = warmup * steps_per_period in
   let n_window = window_periods * steps_per_period in
   if Waveform.length theta < start_index + n_window then
-    failwith "Extract: simulation record too short";
+    failwith "Extract.correlate: simulation record too short";
   let samples =
     Array.init n_window (fun i -> Waveform.value theta (start_index + i))
   in

@@ -43,8 +43,9 @@ let outputs config k_max =
 
 let divider_sequence config =
   if config.frac < 0.0 || config.frac >= 1.0 then
-    invalid_arg "Fractional: frac must be in [0, 1)";
-  if config.n_int < 2 then invalid_arg "Fractional: n_int must be >= 2";
+    invalid_arg "Fractional.divider_sequence: frac must be in [0, 1)";
+  if config.n_int < 2 then
+    invalid_arg "Fractional.divider_sequence: n_int must be >= 2";
   let memo = ref [||] in
   fun k ->
     if k < 0 then invalid_arg "Fractional.divider_sequence: negative index";

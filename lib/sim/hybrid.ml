@@ -19,7 +19,7 @@ type ('d, 'tag) run_config = {
    trajectory started at (t, y): returns the step offset h* in (0, h]. *)
 let locate_crossing dynamics mode guard t y h g0 =
   let value h' =
-    if h' = 0.0 then g0
+    if Float.equal h' 0.0 then g0
     else
       let y' = Numeric.Ode.rk4_step (dynamics mode) t y h' in
       guard mode (t +. h') y'

@@ -52,7 +52,7 @@ let vco_white_fm pll ~sigma_freq ~periods ?(seed = 0x5EEDL)
   (* open-loop VCO time-shift noise: theta' = freq_mod / w_vco *)
   let w_vco = 2.0 *. Float.pi *. pll.Pll_lib.Pll.n_div *. pll.Pll_lib.Pll.fref in
   let s_vco w =
-    if w = 0.0 then 0.0
+    if Float.equal w 0.0 then 0.0
     else held_psd ~sigma:sigma_freq ~dt w /. (w_vco *. w_vco *. w *. w)
   in
   (* fold far enough to cover the held process's sinc lobes *)

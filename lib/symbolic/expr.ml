@@ -14,7 +14,9 @@ let zero = Num 0.0
 let one = Num 1.0
 
 let is_num = function Num _ -> true | _ -> false
-let num_value = function Num x -> x | _ -> invalid_arg "Expr.num_value"
+let num_value = function
+  | Num x -> x
+  | _ -> invalid_arg "Expr.num_value: not a numeric constant"
 
 let sum terms =
   let flat =
@@ -26,7 +28,9 @@ let sum terms =
       (0.0, []) flat
   in
   let rest = List.rev rest in
-  let terms = if constant = 0.0 then rest else rest @ [ Num constant ] in
+  let terms =
+    if Float.equal constant 0.0 then rest else rest @ [ Num constant ]
+  in
   match terms with [] -> zero | [ e ] -> e | ts -> Add ts
 
 let add a b = sum [ a; b ]
@@ -41,9 +45,11 @@ let prod factors =
       (1.0, []) flat
   in
   let rest = List.rev rest in
-  if constant = 0.0 then zero
+  if Float.equal constant 0.0 then zero
   else begin
-    let factors = if constant = 1.0 then rest else Num constant :: rest in
+    let factors =
+      if Float.equal constant 1.0 then rest else Num constant :: rest
+    in
     match factors with [] -> one | [ e ] -> e | fs -> Mul fs
   end
 

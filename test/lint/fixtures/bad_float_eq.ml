@@ -1,0 +1,17 @@
+[@@@lint.allow "mli-coverage"]
+
+(* Seeded float-eq violations: each comparison below must be reported. *)
+
+let is_zero x = x = 0.0
+let drifted x y = (x *. y) +. 1e-9 <> 1.0
+let rank x = compare x infinity
+let against_pi x = x = Float.pi
+
+(* Near-misses that must stay silent. *)
+let ok_equal x = Float.equal x 0.0
+let ok_compare x = Float.compare x 0.0 > 0
+let ok_int n = n = 0
+let ok_string s = s = "zero"
+let ok_ordering x = x < 0.0
+(* note the extra parens: [@...] binds tighter than infix operators *)
+let ok_annotated x = ((x = 0.0) [@lint.allow "float-eq"])

@@ -1,0 +1,11 @@
+[@@@lint.allow "mli-coverage"]
+
+(* Seeded nondeterminism violations (rule applies under --lib-prefix). *)
+
+let seed () = Random.self_init ()
+let wall () = Unix.gettimeofday ()
+let cpu () = Sys.time ()
+let bucket x = Hashtbl.hash x
+
+(* Annotated escape hatch must stay silent. *)
+let timed () = (Sys.time () [@lint.allow "nondeterminism"])

@@ -1,0 +1,41 @@
+[@@@lint.allow "mli-coverage"]
+
+(* Seeded pool-purity violations: mutable state captured by closures
+   handed to Parallel.Pool / Parallel.Sweep. *)
+
+let total = ref 0.0
+let hits = Hashtbl.create 16
+let trace = Buffer.create 64
+
+type acc = { mutable best : float }
+
+let racy_sum pool xs =
+  Parallel.Sweep.grid ~pool
+    (fun x ->
+      total := !total +. x;
+      Hashtbl.replace hits x ();
+      Buffer.add_char trace '.';
+      x *. 2.0)
+    xs
+
+let racy_writes pool shared (r : acc) xs =
+  Pool.mapi pool
+    (fun i x ->
+      if x > r.best then r.best <- x;
+      shared.(i) <- x;
+      x)
+    xs
+
+(* Task-local mutation is fine: everything below is bound inside the
+   closure, so no finding. *)
+let clean pool xs =
+  Parallel.Sweep.grid ~pool
+    (fun x ->
+      let local = ref 0.0 in
+      let scratch = Array.make 4 0.0 in
+      let tbl = Hashtbl.create 4 in
+      local := x *. 3.0;
+      scratch.(0) <- !local;
+      Hashtbl.replace tbl 0 x;
+      scratch.(0))
+    xs

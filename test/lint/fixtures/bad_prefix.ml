@@ -1,0 +1,19 @@
+[@@@lint.allow "mli-coverage"]
+
+(* Seeded error-message-prefix violations. *)
+
+let no_prefix x = if x < 0 then invalid_arg "negative input" else x
+let no_function x = if x > 9 then failwith "Prefix: missing function" else x
+
+let dynamic_suffix x =
+  if x > 99 then invalid_arg ("too big: " ^ string_of_int x) else x
+
+let sprintf_form x =
+  if x < -99 then failwith (Printf.sprintf "too small: %d" x) else x
+
+(* Compliant messages must stay silent. *)
+let ok x = if x = 1 then invalid_arg "Bad_prefix.ok: x must not be 1" else x
+
+let ok_dynamic x =
+  if x = 2 then failwith ("Bad_prefix.ok_dynamic: bad " ^ string_of_int x)
+  else x

@@ -1,0 +1,11 @@
+(* A fully compliant module: the linter must stay silent here. *)
+
+let scale = 2.0
+let double x = x *. scale
+
+let checked x =
+  if Float.compare x 0.0 <= 0 then
+    invalid_arg "Clean.checked: x must be positive"
+  else x
+
+let offsets pool xs = Parallel.Sweep.grid ~pool (fun x -> x +. 1.0) xs

@@ -1,0 +1,4 @@
+val scale : float
+val double : float -> float
+val checked : float -> float
+val offsets : pool:Parallel.Pool.t -> float array -> float array

@@ -1,0 +1,3 @@
+(* Deliberately missing its .mli: mli-coverage must report this file. *)
+
+let answer = 42

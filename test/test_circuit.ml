@@ -122,10 +122,10 @@ let test_singular_network () =
 
 let test_validation () =
   Alcotest.check_raises "negative R"
-    (Invalid_argument "Netlist: resistance must be positive") (fun () ->
+    (Invalid_argument "Netlist.validate: resistance must be positive") (fun () ->
       ignore (Netlist.create [ Netlist.r 1 0 (-1.0) ]));
   Alcotest.check_raises "bad node"
-    (Invalid_argument "Netlist: negative node") (fun () ->
+    (Invalid_argument "Netlist.validate: negative node") (fun () ->
       ignore (Netlist.create [ Netlist.r (-1) 0 1.0 ]))
 
 let test_loop_filter_of_netlist () =

@@ -45,7 +45,7 @@ let test_products () =
 
 let test_dim_mismatch () =
   Alcotest.check_raises "add mismatch"
-    (Invalid_argument "Cvec: dimension mismatch") (fun () ->
+    (Invalid_argument "Cvec.lift2: dimension mismatch") (fun () ->
       ignore (Cvec.add v123 (Cvec.zeros 2)))
 
 let prop_dot_linear =

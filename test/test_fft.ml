@@ -58,7 +58,7 @@ let test_parseval () =
 
 let test_non_pow2_rejected () =
   Alcotest.check_raises "length 12"
-    (Invalid_argument "Fft: length must be a power of 2") (fun () ->
+    (Invalid_argument "Fft.fft_dir: length must be a power of 2") (fun () ->
       Fft.fft (Array.make 12 Cx.zero))
 
 let test_goertzel_pure_tone () =

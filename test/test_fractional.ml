@@ -47,10 +47,12 @@ let test_memoization_consistency () =
 
 let test_validation () =
   Alcotest.check_raises "frac out of range"
-    (Invalid_argument "Fractional: frac must be in [0, 1)") (fun () ->
+    (Invalid_argument "Fractional.divider_sequence: frac must be in [0, 1)")
+    (fun () ->
       ignore (Fr.divider_sequence { Fr.modulator = Fr.First_order; n_int; frac = 1.5 } 0));
   Alcotest.check_raises "n too small"
-    (Invalid_argument "Fractional: n_int must be >= 2") (fun () ->
+    (Invalid_argument "Fractional.divider_sequence: n_int must be >= 2")
+    (fun () ->
       ignore (Fr.divider_sequence { Fr.modulator = Fr.First_order; n_int = 1; frac } 0))
 
 let fractional_pll ratio =

@@ -132,7 +132,7 @@ let test_shutdown () =
   Pool.shutdown p;
   Pool.shutdown p (* idempotent *);
   Alcotest.check_raises "map after shutdown rejected"
-    (Invalid_argument "Pool: pool has been shut down") (fun () ->
+    (Invalid_argument "Pool.run_indices: pool has been shut down") (fun () ->
       ignore (Pool.map p succ [| 1 |]))
 
 let test_default_sizing () =

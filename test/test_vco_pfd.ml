@@ -9,7 +9,8 @@ let test_time_invariant_sensitivity () =
   check_close "v0 = Kvco/(N fref)" (20e6 /. 64e6) vco.Vco.v0;
   check_true "flagged time-invariant" (Vco.is_time_invariant vco);
   Alcotest.check_raises "bad kvco"
-    (Invalid_argument "Vco: kvco, n_div and fref must be positive") (fun () ->
+    (Invalid_argument "Vco.sensitivity: kvco, n_div and fref must be positive")
+    (fun () ->
       ignore (Vco.time_invariant ~kvco:0.0 ~n_div:64.0 ~fref:1e6))
 
 let test_tf () =

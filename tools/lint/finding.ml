@@ -1,0 +1,35 @@
+(* A single lint diagnostic, printed GNU-style as
+   [file:line:col: [rule] message] so editors and CI annotate it. *)
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+}
+
+let make ~file ~line ~col ~rule ~message = { file; line; col; rule; message }
+
+let of_loc ~file ~rule ~message (loc : Location.t) =
+  let p = loc.loc_start in
+  {
+    file;
+    line = p.pos_lnum;
+    col = p.pos_cnum - p.pos_bol;
+    rule;
+    message;
+  }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.message

@@ -1,0 +1,139 @@
+(* pllscope-lint — static analysis gate for the pllscope tree.
+
+   Usage:
+     pllscope_lint [--allowlist FILE] [--lib-prefix DIR] [--list-rules] PATH...
+
+   PATHs are .ml files or directories (recursed, sorted, hidden and
+   underscore-prefixed directories skipped). Rules scoped to library
+   code (mli-coverage, nondeterminism) apply to files under a
+   --lib-prefix root (default "lib"). Exit status: 0 clean, 1 findings,
+   2 usage or I/O error. *)
+
+let usage () =
+  prerr_endline
+    "usage: pllscope_lint [--allowlist FILE] [--lib-prefix DIR] [--list-rules] \
+     PATH...";
+  exit 2
+
+let list_rules () =
+  List.iter
+    (fun (name, desc) -> Printf.printf "%-22s %s\n" name desc)
+    Rules.all_rules;
+  exit 0
+
+(* allowlist file: lines of "rule path", '#' comments; a finding whose
+   rule and file both match is dropped. *)
+let load_allowlist path =
+  if not (Sys.file_exists path) then (
+    Printf.eprintf "pllscope_lint: allowlist %s not found\n" path;
+    exit 2);
+  let ic = open_in path in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if String.length line > 0 && line.[0] <> '#' then
+         match String.index_opt line ' ' with
+         | Some i ->
+             let rule = String.sub line 0 i in
+             let file =
+               String.trim (String.sub line (i + 1) (String.length line - i - 1))
+             in
+             entries := (rule, file) :: !entries
+         | None ->
+             Printf.eprintf
+               "pllscope_lint: malformed allowlist line (want 'rule path'): %s\n"
+               line;
+             exit 2
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !entries
+
+let allowlisted entries (f : Finding.t) =
+  List.exists
+    (fun (rule, file) -> String.equal rule f.Finding.rule && String.equal file f.Finding.file)
+    entries
+
+let rec collect_ml acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if String.length entry = 0 || entry.[0] = '.' || entry.[0] = '_' then
+             acc
+           else collect_ml acc (Filename.concat path entry))
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Location.init lexbuf path;
+      Parse.implementation lexbuf)
+
+let lint_file ~lib_prefixes path =
+  let in_lib =
+    List.exists
+      (fun p ->
+        let p = if Filename.check_suffix p "/" then p else p ^ "/" in
+        String.starts_with ~prefix:p path)
+      lib_prefixes
+  in
+  let ctx = Rules.make_ctx ~file:path ~in_lib in
+  match parse_file path with
+  | structure -> Rules.lint_structure ctx structure
+  | exception exn ->
+      let loc, msg =
+        match Location.error_of_exn exn with
+        | Some (`Ok e) ->
+            (e.Location.main.loc, Format.asprintf "%t" e.Location.main.txt)
+        | _ -> (Location.none, Printexc.to_string exn)
+      in
+      [ Finding.of_loc ~file:path ~rule:"parse-error" ~message:msg loc ]
+
+let () =
+  let allowlist = ref [] in
+  let lib_prefixes = ref [] in
+  let paths = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--list-rules" :: _ -> list_rules ()
+    | "--allowlist" :: file :: rest ->
+        allowlist := load_allowlist file @ !allowlist;
+        parse_args rest
+    | "--lib-prefix" :: dir :: rest ->
+        lib_prefixes := dir :: !lib_prefixes;
+        parse_args rest
+    | ("--allowlist" | "--lib-prefix") :: [] -> usage ()
+    | arg :: _ when String.starts_with ~prefix:"-" arg -> usage ()
+    | path :: rest ->
+        paths := path :: !paths;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  if !paths = [] then usage ();
+  let lib_prefixes = if !lib_prefixes = [] then [ "lib" ] else !lib_prefixes in
+  let files =
+    List.fold_left
+      (fun acc p ->
+        if not (Sys.file_exists p) then (
+          Printf.eprintf "pllscope_lint: no such file or directory: %s\n" p;
+          exit 2);
+        collect_ml acc p)
+      [] (List.rev !paths)
+    |> List.sort_uniq String.compare
+  in
+  let findings =
+    List.concat_map (lint_file ~lib_prefixes) files
+    |> List.filter (fun f -> not (allowlisted !allowlist f))
+    |> List.sort Finding.compare
+  in
+  List.iter (fun f -> print_endline (Finding.to_string f)) findings;
+  if findings <> [] then (
+    Printf.eprintf "pllscope_lint: %d finding(s)\n" (List.length findings);
+    exit 1)
