@@ -186,6 +186,89 @@ let run_parallel_bench () =
   close_out oc;
   Format.printf "wrote BENCH_parallel.json@."
 
+(* Structured vs dense HTM kernels: times Htm.to_matrix (Smat shapes,
+   Sherman–Morrison feedback) against Htm.to_matrix_dense (boxed Cmat
+   products + dense LU) on the closed-loop HTM, and compares per-eval
+   allocation. Emitted as BENCH_kernels.json for CI tracking. *)
+let run_kernel_bench () =
+  Format.printf "@.== HTM kernels: structured (Smat) vs dense evaluation ==@.";
+  let s = Numeric.Cx.jomega (0.2 *. w0) in
+  let cl = Pll_lib.Pll.closed_loop_htm pll in
+  (* ns/op as best-of-3 over a rep count sized to ~>=50 ms per batch *)
+  let time_ns f =
+    ignore (f ());
+    (* warmup *)
+    let reps = ref 1 in
+    let batch () =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to !reps do
+        ignore (f ())
+      done;
+      Unix.gettimeofday () -. t0
+    in
+    let dt = ref (batch ()) in
+    while !dt < 0.05 && !reps < 1_000_000 do
+      reps := !reps * 4;
+      dt := batch ()
+    done;
+    let best = ref !dt in
+    for _ = 1 to 2 do
+      let d = batch () in
+      if d < !best then best := d
+    done;
+    !best /. float_of_int !reps *. 1e9
+  in
+  let bytes_per_eval f =
+    ignore (f ());
+    let reps = 10 in
+    let b0 = Gc.allocated_bytes () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Gc.allocated_bytes () -. b0) /. float_of_int reps
+  in
+  let rows =
+    List.map
+      (fun n_harm ->
+        let ctx = Htm_core.Htm.ctx ~n_harm ~omega0:w0 in
+        let dense () = Htm_core.Htm.to_matrix_dense ctx cl s in
+        let structured () = Htm_core.Htm.to_matrix ctx cl s in
+        let dense_ns = time_ns dense and struct_ns = time_ns structured in
+        let dense_b = bytes_per_eval dense
+        and struct_b = bytes_per_eval structured in
+        Format.printf
+          "  n_harm %3d (dim %3d): dense %10.0f ns  structured %9.0f ns  \
+           (%.1fx); alloc %9.3e B -> %9.3e B (%.1fx)@."
+          n_harm (Htm_core.Htm.dim ctx) dense_ns struct_ns
+          (dense_ns /. struct_ns) dense_b struct_b (dense_b /. struct_b);
+        (n_harm, Htm_core.Htm.dim ctx, dense_ns, struct_ns, dense_b, struct_b))
+      [ 10; 20; 40; 80 ]
+  in
+  let oc = open_out "BENCH_kernels.json" in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    "  \"benchmark\": \"closed-loop HTM realization: structured Smat vs \
+     dense\",\n";
+  Buffer.add_string b "  \"s_over_omega0\": 0.2,\n";
+  Buffer.add_string b "  \"runs\": [\n";
+  List.iteri
+    (fun i (n_harm, dim, dense_ns, struct_ns, dense_b, struct_b) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"n_harm\": %d, \"dim\": %d, \"dense_ns\": %.1f, \
+            \"structured_ns\": %.1f, \"speedup\": %.2f, \"dense_bytes\": \
+            %.1f, \"structured_bytes\": %.1f, \"alloc_ratio\": %.2f}%s\n"
+           n_harm dim dense_ns struct_ns (dense_ns /. struct_ns) dense_b
+           struct_b (dense_b /. struct_b)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n";
+  Buffer.add_string b "}\n";
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.printf "wrote BENCH_kernels.json@."
+
 let bench_sim_period =
   Test.make ~name:"kernel: behavioral simulation (10 periods)"
     (Staged.stage
@@ -257,14 +340,16 @@ let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
   | "bench" -> run_benchmarks ()
   | "parallel" -> run_parallel_bench ()
+  | "kernels" -> run_kernel_bench ()
   | ("2" | "4" | "5" | "6" | "7" | "perf" | "xchk" | "ablation" | "isf" | "nonideal" | "pfd" | "noise" | "fractional") as f ->
       run_figures f
   | "all" ->
       run_figures "all";
       run_benchmarks ();
-      run_parallel_bench ()
+      run_parallel_bench ();
+      run_kernel_bench ()
   | other ->
       Format.printf
-        "unknown argument %s (want 2|4|5|6|7|perf|xchk|ablation|isf|nonideal|pfd|noise|fractional|bench|parallel|all)@."
+        "unknown argument %s (want 2|4|5|6|7|perf|xchk|ablation|isf|nonideal|pfd|noise|fractional|bench|parallel|kernels|all)@."
         other;
       exit 1

@@ -47,7 +47,36 @@ let neg g = Scale (Cx.neg Cx.one, g)
 let feedback g = Feedback g
 let custom f = Custom f
 
-let rec to_matrix c t s =
+(* Structure-aware evaluator: realize the composition tree as the
+   cheapest {!Smat.t} shape and densify only at the API boundary. The
+   primitive shapes follow the paper — LTI = diagonal (eq. 12),
+   periodic gain = banded Toeplitz (eq. 13), sampler = rank one
+   (eqs. 19–20) — and {!Smat}'s composition rules keep feedback around
+   the rank-one sampler on the Sherman–Morrison closed form instead of
+   a dense LU. *)
+let rec structured c t s =
+  let n = dim c in
+  match t with
+  | Lti h ->
+      Smat.diag_init n (fun i ->
+          h (Cx.add s (Cx.jomega (float_of_int (harmonic_of_index c i) *. c.omega0))))
+  | Periodic_gain coeffs -> Smat.of_toeplitz ~n coeffs
+  | Sampler -> Smat.rank1_const n (c.omega0 /. (2.0 *. Float.pi))
+  | Identity -> Smat.identity n
+  | Zero -> Smat.zeros n
+  | Scale (z, g) -> Smat.scale z (structured c g s)
+  | Series (g2, g1) -> Smat.mul (structured c g2 s) (structured c g1 s)
+  | Parallel (g1, g2) -> Smat.add (structured c g1 s) (structured c g2 s)
+  | Sub (g1, g2) -> Smat.sub (structured c g1 s) (structured c g2 s)
+  | Feedback g -> Smat.feedback (structured c g s)
+  | Custom f -> Smat.of_cmat (f c s)
+
+let to_matrix c t s = Smat.to_cmat (structured c t s)
+
+(* Reference evaluator: the original all-dense boxed recursion, kept
+   verbatim as the oracle for the structured path (equivalence tests,
+   kernel benchmarks). *)
+let rec to_matrix_dense c t s =
   let n = dim c in
   match t with
   | Lti h ->
@@ -65,12 +94,12 @@ let rec to_matrix c t s =
       Cmat.init n n (fun _ _ -> w)
   | Identity -> Cmat.identity n
   | Zero -> Cmat.zeros n n
-  | Scale (z, g) -> Cmat.scale z (to_matrix c g s)
-  | Series (g2, g1) -> Cmat.mul (to_matrix c g2 s) (to_matrix c g1 s)
-  | Parallel (g1, g2) -> Cmat.add (to_matrix c g1 s) (to_matrix c g2 s)
-  | Sub (g1, g2) -> Cmat.sub (to_matrix c g1 s) (to_matrix c g2 s)
+  | Scale (z, g) -> Cmat.scale z (to_matrix_dense c g s)
+  | Series (g2, g1) -> Cmat.mul (to_matrix_dense c g2 s) (to_matrix_dense c g1 s)
+  | Parallel (g1, g2) -> Cmat.add (to_matrix_dense c g1 s) (to_matrix_dense c g2 s)
+  | Sub (g1, g2) -> Cmat.sub (to_matrix_dense c g1 s) (to_matrix_dense c g2 s)
   | Feedback g ->
-      let gm = to_matrix c g s in
+      let gm = to_matrix_dense c g s in
       let i_plus_g = Cmat.add (Cmat.identity n) gm in
       Lu.solve_mat (Lu.decompose i_plus_g) gm
   | Custom f -> f c s
@@ -78,18 +107,20 @@ let rec to_matrix c t s =
 let element c t ~n ~m s =
   if abs n > c.n_harm || abs m > c.n_harm then
     invalid_arg "Htm.element: harmonic outside truncation";
-  Cmat.get (to_matrix c t s) (index_of_harmonic c n) (index_of_harmonic c m)
+  (* fast path: one entry of the structured form, no n×n densification *)
+  Smat.get (structured c t s) (index_of_harmonic c n) (index_of_harmonic c m)
 
 let baseband c t w = element c t ~n:0 ~m:0 (Cx.jomega w)
 
 let conversion_map c t w =
-  let m = to_matrix c t (Cx.jomega w) in
+  let m = Smat.densify (structured c t (Cx.jomega w)) in
   Array.init (dim c) (fun i ->
-      Array.init (dim c) (fun k -> Cx.abs (Cmat.get m i k)))
+      Array.init (dim c) (fun k -> Cx.abs (Cmatf.get m i k)))
 
 let apply_to_tone c t ~m w =
   if abs m > c.n_harm then invalid_arg "Htm.apply_to_tone: harmonic outside truncation";
-  Cmat.col (to_matrix c t (Cx.jomega w)) (index_of_harmonic c m)
+  (* fast path: one structured column instead of the full matrix *)
+  Smat.col (structured c t (Cx.jomega w)) (index_of_harmonic c m)
 
 let max_singular_value ?(iterations = 200) ?(tol = 1e-10) ?(seed = 0x51C0FFEEL)
     c t w =
@@ -101,47 +132,68 @@ let max_singular_value ?(iterations = 200) ?(tol = 1e-10) ?(seed = 0x51C0FFEEL)
      space is orthogonal to it — and stall the iteration at σ = 0. A
      null-space start is detected (MᴴMv = 0 before convergence) and
      retried with a fresh vector from the same deterministic stream. *)
-  let m = to_matrix c t (Cx.jomega w) in
-  let mh = Cmat.conj_transpose m in
+  (* structured fast path: both products per iteration run on the
+     Smat shape (O(n) for diagonal/rank-one HTMs, O(n·k) banded) and
+     the conjugate transpose is never materialized *)
+  let m = structured c t (Cx.jomega w) in
   let n = dim c in
   let g = Prng.create ~seed in
-  let renormalize u =
-    let norm = Cvec.norm2 u in
-    if Float.equal norm 0.0 then None
-    else Some (Cvec.scale (Cx.of_float (1.0 /. norm)) u)
+  let vre = Array.make n 0.0 and vim = Array.make n 0.0 in
+  let wre = Array.make n 0.0 and wim = Array.make n 0.0 in
+  let ure = Array.make n 0.0 and uim = Array.make n 0.0 in
+  let norm2 re im =
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. (re.(i) *. re.(i)) +. (im.(i) *. im.(i))
+    done;
+    Stdlib.sqrt !acc
+  in
+  (* normalize (re,im) into (vre,vim); false when the vector is zero *)
+  let renormalize_into re im =
+    let norm = norm2 re im in
+    if Float.equal norm 0.0 then false
+    else begin
+      let inv = 1.0 /. norm in
+      for i = 0 to n - 1 do
+        vre.(i) <- re.(i) *. inv;
+        vim.(i) <- im.(i) *. inv
+      done;
+      true
+    end
   in
   let random_unit () =
     let rec fresh attempts =
-      let u = Cvec.init n (fun _ -> Cx.make (Prng.gaussian g) (Prng.gaussian g)) in
-      match renormalize u with
-      | Some u -> u
-      | None -> if attempts <= 0 then u else fresh (attempts - 1)
+      for i = 0 to n - 1 do
+        ure.(i) <- Prng.gaussian g;
+        uim.(i) <- Prng.gaussian g
+      done;
+      if renormalize_into ure uim || attempts <= 0 then ()
+      else fresh (attempts - 1)
     in
     fresh 8
   in
-  let v = ref (random_unit ()) in
+  random_unit ();
   let sigma = ref 0.0 in
   let prev = ref Float.neg_infinity in
   let restarts = ref (Stdlib.min 4 n) in
   (try
      for _ = 1 to iterations do
-       let mv = Cmat.mv m !v in
-       let est = Cvec.norm2 mv in
+       Smat.mv m ~xre:vre ~xim:vim ~yre:wre ~yim:wim;
+       let est = norm2 wre wim in
        let converged = Float.abs (est -. !prev) <= tol *. (1.0 +. est) in
        prev := est;
        if est > !sigma then sigma := est;
        if converged then raise Exit;
-       match renormalize (Cmat.mv mh mv) with
-       | Some u -> v := u
-       | None ->
-           (* current iterate maps into the null space: restart rather
-              than conclude σ = 0 for a nonzero matrix *)
-           if !restarts > 0 then begin
-             decr restarts;
-             prev := Float.neg_infinity;
-             v := random_unit ()
-           end
-           else raise Exit
+       Smat.mhv m ~xre:wre ~xim:wim ~yre:ure ~yim:uim;
+       if not (renormalize_into ure uim) then
+         (* current iterate maps into the null space: restart rather
+            than conclude σ = 0 for a nonzero matrix *)
+         if !restarts > 0 then begin
+           decr restarts;
+           prev := Float.neg_infinity;
+           random_unit ()
+         end
+         else raise Exit
      done
    with Exit -> ());
   !sigma
@@ -156,13 +208,7 @@ let max_singular_value_sweep ?pool ?iterations ?tol ?seed c t ws =
   Parallel.Sweep.grid ?pool (fun w -> max_singular_value ?iterations ?tol ?seed c t w) ws
 
 let is_lti ?(tol = 1e-12) c t s =
-  let m = to_matrix c t s in
-  let scale_mag = Cmat.norm_inf m in
-  let ok = ref true in
-  for i = 0 to dim c - 1 do
-    for k = 0 to dim c - 1 do
-      if i <> k && Cx.abs (Cmat.get m i k) > tol *. (1.0 +. scale_mag) then
-        ok := false
-    done
-  done;
-  !ok
+  let m = structured c t s in
+  (* a realized diagonal shape is LTI by construction; other shapes
+     compare their largest off-diagonal modulus against the scale *)
+  Smat.max_offdiag_abs m <= tol *. (1.0 +. Smat.norm_inf m)

@@ -80,8 +80,22 @@ val custom : (ctx -> Numeric.Cx.t -> Numeric.Cmat.t) -> t
 (** {1 Realization} *)
 
 (** [to_matrix ctx t s] realizes the truncated HTM at the complex
-    frequency [s]. *)
+    frequency [s]. Evaluation is structure-aware: the composition tree
+    is realized as {!Smat.t} shapes (diagonal LTI blocks, banded
+    Toeplitz periodic gains, the rank-one sampler, Sherman–Morrison
+    feedback) and densified only here, at the API boundary. *)
 val to_matrix : ctx -> t -> Numeric.Cx.t -> Numeric.Cmat.t
+
+(** [structured ctx t s] — the realized HTM in its structured form,
+    before densification. This is what {!to_matrix}, {!element},
+    {!apply_to_tone} and {!max_singular_value} evaluate internally;
+    exposed for kernel benchmarks and shape assertions. *)
+val structured : ctx -> t -> Numeric.Cx.t -> Smat.t
+
+(** [to_matrix_dense ctx t s] — the original all-dense evaluator
+    (boxed [Cmat.t] products, dense LU feedback), kept as the reference
+    oracle for the structured path. Use {!to_matrix} everywhere else. *)
+val to_matrix_dense : ctx -> t -> Numeric.Cx.t -> Numeric.Cmat.t
 
 (** [element ctx t ~n ~m s] is [H_{n,m}(s)] of the truncation
     ([n], [m] are harmonics, not indices). *)

@@ -1,0 +1,573 @@
+(* Structured truncated HTMs.
+
+   The paper's HTM algebra is closed over a tiny lattice of shapes:
+   LTI blocks are diagonal (eq. 12), periodic gains are banded Toeplitz
+   (eq. 13), the sampling PFD is rank one (eqs. 19–20), and the
+   closed-loop Sherman–Morrison form exists precisely because the
+   composition rules keep those shapes. This module is that lattice as
+   data: products, sums and feedback stay in the cheapest shape that
+   can represent the result and fall back to a flat unboxed dense
+   matrix (Cmatf.t) only when no structure survives.
+
+   Storage is split re/im float arrays throughout, so every entry is
+   unboxed. Costs:
+     diag·diag              O(n)
+     diag·band, band·diag   O(n·k)
+     band·band              O(n·k₁·k₂), bandwidth k₁+k₂
+     anything·rank-one      O(cost of one matvec) — stays rank one
+     feedback(diag)         O(n)
+     feedback(rank-one)     O(n)  (Sherman–Morrison–Woodbury)
+     feedback(band|dense)   dense LU via Cmatf, O(n³) unboxed *)
+
+open Numeric
+
+type t =
+  | Diag of { dre : float array; dim_ : float array }
+  | Band of { n : int; kmax : int; bre : float array; bim : float array }
+      (* general banded (not necessarily Toeplitz): entry (i, j) with
+         |j - i| <= kmax stored at [i*(2*kmax+1) + (j - i + kmax)] *)
+  | Rank1 of {
+      ure : float array;
+      uim : float array;
+      vre : float array;
+      vim : float array;
+    } (* u·vᵀ — bilinear, no conjugation, matching l·lᵀ of the sampler *)
+  | Dense of Cmatf.t
+
+let dim = function
+  | Diag { dre; _ } -> Array.length dre
+  | Band { n; _ } -> n
+  | Rank1 { ure; _ } -> Array.length ure
+  | Dense m -> Cmatf.rows m
+
+(* ------------------------------------------------------------------ *)
+(* constructors                                                        *)
+
+let diag_init n f =
+  let dre = Array.make n 0.0 and dim_ = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let z = f i in
+    dre.(i) <- Cx.re z;
+    dim_.(i) <- Cx.im z
+  done;
+  Diag { dre; dim_ }
+
+let zeros n = Diag { dre = Array.make n 0.0; dim_ = Array.make n 0.0 }
+
+let identity n =
+  Diag { dre = Array.make n 1.0; dim_ = Array.make n 0.0 }
+
+(* Toeplitz band from Fourier coefficients: entry (i,j) = coeffs[(i-j)+K],
+   truncated to the matrix. *)
+let of_toeplitz ~n coeffs =
+  if Array.length coeffs mod 2 = 0 then
+    invalid_arg "Smat.of_toeplitz: coefficient array must have odd length";
+  let kc = Array.length coeffs / 2 in
+  let kmax = Stdlib.min kc (Stdlib.max 0 (n - 1)) in
+  let w = (2 * kmax) + 1 in
+  let bre = Array.make (n * w) 0.0 and bim = Array.make (n * w) 0.0 in
+  for i = 0 to n - 1 do
+    for d = -kmax to kmax do
+      let j = i + d in
+      if j >= 0 && j < n then begin
+        (* diff = i - j = -d *)
+        let z = coeffs.(kc - d) in
+        let p = (i * w) + d + kmax in
+        bre.(p) <- Cx.re z;
+        bim.(p) <- Cx.im z
+      end
+    done
+  done;
+  Band { n; kmax; bre; bim }
+
+let rank1_of_arrays ~ure ~uim ~vre ~vim = Rank1 { ure; uim; vre; vim }
+
+(* The sampler HTM (ω₀/2π)·l·lᵀ with l the all-ones vector. *)
+let rank1_const n w =
+  Rank1
+    {
+      ure = Array.make n w;
+      uim = Array.make n 0.0;
+      vre = Array.make n 1.0;
+      vim = Array.make n 0.0;
+    }
+
+let of_cmatf m =
+  if Cmatf.rows m <> Cmatf.cols m then
+    invalid_arg "Smat.of_cmatf: matrix not square";
+  Dense m
+
+let of_cmat m = of_cmatf (Cmatf.of_cmat m)
+
+(* ------------------------------------------------------------------ *)
+(* densification (the only place structure is forgotten)               *)
+
+let densify = function
+  | Diag { dre; dim_ } ->
+      let n = Array.length dre in
+      let m = Cmatf.create n n in
+      for i = 0 to n - 1 do
+        Cmatf.set m i i (Cx.make dre.(i) dim_.(i))
+      done;
+      m
+  | Band { n; kmax; bre; bim } ->
+      let w = (2 * kmax) + 1 in
+      let m = Cmatf.create n n in
+      for i = 0 to n - 1 do
+        for d = -kmax to kmax do
+          let j = i + d in
+          if j >= 0 && j < n then
+            Cmatf.set m i j (Cx.make bre.((i * w) + d + kmax) bim.((i * w) + d + kmax))
+        done
+      done;
+      m
+  | Rank1 { ure; uim; vre; vim } ->
+      let n = Array.length ure in
+      let m = Cmatf.create n n in
+      for i = 0 to n - 1 do
+        let ar = ure.(i) and ai = uim.(i) in
+        for k = 0 to n - 1 do
+          let br = vre.(k) and bi = vim.(k) in
+          Cmatf.set m i k (Cx.make ((ar *. br) -. (ai *. bi)) ((ar *. bi) +. (ai *. br)))
+        done
+      done;
+      m
+  | Dense m -> m
+
+let to_cmat t = Cmatf.to_cmat (densify t)
+
+(* ------------------------------------------------------------------ *)
+(* element / column access without densifying                          *)
+
+let get t i k =
+  let n = dim t in
+  if i < 0 || i >= n || k < 0 || k >= n then
+    invalid_arg "Smat.get: index out of bounds";
+  match t with
+  | Diag { dre; dim_ } -> if i = k then Cx.make dre.(i) dim_.(i) else Cx.zero
+  | Band { kmax; bre; bim; _ } ->
+      let d = k - i in
+      if abs d > kmax then Cx.zero
+      else
+        let w = (2 * kmax) + 1 in
+        Cx.make bre.((i * w) + d + kmax) bim.((i * w) + d + kmax)
+  | Rank1 { ure; uim; vre; vim } ->
+      Cx.mul (Cx.make ure.(i) uim.(i)) (Cx.make vre.(k) vim.(k))
+  | Dense m -> Cmatf.get m i k
+
+let col t k =
+  let n = dim t in
+  if k < 0 || k >= n then invalid_arg "Smat.col: index out of bounds";
+  Cvec.init n (fun i -> get t i k)
+
+(* ------------------------------------------------------------------ *)
+(* scaling and negation (shape-preserving)                             *)
+
+let scale_arrays z re im =
+  let zr = Cx.re z and zi = Cx.im z in
+  let n = Array.length re in
+  let re' = Array.make n 0.0 and im' = Array.make n 0.0 in
+  for p = 0 to n - 1 do
+    let ar = re.(p) and ai = im.(p) in
+    re'.(p) <- (zr *. ar) -. (zi *. ai);
+    im'.(p) <- (zr *. ai) +. (zi *. ar)
+  done;
+  (re', im')
+
+let scale z = function
+  | Diag { dre; dim_ } ->
+      let dre, dim_ = scale_arrays z dre dim_ in
+      Diag { dre; dim_ }
+  | Band { n; kmax; bre; bim } ->
+      let bre, bim = scale_arrays z bre bim in
+      Band { n; kmax; bre; bim }
+  | Rank1 { ure; uim; vre; vim } ->
+      let ure, uim = scale_arrays z ure uim in
+      Rank1 { ure; uim; vre = Array.copy vre; vim = Array.copy vim }
+  | Dense m ->
+      let m = Cmatf.copy m in
+      Cmatf.scale_inplace z m;
+      m |> of_cmatf
+
+let neg t = scale (Cx.neg Cx.one) t
+
+(* ------------------------------------------------------------------ *)
+(* addition                                                            *)
+
+(* Bandwidth above which banded storage loses to flat dense storage:
+   (2k+1)·n words vs n·n. *)
+let band_too_wide ~n ~kmax = (2 * kmax) + 1 >= n
+
+let to_band_parts = function
+  | Diag { dre; dim_ } ->
+      let n = Array.length dre in
+      (n, 0, dre, dim_)
+  | Band { n; kmax; bre; bim } -> (n, kmax, bre, bim)
+  | _ -> invalid_arg "Smat.to_band_parts: not banded"
+
+let add_banded a b =
+  let n, ka, are, aim = to_band_parts a in
+  let _, kb, bre_, bim_ = to_band_parts b in
+  let kmax = Stdlib.max ka kb in
+  let w = (2 * kmax) + 1 and wa = (2 * ka) + 1 and wb = (2 * kb) + 1 in
+  let re = Array.make (n * w) 0.0 and im = Array.make (n * w) 0.0 in
+  for i = 0 to n - 1 do
+    for d = -kmax to kmax do
+      let j = i + d in
+      if j >= 0 && j < n then begin
+        let p = (i * w) + d + kmax in
+        if abs d <= ka then begin
+          re.(p) <- re.(p) +. are.((i * wa) + d + ka);
+          im.(p) <- im.(p) +. aim.((i * wa) + d + ka)
+        end;
+        if abs d <= kb then begin
+          re.(p) <- re.(p) +. bre_.((i * wb) + d + kb);
+          im.(p) <- im.(p) +. bim_.((i * wb) + d + kb)
+        end
+      end
+    done
+  done;
+  if kmax = 0 then Diag { dre = re; dim_ = im } else Band { n; kmax; bre = re; bim = im }
+
+let is_zero_diag = function
+  | Diag { dre; dim_ } ->
+      let ok = ref true in
+      Array.iter (fun x -> if not (Float.equal x 0.0) then ok := false) dre;
+      Array.iter (fun x -> if not (Float.equal x 0.0) then ok := false) dim_;
+      !ok
+  | _ -> false
+
+let add a b =
+  if dim a <> dim b then invalid_arg "Smat.add: dimension mismatch";
+  if is_zero_diag a then b
+  else if is_zero_diag b then a
+  else
+    match (a, b) with
+    | (Diag _ | Band _), (Diag _ | Band _) -> add_banded a b
+    | _ ->
+        (* rank-one + anything, or dense involved: no closed shape *)
+        let da = densify a in
+        let db = Cmatf.copy (densify b) in
+        Cmatf.axpy Cx.one da db;
+        of_cmatf db
+
+let sub a b = add a (neg b)
+
+(* ------------------------------------------------------------------ *)
+(* matvec and conjugate-transpose matvec (never densifies)             *)
+
+let mv t ~xre ~xim ~yre ~yim =
+  let n = dim t in
+  if Array.length xre <> n || Array.length yre <> n then
+    invalid_arg "Smat.mv: dimension mismatch";
+  match t with
+  | Diag { dre; dim_ } ->
+      for i = 0 to n - 1 do
+        let ar = dre.(i) and ai = dim_.(i) in
+        let br = xre.(i) and bi = xim.(i) in
+        yre.(i) <- (ar *. br) -. (ai *. bi);
+        yim.(i) <- (ar *. bi) +. (ai *. br)
+      done
+  | Band { kmax; bre; bim; _ } ->
+      let w = (2 * kmax) + 1 in
+      for i = 0 to n - 1 do
+        let sr = ref 0.0 and si = ref 0.0 in
+        let jlo = Stdlib.max 0 (i - kmax) and jhi = Stdlib.min (n - 1) (i + kmax) in
+        for j = jlo to jhi do
+          let p = (i * w) + (j - i) + kmax in
+          let ar = bre.(p) and ai = bim.(p) in
+          let br = xre.(j) and bi = xim.(j) in
+          sr := !sr +. ((ar *. br) -. (ai *. bi));
+          si := !si +. ((ar *. bi) +. (ai *. br))
+        done;
+        yre.(i) <- !sr;
+        yim.(i) <- !si
+      done
+  | Rank1 { ure; uim; vre; vim } ->
+      (* y = u·(vᵀx) *)
+      let sr = ref 0.0 and si = ref 0.0 in
+      for k = 0 to n - 1 do
+        let ar = vre.(k) and ai = vim.(k) in
+        let br = xre.(k) and bi = xim.(k) in
+        sr := !sr +. ((ar *. br) -. (ai *. bi));
+        si := !si +. ((ar *. bi) +. (ai *. br))
+      done;
+      let tr = !sr and ti = !si in
+      for i = 0 to n - 1 do
+        let ar = ure.(i) and ai = uim.(i) in
+        yre.(i) <- (ar *. tr) -. (ai *. ti);
+        yim.(i) <- (ar *. ti) +. (ai *. tr)
+      done
+  | Dense m -> Cmatf.gemv m ~xre ~xim ~yre ~yim
+
+let mhv t ~xre ~xim ~yre ~yim =
+  let n = dim t in
+  if Array.length xre <> n || Array.length yre <> n then
+    invalid_arg "Smat.mhv: dimension mismatch";
+  match t with
+  | Diag { dre; dim_ } ->
+      for i = 0 to n - 1 do
+        let ar = dre.(i) and ai = -.dim_.(i) in
+        let br = xre.(i) and bi = xim.(i) in
+        yre.(i) <- (ar *. br) -. (ai *. bi);
+        yim.(i) <- (ar *. bi) +. (ai *. br)
+      done
+  | Band { kmax; bre; bim; _ } ->
+      let w = (2 * kmax) + 1 in
+      Array.fill yre 0 n 0.0;
+      Array.fill yim 0 n 0.0;
+      for i = 0 to n - 1 do
+        let br = xre.(i) and bi = xim.(i) in
+        let jlo = Stdlib.max 0 (i - kmax) and jhi = Stdlib.min (n - 1) (i + kmax) in
+        for j = jlo to jhi do
+          let p = (i * w) + (j - i) + kmax in
+          let ar = bre.(p) and ai = -.bim.(p) in
+          yre.(j) <- yre.(j) +. ((ar *. br) -. (ai *. bi));
+          yim.(j) <- yim.(j) +. ((ar *. bi) +. (ai *. br))
+        done
+      done
+  | Rank1 { ure; uim; vre; vim } ->
+      (* Mᴴ = conj(v)·uᴴ: y = conj(v)·(uᴴx) *)
+      let sr = ref 0.0 and si = ref 0.0 in
+      for k = 0 to n - 1 do
+        let ar = ure.(k) and ai = -.uim.(k) in
+        let br = xre.(k) and bi = xim.(k) in
+        sr := !sr +. ((ar *. br) -. (ai *. bi));
+        si := !si +. ((ar *. bi) +. (ai *. br))
+      done;
+      let tr = !sr and ti = !si in
+      for i = 0 to n - 1 do
+        let ar = vre.(i) and ai = -.vim.(i) in
+        yre.(i) <- (ar *. tr) -. (ai *. ti);
+        yim.(i) <- (ar *. ti) +. (ai *. tr)
+      done
+  | Dense m -> Cmatf.gemv_herm m ~xre ~xim ~yre ~yim
+
+(* ------------------------------------------------------------------ *)
+(* product                                                             *)
+
+(* x ∘ d (componentwise complex product of split arrays) *)
+let had_mul are aim bre bim =
+  let n = Array.length are in
+  let re = Array.make n 0.0 and im = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let ar = are.(i) and ai = aim.(i) in
+    let br = bre.(i) and bi = bim.(i) in
+    re.(i) <- (ar *. br) -. (ai *. bi);
+    im.(i) <- (ar *. bi) +. (ai *. br)
+  done;
+  (re, im)
+
+(* y = Aᵀ·x without conjugation, for rank-one·X products. *)
+let mtv t ~xre ~xim ~yre ~yim =
+  let n = dim t in
+  match t with
+  | Diag _ -> mv t ~xre ~xim ~yre ~yim
+  | Band { kmax; bre; bim; _ } ->
+      let w = (2 * kmax) + 1 in
+      Array.fill yre 0 n 0.0;
+      Array.fill yim 0 n 0.0;
+      for i = 0 to n - 1 do
+        let br = xre.(i) and bi = xim.(i) in
+        let jlo = Stdlib.max 0 (i - kmax) and jhi = Stdlib.min (n - 1) (i + kmax) in
+        for j = jlo to jhi do
+          let p = (i * w) + (j - i) + kmax in
+          let ar = bre.(p) and ai = bim.(p) in
+          yre.(j) <- yre.(j) +. ((ar *. br) -. (ai *. bi));
+          yim.(j) <- yim.(j) +. ((ar *. bi) +. (ai *. br))
+        done
+      done
+  | Rank1 { ure; uim; vre; vim } ->
+      (* Mᵀ = v·uᵀ: y = v·(uᵀx) *)
+      let sr = ref 0.0 and si = ref 0.0 in
+      for k = 0 to n - 1 do
+        let ar = ure.(k) and ai = uim.(k) in
+        let br = xre.(k) and bi = xim.(k) in
+        sr := !sr +. ((ar *. br) -. (ai *. bi));
+        si := !si +. ((ar *. bi) +. (ai *. br))
+      done;
+      let tr = !sr and ti = !si in
+      for i = 0 to n - 1 do
+        let ar = vre.(i) and ai = vim.(i) in
+        yre.(i) <- (ar *. tr) -. (ai *. ti);
+        yim.(i) <- (ar *. ti) +. (ai *. tr)
+      done
+  | Dense m ->
+      let nn = Cmatf.rows m in
+      Array.fill yre 0 nn 0.0;
+      Array.fill yim 0 nn 0.0;
+      for i = 0 to nn - 1 do
+        let br = xre.(i) and bi = xim.(i) in
+        for k = 0 to nn - 1 do
+          let z = Cmatf.get m i k in
+          let ar = Cx.re z and ai = Cx.im z in
+          yre.(k) <- yre.(k) +. ((ar *. br) -. (ai *. bi));
+          yim.(k) <- yim.(k) +. ((ar *. bi) +. (ai *. br))
+        done
+      done
+
+let mul_band_band a b =
+  let n, ka, are, aim = to_band_parts a in
+  let _, kb, bre_, bim_ = to_band_parts b in
+  let kmax = Stdlib.min (ka + kb) (n - 1) in
+  let w = (2 * kmax) + 1 and wa = (2 * ka) + 1 and wb = (2 * kb) + 1 in
+  let re = Array.make (n * w) 0.0 and im = Array.make (n * w) 0.0 in
+  for i = 0 to n - 1 do
+    let llo = Stdlib.max 0 (i - ka) and lhi = Stdlib.min (n - 1) (i + ka) in
+    for l = llo to lhi do
+      let pa = (i * wa) + (l - i) + ka in
+      let ar = are.(pa) and ai = aim.(pa) in
+      if not (Float.equal ar 0.0 && Float.equal ai 0.0) then begin
+        let jlo = Stdlib.max (Stdlib.max 0 (l - kb)) (i - kmax) in
+        let jhi = Stdlib.min (Stdlib.min (n - 1) (l + kb)) (i + kmax) in
+        for j = jlo to jhi do
+          let pb = (l * wb) + (j - l) + kb in
+          let br = bre_.(pb) and bi = bim_.(pb) in
+          let p = (i * w) + (j - i) + kmax in
+          re.(p) <- re.(p) +. ((ar *. br) -. (ai *. bi));
+          im.(p) <- im.(p) +. ((ar *. bi) +. (ai *. br))
+        done
+      end
+    done
+  done;
+  if kmax = 0 then Diag { dre = re; dim_ = im } else Band { n; kmax; bre = re; bim = im }
+
+let mul a b =
+  let n = dim a in
+  if dim b <> n then invalid_arg "Smat.mul: dimension mismatch";
+  match (a, b) with
+  | Diag da, Diag db ->
+      let dre, dim_ = had_mul da.dre da.dim_ db.dre db.dim_ in
+      Diag { dre; dim_ }
+  | _, Rank1 { ure; uim; vre; vim } ->
+      (* A·(u·vᵀ) = (A·u)·vᵀ *)
+      let yre = Array.make n 0.0 and yim = Array.make n 0.0 in
+      mv a ~xre:ure ~xim:uim ~yre ~yim;
+      Rank1 { ure = yre; uim = yim; vre = Array.copy vre; vim = Array.copy vim }
+  | Rank1 { ure; uim; vre; vim }, _ ->
+      (* (u·vᵀ)·B = u·(Bᵀv)ᵀ *)
+      let yre = Array.make n 0.0 and yim = Array.make n 0.0 in
+      mtv b ~xre:vre ~xim:vim ~yre ~yim;
+      Rank1 { ure = Array.copy ure; uim = Array.copy uim; vre = yre; vim = yim }
+  | (Diag _ | Band _), (Diag _ | Band _) ->
+      let _, ka, _, _ = to_band_parts a and _, kb, _, _ = to_band_parts b in
+      if band_too_wide ~n ~kmax:(Stdlib.min (ka + kb) (n - 1)) && n > 1 then begin
+        let dst = Cmatf.create n n in
+        Cmatf.gemm ~dst (densify a) (densify b);
+        of_cmatf dst
+      end
+      else mul_band_band a b
+  | Dense da, Diag { dre; dim_ } ->
+      (* column scaling, O(n²) *)
+      let dst = Cmatf.create n n in
+      for i = 0 to n - 1 do
+        for k = 0 to n - 1 do
+          let z = Cmatf.get da i k in
+          Cmatf.set dst i k (Cx.mul z (Cx.make dre.(k) dim_.(k)))
+        done
+      done;
+      of_cmatf dst
+  | Diag { dre; dim_ }, Dense db ->
+      (* row scaling, O(n²) *)
+      let dst = Cmatf.create n n in
+      for i = 0 to n - 1 do
+        let d = Cx.make dre.(i) dim_.(i) in
+        for k = 0 to n - 1 do
+          Cmatf.set dst i k (Cx.mul d (Cmatf.get db i k))
+        done
+      done;
+      of_cmatf dst
+  | _ ->
+      let dst = Cmatf.create n n in
+      Cmatf.gemm ~dst (densify a) (densify b);
+      of_cmatf dst
+
+(* ------------------------------------------------------------------ *)
+(* feedback: (I + G)⁻¹·G                                               *)
+
+let feedback g =
+  let n = dim g in
+  match g with
+  | Diag { dre; dim_ } ->
+      diag_init n (fun i ->
+          let d = Cx.make dre.(i) dim_.(i) in
+          let denom = Cx.add Cx.one d in
+          (* a zero pivot here is exactly a zero pivot of the dense LU *)
+          if Float.equal (Cx.abs denom) 0.0 then raise Lu.Singular;
+          Cx.div d denom)
+  | Rank1 { ure; uim; vre; vim } ->
+      (* Sherman–Morrison: (I + u·vᵀ)⁻¹·u·vᵀ = u·vᵀ / (1 + vᵀu) *)
+      let sr = ref 0.0 and si = ref 0.0 in
+      for k = 0 to n - 1 do
+        let ar = vre.(k) and ai = vim.(k) in
+        let br = ure.(k) and bi = uim.(k) in
+        sr := !sr +. ((ar *. br) -. (ai *. bi));
+        si := !si +. ((ar *. bi) +. (ai *. br))
+      done;
+      let denom = Cx.add Cx.one (Cx.make !sr !si) in
+      if Float.equal (Cx.abs denom) 0.0 then raise Lu.Singular;
+      let z = Cx.inv denom in
+      let ure', uim' = scale_arrays z ure uim in
+      Rank1 { ure = ure'; uim = uim'; vre = Array.copy vre; vim = Array.copy vim }
+  | Band _ | Dense _ ->
+      let gm = densify g in
+      let a = Cmatf.copy gm in
+      Cmatf.add_ident a;
+      let b = Cmatf.copy gm in
+      let ws = Cmatf.lu_ws n in
+      Cmatf.lu_decompose_inplace a ws;
+      Cmatf.lu_solve_inplace a ws b;
+      of_cmatf b
+
+(* ------------------------------------------------------------------ *)
+(* diagnostics                                                         *)
+
+let shape = function
+  | Diag _ -> `Diag
+  | Band { kmax; _ } -> `Band kmax
+  | Rank1 _ -> `Rank1
+  | Dense _ -> `Dense
+
+(* Largest |entry| off the main diagonal — drives Htm.is_lti without a
+   dense materialization for structured shapes. *)
+let max_offdiag_abs t =
+  let n = dim t in
+  match t with
+  | Diag _ -> 0.0
+  | _ ->
+      let best = ref 0.0 in
+      (match t with
+      | Band { kmax; bre; bim; _ } ->
+          let w = (2 * kmax) + 1 in
+          for i = 0 to n - 1 do
+            for d = -kmax to kmax do
+              let j = i + d in
+              if d <> 0 && j >= 0 && j < n then begin
+                let p = (i * w) + d + kmax in
+                let m = Float.hypot bre.(p) bim.(p) in
+                if m > !best then best := m
+              end
+            done
+          done
+      | _ ->
+          for i = 0 to n - 1 do
+            for k = 0 to n - 1 do
+              if i <> k then begin
+                let m = Cx.abs (get t i k) in
+                if m > !best then best := m
+              end
+            done
+          done);
+      !best
+
+let norm_inf t =
+  let n = dim t in
+  let best = ref 0.0 in
+  for i = 0 to n - 1 do
+    let acc = ref 0.0 in
+    for k = 0 to n - 1 do
+      acc := !acc +. Cx.abs (get t i k)
+    done;
+    if !acc > !best then best := !acc
+  done;
+  !best

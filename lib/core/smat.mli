@@ -1,0 +1,107 @@
+(** Structured truncated HTMs — the shape lattice of the paper's
+    algebra, kept symbolic until the API boundary.
+
+    The HTM of every primitive PLL block has structure: LTI blocks are
+    diagonal (eq. 12), periodic gains are banded Toeplitz (eq. 13), the
+    sampling PFD is rank one (eqs. 19–20). Composition preserves most
+    of it — and the Sherman–Morrison–Woodbury closed form of the
+    closed loop (eq. 28 specialized to a rank-one return path) exists
+    precisely because it does. This module represents a realized
+    (numeric, at one [s]) truncated HTM as the cheapest of four shapes
+
+    {v Diag ⊂ Band ⊂ Dense,   Rank1 ⊂ Dense v}
+
+    with composition rules that stay low in the lattice:
+    diag·diag is O(n); diag·band and band·band stay banded;
+    anything·rank-one stays rank one at the cost of one matvec;
+    feedback of a diagonal or rank-one HTM is closed-form O(n).
+    Only [Band]/[Dense] feedback pays a dense LU — on the flat unboxed
+    {!Numeric.Cmatf.t} layer, not on boxed [Cmat.t].
+
+    Values are immutable: operations return fresh storage (split
+    unboxed re/im [float array]s) and never mutate operands. *)
+
+type t
+
+(** Matrix dimension (all shapes are square). *)
+val dim : t -> int
+
+(** {1 Constructors} *)
+
+val zeros : int -> t
+val identity : int -> t
+
+(** [diag_init n f] — diagonal matrix with [f i] at [(i,i)]. *)
+val diag_init : int -> (int -> Numeric.Cx.t) -> t
+
+(** [of_toeplitz ~n coeffs] — banded Toeplitz matrix with
+    [(i,j) = coeffs.(i - j + K)] for [|i - j| <= K]
+    ([coeffs] has odd length [2K+1]); the band is clamped to the
+    matrix. *)
+val of_toeplitz : n:int -> Numeric.Cx.t array -> t
+
+(** [rank1_of_arrays ~ure ~uim ~vre ~vim] — [u·vᵀ] (bilinear, no
+    conjugation — the sampler's [l·lᵀ] convention). The arrays are
+    owned by the result; do not mutate them afterwards. *)
+val rank1_of_arrays :
+  ure:float array -> uim:float array -> vre:float array -> vim:float array -> t
+
+(** [rank1_const n w] — [w·l·lᵀ] with [l] the all-ones vector: the
+    sampling-PFD HTM for [w = ω₀/2π]. *)
+val rank1_const : int -> float -> t
+
+val of_cmat : Numeric.Cmat.t -> t
+val of_cmatf : Numeric.Cmatf.t -> t
+
+(** {1 Densification — the only place structure is forgotten} *)
+
+val densify : t -> Numeric.Cmatf.t
+val to_cmat : t -> Numeric.Cmat.t
+
+(** {1 Access without densifying} *)
+
+val get : t -> int -> int -> Numeric.Cx.t
+val col : t -> int -> Numeric.Cvec.t
+
+(** {1 Algebra} *)
+
+val scale : Numeric.Cx.t -> t -> t
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** [feedback g] — [(I + G)⁻¹·G]. Diagonal and rank-one shapes use the
+    closed forms [d/(1+d)] and [u·vᵀ/(1 + vᵀu)] (Sherman–Morrison);
+    banded and dense shapes go through the unboxed LU.
+    @raise Numeric.Lu.Singular when [I + G] is singular. *)
+val feedback : t -> t
+
+(** {1 Matrix–vector products on split re/im arrays}
+
+    These never densify: the rank-one product is two dot products, the
+    banded one touches only the band. *)
+
+(** [mv t ~xre ~xim ~yre ~yim] — [y = T·x]. *)
+val mv :
+  t ->
+  xre:float array -> xim:float array -> yre:float array -> yim:float array ->
+  unit
+
+(** [mhv t ~xre ~xim ~yre ~yim] — [y = Tᴴ·x]. *)
+val mhv :
+  t ->
+  xre:float array -> xim:float array -> yre:float array -> yim:float array ->
+  unit
+
+(** {1 Diagnostics} *)
+
+(** The shape actually held — exposed so tests and benchmarks can
+    assert that composition stayed low in the lattice. *)
+val shape : t -> [ `Diag | `Band of int | `Rank1 | `Dense ]
+
+(** Largest off-diagonal modulus ([0.] for [Diag] by construction). *)
+val max_offdiag_abs : t -> float
+
+(** Row-sum induced norm, computed entrywise. *)
+val norm_inf : t -> float

@@ -36,7 +36,7 @@ let mul a b =
     let ai = a.(i) and oi = out.(i) in
     for l = 0 to q - 1 do
       let ail = ai.(l) in
-      if ail <> Cx.zero then begin
+      if not (Cx.is_zero ail) then begin
         let bl = b.(l) in
         for k = 0 to p - 1 do
           oi.(k) <- Cx.add oi.(k) (Cx.mul ail bl.(k))

@@ -1,0 +1,310 @@
+(* Flat, unboxed complex matrices: split re/im float arrays, row-major.
+
+   [Cmat.t] boxes every entry as a [Complex.t] record behind a pointer
+   array-of-arrays, so a dense n×n product chases 3 pointers per flop
+   and allocates one heap block per scalar. This module stores the same
+   data as two flat [float array]s (unboxed by the OCaml runtime), and
+   every kernel below writes into caller-provided storage — the hot
+   paths of the structured HTM evaluator allocate nothing but their
+   final result. *)
+
+type t = { rows : int; cols : int; re : float array; im : float array }
+
+let create rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Cmatf.create: negative dimension";
+  { rows; cols; re = Array.make (rows * cols) 0.0; im = Array.make (rows * cols) 0.0 }
+
+let rows m = m.rows
+let cols m = m.cols
+
+let get m i k =
+  if i < 0 || i >= m.rows || k < 0 || k >= m.cols then
+    invalid_arg "Cmatf.get: index out of bounds";
+  let p = (i * m.cols) + k in
+  Cx.make m.re.(p) m.im.(p)
+
+let set m i k z =
+  if i < 0 || i >= m.rows || k < 0 || k >= m.cols then
+    invalid_arg "Cmatf.set: index out of bounds";
+  let p = (i * m.cols) + k in
+  m.re.(p) <- Cx.re z;
+  m.im.(p) <- Cx.im z
+
+let copy m =
+  { rows = m.rows; cols = m.cols; re = Array.copy m.re; im = Array.copy m.im }
+
+let blit ~src ~dst =
+  if src.rows <> dst.rows || src.cols <> dst.cols then
+    invalid_arg "Cmatf.blit: dimension mismatch";
+  Array.blit src.re 0 dst.re 0 (src.rows * src.cols);
+  Array.blit src.im 0 dst.im 0 (src.rows * src.cols)
+
+let fill_zero m =
+  Array.fill m.re 0 (m.rows * m.cols) 0.0;
+  Array.fill m.im 0 (m.rows * m.cols) 0.0
+
+let identity n =
+  let m = create n n in
+  for i = 0 to n - 1 do
+    m.re.((i * n) + i) <- 1.0
+  done;
+  m
+
+(* A += alpha·I, in place. *)
+let add_ident ?(alpha = Cx.one) m =
+  if m.rows <> m.cols then invalid_arg "Cmatf.add_ident: matrix not square";
+  let ar = Cx.re alpha and ai = Cx.im alpha in
+  for i = 0 to m.rows - 1 do
+    let p = (i * m.cols) + i in
+    m.re.(p) <- m.re.(p) +. ar;
+    m.im.(p) <- m.im.(p) +. ai
+  done
+
+(* A *= z, in place. *)
+let scale_inplace z m =
+  let zr = Cx.re z and zi = Cx.im z in
+  for p = 0 to (m.rows * m.cols) - 1 do
+    let ar = m.re.(p) and ai = m.im.(p) in
+    m.re.(p) <- (zr *. ar) -. (zi *. ai);
+    m.im.(p) <- (zr *. ai) +. (zi *. ar)
+  done
+
+(* Y += z·X, in place. *)
+let axpy z x y =
+  if x.rows <> y.rows || x.cols <> y.cols then
+    invalid_arg "Cmatf.axpy: dimension mismatch";
+  let zr = Cx.re z and zi = Cx.im z in
+  for p = 0 to (x.rows * x.cols) - 1 do
+    let ar = x.re.(p) and ai = x.im.(p) in
+    y.re.(p) <- y.re.(p) +. ((zr *. ar) -. (zi *. ai));
+    y.im.(p) <- y.im.(p) +. ((zr *. ai) +. (zi *. ar))
+  done
+
+(* dst = A·B (dst cleared first); i-l-k loop order so the inner loop
+   walks both B and dst contiguously. dst must not alias A or B. *)
+let gemm ~dst a b =
+  if a.cols <> b.rows then invalid_arg "Cmatf.gemm: dimension mismatch";
+  if dst.rows <> a.rows || dst.cols <> b.cols then
+    invalid_arg "Cmatf.gemm: destination shape mismatch";
+  if dst == a || dst == b then invalid_arg "Cmatf.gemm: dst aliases an operand";
+  fill_zero dst;
+  let n = a.rows and q = a.cols and p = b.cols in
+  for i = 0 to n - 1 do
+    let arow = i * q and orow = i * p in
+    for l = 0 to q - 1 do
+      let ar = a.re.(arow + l) and ai = a.im.(arow + l) in
+      if not (Float.equal ar 0.0 && Float.equal ai 0.0) then begin
+        let brow = l * p in
+        for k = 0 to p - 1 do
+          let br = b.re.(brow + k) and bi = b.im.(brow + k) in
+          dst.re.(orow + k) <- dst.re.(orow + k) +. ((ar *. br) -. (ai *. bi));
+          dst.im.(orow + k) <- dst.im.(orow + k) +. ((ar *. bi) +. (ai *. br))
+        done
+      end
+    done
+  done
+
+(* y = A·x on split-array vectors. *)
+let gemv a ~xre ~xim ~yre ~yim =
+  if Array.length xre <> a.cols || Array.length xim <> a.cols then
+    invalid_arg "Cmatf.gemv: vector dimension mismatch";
+  if Array.length yre <> a.rows || Array.length yim <> a.rows then
+    invalid_arg "Cmatf.gemv: result dimension mismatch";
+  for i = 0 to a.rows - 1 do
+    let row = i * a.cols in
+    let sr = ref 0.0 and si = ref 0.0 in
+    for k = 0 to a.cols - 1 do
+      let ar = a.re.(row + k) and ai = a.im.(row + k) in
+      let br = xre.(k) and bi = xim.(k) in
+      sr := !sr +. ((ar *. br) -. (ai *. bi));
+      si := !si +. ((ar *. bi) +. (ai *. br))
+    done;
+    yre.(i) <- !sr;
+    yim.(i) <- !si
+  done
+
+(* y = Aᴴ·x (no transposed copy is materialized). *)
+let gemv_herm a ~xre ~xim ~yre ~yim =
+  if Array.length xre <> a.rows || Array.length xim <> a.rows then
+    invalid_arg "Cmatf.gemv_herm: vector dimension mismatch";
+  if Array.length yre <> a.cols || Array.length yim <> a.cols then
+    invalid_arg "Cmatf.gemv_herm: result dimension mismatch";
+  Array.fill yre 0 a.cols 0.0;
+  Array.fill yim 0 a.cols 0.0;
+  for i = 0 to a.rows - 1 do
+    let row = i * a.cols in
+    let br = xre.(i) and bi = xim.(i) in
+    for k = 0 to a.cols - 1 do
+      (* conj(a) * b accumulated column-wise *)
+      let ar = a.re.(row + k) and ai = -.a.im.(row + k) in
+      yre.(k) <- yre.(k) +. ((ar *. br) -. (ai *. bi));
+      yim.(k) <- yim.(k) +. ((ar *. bi) +. (ai *. br))
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* LU with caller-provided workspace                                   *)
+
+type lu_ws = {
+  perm : int array;
+  mutable scratch_re : float array;
+  mutable scratch_im : float array;
+}
+
+let lu_ws n =
+  if n < 0 then invalid_arg "Cmatf.lu_ws: negative dimension";
+  { perm = Array.make n 0; scratch_re = Array.make n 0.0; scratch_im = Array.make n 0.0 }
+
+(* Scratch grows monotonically and is reused across solves, so a
+   workspace threaded through a sweep settles into zero allocation. *)
+let ensure_scratch ws len =
+  if Array.length ws.scratch_re < len then begin
+    ws.scratch_re <- Array.make len 0.0;
+    ws.scratch_im <- Array.make len 0.0
+  end
+
+(* Robust complex division (Smith's algorithm), returned through two
+   refs the caller reuses — no tuple allocation in the solver loop. *)
+let div_into ~nr ~ni ar ai br bi =
+  if Float.abs br >= Float.abs bi then begin
+    let r = bi /. br in
+    let d = br +. (bi *. r) in
+    nr := (ar +. (ai *. r)) /. d;
+    ni := (ai -. (ar *. r)) /. d
+  end
+  else begin
+    let r = br /. bi in
+    let d = (br *. r) +. bi in
+    nr := ((ar *. r) +. ai) /. d;
+    ni := ((ai *. r) -. ar) /. d
+  end
+
+(* In-place Crout LU with partial pivoting on modulus; the factored
+   matrix overwrites [a], the permutation lands in [ws.perm]. Raises
+   [Lu.Singular] exactly when the dense boxed factorization would. *)
+let lu_decompose_inplace a ws =
+  let n = a.rows in
+  if a.cols <> n then invalid_arg "Cmatf.lu_decompose_inplace: matrix not square";
+  if Array.length ws.perm <> n then
+    invalid_arg "Cmatf.lu_decompose_inplace: workspace size mismatch";
+  let perm = ws.perm in
+  for i = 0 to n - 1 do
+    perm.(i) <- i
+  done;
+  let fr = ref 0.0 and fi = ref 0.0 in
+  for k = 0 to n - 1 do
+    (* pivot search down column k *)
+    let best = ref k in
+    let best_mag = ref (Float.hypot a.re.((k * n) + k) a.im.((k * n) + k)) in
+    for i = k + 1 to n - 1 do
+      let mag = Float.hypot a.re.((i * n) + k) a.im.((i * n) + k) in
+      if mag > !best_mag then begin
+        best := i;
+        best_mag := mag
+      end
+    done;
+    if Float.equal !best_mag 0.0 then raise Lu.Singular;
+    if !best <> k then begin
+      ensure_scratch ws n;
+      let bk = !best * n and kk = k * n in
+      Array.blit a.re kk ws.scratch_re 0 n;
+      Array.blit a.re bk a.re kk n;
+      Array.blit ws.scratch_re 0 a.re bk n;
+      Array.blit a.im kk ws.scratch_im 0 n;
+      Array.blit a.im bk a.im kk n;
+      Array.blit ws.scratch_im 0 a.im bk n;
+      let tp = perm.(k) in
+      perm.(k) <- perm.(!best);
+      perm.(!best) <- tp
+    end;
+    let kk = k * n in
+    let pr = a.re.(kk + k) and pi = a.im.(kk + k) in
+    for i = k + 1 to n - 1 do
+      let ik = i * n in
+      div_into ~nr:fr ~ni:fi a.re.(ik + k) a.im.(ik + k) pr pi;
+      let cr = !fr and ci = !fi in
+      a.re.(ik + k) <- cr;
+      a.im.(ik + k) <- ci;
+      if not (Float.equal cr 0.0 && Float.equal ci 0.0) then
+        for l = k + 1 to n - 1 do
+          let ur = a.re.(kk + l) and ui = a.im.(kk + l) in
+          a.re.(ik + l) <- a.re.(ik + l) -. ((cr *. ur) -. (ci *. ui));
+          a.im.(ik + l) <- a.im.(ik + l) -. ((cr *. ui) +. (ci *. ur))
+        done
+    done
+  done
+
+(* B := A⁻¹·B for a matrix factored by [lu_decompose_inplace]; all
+   right-hand-side columns advance together so the factored matrix is
+   swept once per substitution phase. *)
+let lu_solve_inplace a ws b =
+  let n = a.rows in
+  if a.cols <> n then invalid_arg "Cmatf.lu_solve_inplace: matrix not square";
+  if b.rows <> n then invalid_arg "Cmatf.lu_solve_inplace: dimension mismatch";
+  let p = b.cols in
+  let perm = ws.perm in
+  (* apply the row permutation: b := P·b *)
+  ensure_scratch ws (n * p);
+  for i = 0 to n - 1 do
+    Array.blit b.re (perm.(i) * p) ws.scratch_re (i * p) p;
+    Array.blit b.im (perm.(i) * p) ws.scratch_im (i * p) p
+  done;
+  Array.blit ws.scratch_re 0 b.re 0 (n * p);
+  Array.blit ws.scratch_im 0 b.im 0 (n * p);
+  (* forward substitution against the unit lower triangle *)
+  for i = 1 to n - 1 do
+    let irow = i * p and arow = i * n in
+    for k = 0 to i - 1 do
+      let lr = a.re.(arow + k) and li = a.im.(arow + k) in
+      if not (Float.equal lr 0.0 && Float.equal li 0.0) then begin
+        let krow = k * p in
+        for c = 0 to p - 1 do
+          let br = b.re.(krow + c) and bi = b.im.(krow + c) in
+          b.re.(irow + c) <- b.re.(irow + c) -. ((lr *. br) -. (li *. bi));
+          b.im.(irow + c) <- b.im.(irow + c) -. ((lr *. bi) +. (li *. br))
+        done
+      end
+    done
+  done;
+  (* back substitution *)
+  let nr = ref 0.0 and ni = ref 0.0 in
+  for i = n - 1 downto 0 do
+    let irow = i * p and arow = i * n in
+    for k = i + 1 to n - 1 do
+      let ur = a.re.(arow + k) and ui = a.im.(arow + k) in
+      if not (Float.equal ur 0.0 && Float.equal ui 0.0) then begin
+        let krow = k * p in
+        for c = 0 to p - 1 do
+          let br = b.re.(krow + c) and bi = b.im.(krow + c) in
+          b.re.(irow + c) <- b.re.(irow + c) -. ((ur *. br) -. (ui *. bi));
+          b.im.(irow + c) <- b.im.(irow + c) -. ((ur *. bi) +. (ui *. br))
+        done
+      end
+    done;
+    let dr = a.re.(arow + i) and di = a.im.(arow + i) in
+    for c = 0 to p - 1 do
+      div_into ~nr ~ni b.re.(irow + c) b.im.(irow + c) dr di;
+      b.re.(irow + c) <- !nr;
+      b.im.(irow + c) <- !ni
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* lossless converters                                                 *)
+
+let of_cmat m =
+  let r = Cmat.rows m and c = Cmat.cols m in
+  let out = create r c in
+  for i = 0 to r - 1 do
+    for k = 0 to c - 1 do
+      let z = Cmat.get m i k in
+      out.re.((i * c) + k) <- Cx.re z;
+      out.im.((i * c) + k) <- Cx.im z
+    done
+  done;
+  out
+
+let to_cmat m =
+  Cmat.init m.rows m.cols (fun i k ->
+      let p = (i * m.cols) + k in
+      Cx.make m.re.(p) m.im.(p))

@@ -1,0 +1,82 @@
+(** Flat, unboxed complex matrices with in-place kernels.
+
+    Storage is two row-major [float array]s (split real/imaginary
+    parts), which the OCaml runtime keeps unboxed — unlike {!Cmat.t},
+    whose every entry is a heap-allocated [Complex.t]. All kernels write
+    into caller-provided storage; the only allocating operations are
+    the constructors and converters. This is the bottom layer of the
+    structure-aware HTM evaluator: structured representations compose
+    symbolically and densify into a [Cmatf.t] only at the API boundary.
+
+    Conversion to/from [Cmat.t] is lossless (every entry is copied
+    bit-for-bit), so existing dense consumers keep working. *)
+
+type t
+
+(** [create rows cols] is a zero-filled matrix. *)
+val create : int -> int -> t
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> Cx.t
+val set : t -> int -> int -> Cx.t -> unit
+val copy : t -> t
+
+(** [blit ~src ~dst] copies [src] over [dst] (same shape). *)
+val blit : src:t -> dst:t -> unit
+
+val fill_zero : t -> unit
+val identity : int -> t
+
+(** [add_ident ?alpha a] — [a += alpha·I] in place (default [alpha] 1). *)
+val add_ident : ?alpha:Cx.t -> t -> unit
+
+(** [scale_inplace z a] — [a *= z] in place. *)
+val scale_inplace : Cx.t -> t -> unit
+
+(** [axpy z x y] — [y += z·x] in place. *)
+val axpy : Cx.t -> t -> t -> unit
+
+(** [gemm ~dst a b] — [dst = a·b]; [dst] is cleared first and must not
+    alias an operand. Entries of [a] that are exactly zero skip their
+    inner loop, so block-sparse operands cost what their support
+    costs. *)
+val gemm : dst:t -> t -> t -> unit
+
+(** [gemv a ~xre ~xim ~yre ~yim] — [y = a·x] on split-array vectors. *)
+val gemv :
+  t ->
+  xre:float array -> xim:float array -> yre:float array -> yim:float array ->
+  unit
+
+(** [gemv_herm a ~xre ~xim ~yre ~yim] — [y = aᴴ·x] without
+    materializing the conjugate transpose. *)
+val gemv_herm :
+  t ->
+  xre:float array -> xim:float array -> yre:float array -> yim:float array ->
+  unit
+
+(** {1 LU factorization with reusable workspace}
+
+    The workspace holds the pivot permutation and a scratch buffer that
+    grows monotonically; threading one workspace through a frequency
+    sweep makes every factorization after the first allocation-free. *)
+
+type lu_ws
+
+(** [lu_ws n] — workspace for [n×n] factorizations. *)
+val lu_ws : int -> lu_ws
+
+(** [lu_decompose_inplace a ws] overwrites [a] with its LU factors
+    (partial pivoting on modulus; permutation recorded in [ws]).
+    @raise Lu.Singular when a pivot column is exactly zero. *)
+val lu_decompose_inplace : t -> lu_ws -> unit
+
+(** [lu_solve_inplace a ws b] — [b := a⁻¹·b] for [a] previously
+    factored with [ws]; all columns of [b] advance together. *)
+val lu_solve_inplace : t -> lu_ws -> t -> unit
+
+(** {1 Lossless converters} *)
+
+val of_cmat : Cmat.t -> t
+val to_cmat : t -> Cmat.t

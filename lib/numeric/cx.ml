@@ -35,6 +35,8 @@ let pow_int z n =
 let cis theta = { Complex.re = cos theta; im = sin theta }
 let is_finite z = Float.is_finite (re z) && Float.is_finite (im z)
 
+let is_zero (z : t) = Float.equal z.re 0.0 && Float.equal z.im 0.0
+
 let approx ?(tol = 1e-9) a b =
   abs (sub a b) <= tol *. (1.0 +. abs a +. abs b)
 

@@ -53,6 +53,12 @@ val cis : float -> t
 
 val is_finite : t -> bool
 
+(** [is_zero z] — exact comparison of both parts against [0.0] with
+    [Float.equal] (NaN-safe, unlike polymorphic [=] on [Complex.t];
+    note [Float.equal] distinguishes no signed zeros, so [-0.0] counts
+    as zero). Used by sparsity skips in matrix kernels. *)
+val is_zero : t -> bool
+
 (** [approx ?tol a b] holds when [abs (a - b) <= tol * (1 + abs a + abs b)].
     Default [tol] is [1e-9]. *)
 val approx : ?tol:float -> t -> t -> bool

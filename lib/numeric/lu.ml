@@ -31,7 +31,7 @@ let decompose m =
     for i = k + 1 to n - 1 do
       let factor = Cx.div a.(i).(k) pivot in
       a.(i).(k) <- factor;
-      if factor <> Cx.zero then
+      if not (Cx.is_zero factor) then
         for l = k + 1 to n - 1 do
           a.(i).(l) <- Cx.sub a.(i).(l) (Cx.mul factor a.(k).(l))
         done

@@ -4,7 +4,7 @@ type t = Cx.t array
 
 let trim a =
   let n = ref (Array.length a) in
-  while !n > 0 && a.(!n - 1) = Cx.zero do
+  while !n > 0 && Cx.is_zero a.(!n - 1) do
     decr n
   done;
   Array.sub a 0 !n
@@ -20,7 +20,7 @@ let s : t = [| Cx.zero; Cx.one |]
 let constant z = trim [| z |]
 
 let monomial z k =
-  if z = Cx.zero then zero
+  if Cx.is_zero z then zero
   else Array.init (k + 1) (fun i -> if i = k then z else Cx.zero)
 
 let degree (p : t) = Array.length p - 1
@@ -46,7 +46,7 @@ let mul (a : t) (b : t) =
     let out = Array.make (Array.length a + Array.length b - 1) Cx.zero in
     Array.iteri
       (fun i ai ->
-        if ai <> Cx.zero then
+        if not (Cx.is_zero ai) then
           Array.iteri
             (fun k bk -> out.(i + k) <- Cx.add out.(i + k) (Cx.mul ai bk))
             b)
@@ -84,7 +84,7 @@ let divmod n d =
     for k = qn downto 0 do
       let c = Cx.div r.(k + dd) lead in
       q.(k) <- c;
-      if c <> Cx.zero then
+      if not (Cx.is_zero c) then
         for i = 0 to dd do
           r.(k + i) <- Cx.sub r.(k + i) (Cx.mul c d.(i))
         done
@@ -152,7 +152,7 @@ let pp ppf (p : t) =
     let first = ref true in
     Array.iteri
       (fun i c ->
-        if c <> Cx.zero then begin
+        if not (Cx.is_zero c) then begin
           if not !first then Format.fprintf ppf " + ";
           first := false;
           if i = 0 then Cx.pp ppf c

@@ -1,0 +1,16 @@
+[@@@lint.allow "mli-coverage"]
+
+(* Seeded float-eq violations on Cx.t-shaped operands: each comparison
+   below must be reported. *)
+
+let against_zero z = z = Cx.zero
+let sparsity_skip z = Cx.mul z z <> Cx.one
+let ordered z w = compare (Cx.add z w) Cx.zero
+let unit_check z = Cx.conj z = z
+
+(* Near-misses that must stay silent. *)
+let ok_is_zero z = Cx.is_zero z
+let ok_approx z = Cx.approx z Cx.zero
+let ok_modulus z = Float.equal (Cx.abs z) 0.0
+let ok_parts z = Float.compare (Cx.re z) (Cx.im z)
+let ok_annotated z = ((z = Cx.zero) [@lint.allow "float-eq"])

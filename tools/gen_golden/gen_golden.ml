@@ -39,6 +39,26 @@ let () =
           pr (key "omega_ug_eff")
             (Option.value ~default:Float.nan eff.Pll_lib.Analysis.omega_ug))
         [ 0.05; 0.1; 0.2 ];
+      (* Closed-loop rank-one kernel rows at n_harm = 20: pins the
+         Sherman–Morrison closed form that the structured HTM evaluator
+         must reproduce (test_htm_struct checks both against these) *)
+      let p = Pll_lib.Design.synthesize spec in
+      let w0 = Pll_lib.Pll.omega0 p in
+      let ctx = Htm_core.Htm.ctx ~n_harm:20 ~omega0:w0 in
+      let c0 = Htm_core.Htm.index_of_harmonic ctx 0 in
+      List.iter
+        (fun frac ->
+          let s = Numeric.Cx.jomega (frac *. w0) in
+          let m = Pll_lib.Pll.closed_loop_rank_one ctx p s in
+          let key fmt = Printf.sprintf "cl_r1_n20_w%g.%s" frac fmt in
+          pr (key "h00_re") (Numeric.Cx.re (Numeric.Cmat.get m c0 c0));
+          pr (key "h00_im") (Numeric.Cx.im (Numeric.Cmat.get m c0 c0));
+          pr (key "h10_re") (Numeric.Cx.re (Numeric.Cmat.get m (c0 + 1) c0));
+          pr (key "h10_im") (Numeric.Cx.im (Numeric.Cmat.get m (c0 + 1) c0));
+          pr (key "hm10_re") (Numeric.Cx.re (Numeric.Cmat.get m (c0 - 1) c0));
+          pr (key "hm10_im") (Numeric.Cx.im (Numeric.Cmat.get m (c0 - 1) c0));
+          pr (key "frobenius") (Numeric.Cmat.norm_frobenius m))
+        [ 0.07; 0.2; 0.45 ];
       (* Fig. 4: pulse-vs-impulse equivalence rows *)
       List.iter
         (fun r ->

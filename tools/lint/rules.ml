@@ -25,7 +25,8 @@ let rule_prefix = "error-message-prefix"
 let all_rules =
   [
     ( rule_float_eq,
-      "polymorphic =, <> or compare on float-shaped operands (NaN-unsafe)" );
+      "polymorphic =, <> or compare on float- or Cx.t-shaped operands \
+       (NaN-unsafe)" );
     ( rule_pool_purity,
       "mutable state captured by closures passed to Parallel.Pool/Sweep" );
     ( rule_nondet,
@@ -109,6 +110,28 @@ let float_module_non_float =
 (* Float-returning accessors of the repo's own complex module. *)
 let cx_float_funs = [ "abs"; "re"; "im"; "norm2"; "arg" ]
 
+(* [Cx.*] values/calls that are NOT [Cx.t]-valued — everything else in
+   the module yields a complex number, so [Cx.f ...] operands of a
+   polymorphic comparison are Cx-shaped unless listed here. *)
+let cx_non_cx_funs =
+  cx_float_funs
+  @ [ "is_zero"; "is_finite"; "approx"; "to_string"; "pp" ]
+
+let cx_consts = [ "zero"; "one"; "j" ]
+
+let rec cx_shaped e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Ldot (Longident.Lident "Cx", n); _ } ->
+      List.mem n cx_consts
+  | Pexp_apply (f, _) -> (
+      match f.pexp_desc with
+      | Pexp_ident { txt = Longident.Ldot (Longident.Lident "Cx", fn); _ } ->
+          not (List.mem fn cx_non_cx_funs)
+      | _ -> false)
+  | Pexp_constraint (inner, _) -> cx_shaped inner
+  | Pexp_open (_, inner) -> cx_shaped inner
+  | _ -> false
+
 let rec float_shaped e =
   match e.pexp_desc with
   | Pexp_constant (Pconst_float _) -> true
@@ -142,6 +165,15 @@ let check_float_eq ctx e =
             (or classify the value)"
            op)
   | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); _ }; _ },
+        [ (Nolabel, a); (Nolabel, b) ] )
+    when cx_shaped a || cx_shaped b ->
+      report ctx rule_float_eq e.pexp_loc
+        (Printf.sprintf
+           "polymorphic %s on Cx.t operands is NaN-unsafe; use Cx.is_zero or \
+            Cx.approx"
+           op)
+  | Pexp_apply
       ( {
           pexp_desc =
             Pexp_ident
@@ -158,6 +190,23 @@ let check_float_eq ctx e =
       report ctx rule_float_eq e.pexp_loc
         "polymorphic compare on float operands is NaN-unsafe; use \
          Float.compare"
+  | Pexp_apply
+      ( {
+          pexp_desc =
+            Pexp_ident
+              {
+                txt =
+                  ( Longident.Lident "compare"
+                  | Longident.Ldot (Longident.Lident "Stdlib", "compare") );
+                _;
+              };
+          _;
+        },
+        [ (Nolabel, a); (Nolabel, b) ] )
+    when cx_shaped a || cx_shaped b ->
+      report ctx rule_float_eq e.pexp_loc
+        "polymorphic compare on Cx.t operands is NaN-unsafe; compare re/im \
+         explicitly with Float.compare"
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
