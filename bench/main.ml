@@ -269,6 +269,88 @@ let run_kernel_bench () =
   close_out oc;
   Format.printf "wrote BENCH_kernels.json@."
 
+(* Robustness-guard overhead: times the guarded structured evaluator
+   (condition estimates + finiteness scans, the default) against the
+   same evaluator with Robust.Config guards disabled, with fault
+   injection disarmed — i.e. the price every production run pays for
+   the safety net. Emitted as BENCH_robust.json for CI tracking; the
+   acceptance bar is < 5% overhead. *)
+let run_robust_bench () =
+  Format.printf "@.== Robustness guards: guarded vs unguarded evaluation ==@.";
+  let s = Numeric.Cx.jomega (0.2 *. w0) in
+  let cl = Pll_lib.Pll.closed_loop_htm pll in
+  (* longer batches and more trials than the kernel bench: the two
+     sides differ by a few percent at most, so the comparison needs
+     tighter timing than a raw throughput number does *)
+  let time_ns f =
+    ignore (f ());
+    let reps = ref 1 in
+    let batch () =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to !reps do
+        ignore (f ())
+      done;
+      Unix.gettimeofday () -. t0
+    in
+    let dt = ref (batch ()) in
+    while !dt < 0.1 && !reps < 1_000_000 do
+      reps := !reps * 4;
+      dt := batch ()
+    done;
+    let best = ref !dt in
+    for _ = 1 to 4 do
+      let d = batch () in
+      if d < !best then best := d
+    done;
+    !best /. float_of_int !reps *. 1e9
+  in
+  Robust.Inject.disarm ();
+  Robust.Stats.reset ();
+  let rows =
+    List.map
+      (fun n_harm ->
+        let ctx = Htm_core.Htm.ctx ~n_harm ~omega0:w0 in
+        let eval () = Htm_core.Htm.to_matrix ctx cl s in
+        Robust.Config.reset ();
+        let guarded_ns = time_ns eval in
+        Robust.Config.set_guard_checks false;
+        let unguarded_ns = time_ns eval in
+        Robust.Config.reset ();
+        let overhead_pct = (guarded_ns /. unguarded_ns -. 1.0) *. 100.0 in
+        Format.printf
+          "  n_harm %3d (dim %3d): unguarded %9.0f ns  guarded %9.0f ns  \
+           (overhead %+.2f%%)@."
+          n_harm (Htm_core.Htm.dim ctx) unguarded_ns guarded_ns overhead_pct;
+        (n_harm, Htm_core.Htm.dim ctx, unguarded_ns, guarded_ns, overhead_pct))
+      [ 10; 20; 40; 80 ]
+  in
+  let fallbacks = (Robust.Stats.snapshot ()).Robust.Stats.dense_fallbacks in
+  Format.printf "dense fallbacks during the benchmark: %d@." fallbacks;
+  let oc = open_out "BENCH_robust.json" in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    "  \"benchmark\": \"closed-loop HTM realization: guarded vs unguarded \
+     structured path\",\n";
+  Buffer.add_string b "  \"s_over_omega0\": 0.2,\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"dense_fallbacks\": %d,\n" fallbacks);
+  Buffer.add_string b "  \"runs\": [\n";
+  List.iteri
+    (fun i (n_harm, dim, unguarded_ns, guarded_ns, overhead_pct) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"n_harm\": %d, \"dim\": %d, \"unguarded_ns\": %.1f, \
+            \"guarded_ns\": %.1f, \"overhead_pct\": %.2f}%s\n"
+           n_harm dim unguarded_ns guarded_ns overhead_pct
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n";
+  Buffer.add_string b "}\n";
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.printf "wrote BENCH_robust.json@."
+
 let bench_sim_period =
   Test.make ~name:"kernel: behavioral simulation (10 periods)"
     (Staged.stage
@@ -341,15 +423,17 @@ let () =
   | "bench" -> run_benchmarks ()
   | "parallel" -> run_parallel_bench ()
   | "kernels" -> run_kernel_bench ()
+  | "robust" -> run_robust_bench ()
   | ("2" | "4" | "5" | "6" | "7" | "perf" | "xchk" | "ablation" | "isf" | "nonideal" | "pfd" | "noise" | "fractional") as f ->
       run_figures f
   | "all" ->
       run_figures "all";
       run_benchmarks ();
       run_parallel_bench ();
-      run_kernel_bench ()
+      run_kernel_bench ();
+      run_robust_bench ()
   | other ->
       Format.printf
-        "unknown argument %s (want 2|4|5|6|7|perf|xchk|ablation|isf|nonideal|pfd|noise|fractional|bench|parallel|kernels|all)@."
+        "unknown argument %s (want 2|4|5|6|7|perf|xchk|ablation|isf|nonideal|pfd|noise|fractional|bench|parallel|kernels|robust|all)@."
         other;
       exit 1

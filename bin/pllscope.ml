@@ -46,8 +46,30 @@ let spec_term =
 
 let pp = Format.std_formatter
 
+(* Robustness plumbing shared by the analysis subcommands: --strict
+   turns guarded fallbacks into hard failures, and any degradation
+   events that did happen are summarized after the run. *)
+let strict_term =
+  let doc =
+    "Fail fast when a numerical guard fires instead of degrading to the \
+     dense reference evaluator."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let with_robust strict f =
+  Robust.Config.set_strict strict;
+  Robust.Stats.reset ();
+  (match f () with
+  | () -> ()
+  | exception Robust.Pllscope_error.Error e ->
+      Format.fprintf pp "error: %s@." (Robust.Pllscope_error.to_string e);
+      exit 1);
+  let s = Robust.Stats.snapshot () in
+  if Robust.Stats.total s > 0 then Format.fprintf pp "%a@." Robust.Stats.pp s
+
 let analyze_cmd =
-  let run spec =
+  let run spec strict =
+   with_robust strict @@ fun () ->
     let p = Pll_lib.Design.synthesize spec in
     Experiments.Report.section pp "design";
     Experiments.Report.kv pp "reference" "%g Hz, /%g, Icp=%g A, Kvco=%g Hz/V"
@@ -70,13 +92,14 @@ let analyze_cmd =
       (if Pll_lib.Analysis.is_stable_tv p then "yes" else "NO (discrete model has poles outside the unit circle)")
   in
   let doc = "LTI vs time-varying analysis of one loop design" in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ spec_term)
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ spec_term $ strict_term)
 
 let bode_cmd =
   let points =
     Arg.(value & opt int 25 & info [ "points" ] ~docv:"N" ~doc:"Sweep points.")
   in
-  let run spec points =
+  let run spec points strict =
+    with_robust strict @@ fun () ->
     let p = Pll_lib.Design.synthesize spec in
     let w0 = Pll_lib.Pll.omega0 p in
     let w_ug = Pll_lib.Design.omega_ug spec in
@@ -99,14 +122,15 @@ let bode_cmd =
          (Array.to_list sweep) (Array.to_list lam_sweep))
   in
   let doc = "Bode sweeps of A(jw) and lambda(jw)" in
-  Cmd.v (Cmd.info "bode" ~doc) Term.(const run $ spec_term $ points)
+  Cmd.v (Cmd.info "bode" ~doc) Term.(const run $ spec_term $ points $ strict_term)
 
 let sweep_cmd =
-  let run spec =
+  let run spec strict =
+    with_robust strict @@ fun () ->
     Experiments.Exp_fig7.print pp (Experiments.Exp_fig7.compute ~spec ())
   in
   let doc = "Ratio sweep (Fig. 7 quantities)" in
-  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ spec_term)
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ spec_term $ strict_term)
 
 let fig_cmd =
   let which =
@@ -115,7 +139,8 @@ let fig_cmd =
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FIG" ~doc)
   in
-  let run which =
+  let run which strict =
+    with_robust strict @@ fun () ->
     match which with
     | "2" -> Experiments.Exp_fig2.run ()
     | "4" -> Experiments.Exp_fig4.run ()
@@ -147,7 +172,7 @@ let fig_cmd =
     | other -> Format.fprintf pp "unknown figure %s@." other
   in
   let doc = "Regenerate a paper figure" in
-  Cmd.v (Cmd.info "fig" ~doc) Term.(const run $ which)
+  Cmd.v (Cmd.info "fig" ~doc) Term.(const run $ which $ strict_term)
 
 let sim_cmd =
   let offset =
@@ -180,7 +205,8 @@ let measure_cmd =
   let window =
     Arg.(value & opt int 32 & info [ "window" ] ~docv:"P" ~doc:"Window length in reference periods.")
   in
-  let run spec harmonic window =
+  let run spec harmonic window strict =
+    with_robust strict @@ fun () ->
     let p = Pll_lib.Design.synthesize spec in
     let m = Sim.Extract.measure_h00 p ~harmonic ~window_periods:window () in
     let open Numeric in
@@ -192,7 +218,8 @@ let measure_cmd =
     Experiments.Report.kv pp "relative error vs HTM" "%.5f" m.Sim.Extract.rel_err
   in
   let doc = "Measure H00 from time-marching simulation" in
-  Cmd.v (Cmd.info "measure" ~doc) Term.(const run $ spec_term $ harmonic $ window)
+  Cmd.v (Cmd.info "measure" ~doc)
+    Term.(const run $ spec_term $ harmonic $ window $ strict_term)
 
 let netlist_cmd =
   let file =
@@ -203,13 +230,19 @@ let netlist_cmd =
     Arg.(value & opt int 1
          & info [ "sense" ] ~docv:"NODE" ~doc:"Control-voltage node (default 1).")
   in
-  let run spec file sense =
+  let run spec file sense strict =
+    with_robust strict @@ fun () ->
     let src = In_channel.with_open_text file In_channel.input_all in
     let netlist =
-      try Circuit.Parse.netlist src
-      with Circuit.Parse.Parse_error { line; message } ->
-        Format.fprintf pp "parse error at line %d: %s@." line message;
-        exit 1
+      match Circuit.Parse.netlist ~file src with
+      | n -> n
+      | exception
+          Robust.Pllscope_error.Error (Robust.Pllscope_error.Parse _ as e) ->
+          Format.fprintf pp "%s@." (Robust.Pllscope_error.to_string e);
+          (match Robust.Pllscope_error.parse_snippet ~src e with
+          | Some snippet -> Format.fprintf pp "%s@." snippet
+          | None -> ());
+          exit 1
     in
     Format.fprintf pp "netlist:@.%a@." Circuit.Netlist.pp netlist;
     let z = Circuit.Mna.transimpedance netlist ~inject:1 ~sense in
@@ -240,7 +273,8 @@ let netlist_cmd =
       (if Pll_lib.Analysis.is_stable_tv p then "yes" else "NO")
   in
   let doc = "Analyze a PLL whose loop filter is given as a netlist file" in
-  Cmd.v (Cmd.info "netlist" ~doc) Term.(const run $ spec_term $ file $ sense)
+  Cmd.v (Cmd.info "netlist" ~doc)
+    Term.(const run $ spec_term $ file $ sense $ strict_term)
 
 let () =
   let doc = "time-varying frequency-domain PLL analysis (HTM formalism)" in

@@ -1,5 +1,3 @@
-exception Parse_error of { line : int; message : string }
-
 let suffix_scale = function
   | "" -> Some 1.0
   | "f" -> Some 1e-15
@@ -14,9 +12,9 @@ let suffix_scale = function
   | _ -> None
 
 (* The [failwith] messages below are deliberately unprefixed: [value_at]
-   rewraps them into [Parse_error], where they surface verbatim in user
-   netlist diagnostics ("line 3: malformed value: 1x") — a
-   "Parse.value:" prefix would be noise there. *)
+   rewraps them into the typed [Parse] error, where they surface
+   verbatim in user netlist diagnostics ("net.cir:3:9: malformed value:
+   1x") — a "Parse.value:" prefix would be noise there. *)
 let value str =
   let str = String.lowercase_ascii (String.trim str) in
   if str = "" then (failwith "empty value" [@lint.allow "error-message-prefix"]);
@@ -53,73 +51,88 @@ let value str =
       (failwith ("unknown suffix: " ^ suffix)
       [@lint.allow "error-message-prefix"])
 
-let node_of_string line str =
+let parse_fail ~file ~line ~col msg =
+  Robust.Pllscope_error.raise_ (Parse { file; line; col; msg })
+
+let node_of_string ~file ~line (col, str) =
   match int_of_string_opt str with
   | Some n when n >= 0 -> n
-  | _ -> raise (Parse_error { line; message = "bad node: " ^ str })
+  | _ -> parse_fail ~file ~line ~col ("bad node: " ^ str)
 
-let value_at line str =
+let value_at ~file ~line (col, str) =
   match value str with
   | v -> v
-  | exception Failure message -> raise (Parse_error { line; message })
+  | exception Failure msg -> parse_fail ~file ~line ~col msg
 
 let strip_comment s =
   match String.index_opt s ';' with
   | Some i -> String.sub s 0 i
   | None -> s
 
-let tokens_of_line s =
-  String.split_on_char ' ' (String.trim (strip_comment s))
-  |> List.concat_map (String.split_on_char '\t')
-  |> List.filter (fun t -> t <> "")
+let is_space = function ' ' | '\t' | '\r' -> true | _ -> false
 
-let parse_line lineno line =
+(* Tokens paired with their 0-based column so every diagnostic can point
+   a caret at the offending field of the original line. *)
+let tokens_of_line s =
+  let s = strip_comment s in
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if is_space s.[!i] then incr i
+    else begin
+      let start = !i in
+      while !i < n && not (is_space s.[!i]) do
+        incr i
+      done;
+      toks := (start, String.sub s start (!i - start)) :: !toks
+    end
+  done;
+  List.rev !toks
+
+let parse_line ~file lineno line =
+  let node = node_of_string ~file ~line:lineno in
+  let value_at = value_at ~file ~line:lineno in
   match tokens_of_line line with
   | [] -> None
-  | name :: rest when String.length name > 0 && name.[0] <> '*' -> (
+  | (name_col, name) :: rest when String.length name > 0 && name.[0] <> '*' -> (
       let designator = Char.lowercase_ascii name.[0] in
       match (designator, rest) with
-      | 'r', [ a; b; v ] ->
-          Some
-            (Netlist.r (node_of_string lineno a) (node_of_string lineno b)
-               (value_at lineno v))
-      | 'c', [ a; b; v ] ->
-          Some
-            (Netlist.c (node_of_string lineno a) (node_of_string lineno b)
-               (value_at lineno v))
-      | 'l', [ a; b; v ] ->
-          Some
-            (Netlist.l (node_of_string lineno a) (node_of_string lineno b)
-               (value_at lineno v))
+      | 'r', [ a; b; v ] -> Some (Netlist.r (node a) (node b) (value_at v))
+      | 'c', [ a; b; v ] -> Some (Netlist.c (node a) (node b) (value_at v))
+      | 'l', [ a; b; v ] -> Some (Netlist.l (node a) (node b) (value_at v))
       | 'e', [ op; on; ip; in_; g ] ->
           Some
             (Netlist.Vcvs
                {
-                 out_pos = node_of_string lineno op;
-                 out_neg = node_of_string lineno on;
-                 in_pos = node_of_string lineno ip;
-                 in_neg = node_of_string lineno in_;
-                 gain = value_at lineno g;
+                 out_pos = node op;
+                 out_neg = node on;
+                 in_pos = node ip;
+                 in_neg = node in_;
+                 gain = value_at g;
                })
       | ('r' | 'c' | 'l' | 'e'), _ ->
-          raise
-            (Parse_error
-               { line = lineno; message = "wrong number of fields for " ^ name })
+          parse_fail ~file ~line:lineno ~col:name_col
+            ("wrong number of fields for " ^ name)
       | _ ->
-          raise
-            (Parse_error { line = lineno; message = "unknown element: " ^ name }))
+          parse_fail ~file ~line:lineno ~col:name_col
+            ("unknown element: " ^ name))
   | _ -> None
 
-let netlist src =
+let netlist ?(file = "<netlist>") src =
   let lines = String.split_on_char '\n' src in
   let elements =
     List.concat
       (List.mapi
          (fun i line ->
-           match parse_line (i + 1) line with Some el -> [ el ] | None -> [])
+           match parse_line ~file (i + 1) line with
+           | Some el -> [ el ]
+           | None -> [])
          lines)
   in
   match Netlist.create elements with
   | n -> n
-  | exception Invalid_argument message ->
-      raise (Parse_error { line = 0; message })
+  | exception Invalid_argument msg ->
+      (* semantic error over the whole netlist — no single offending
+         line, reported as line 0 by convention *)
+      parse_fail ~file ~line:0 ~col:0 msg

@@ -14,11 +14,15 @@
     convention: [m] = milli, [meg] = mega) and plain scientific
     notation. Nodes are nonnegative integers with [0] = ground. *)
 
-exception Parse_error of { line : int; message : string }
-
-(** [netlist src] parses a full netlist source.
-    @raise Parse_error with a 1-based line number on malformed input. *)
-val netlist : string -> Netlist.t
+(** [netlist ?file src] parses a full netlist source. [file] (default
+    ["<netlist>"]) only labels diagnostics.
+    @raise Robust.Pllscope_error.Error with a
+    [Robust.Pllscope_error.Parse] payload carrying the 1-based line,
+    0-based column and message on malformed input; semantic errors over
+    the whole netlist (from [Netlist.create]) report line 0. Pair the
+    payload with {!Robust.Pllscope_error.parse_snippet} to render a
+    caret under the offending token. *)
+val netlist : ?file:string -> string -> Netlist.t
 
 (** [value str] parses a single engineering-notation value
     (e.g. ["4.7k"], ["100n"], ["2meg"], ["1e-9"]).

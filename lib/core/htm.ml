@@ -54,7 +54,10 @@ let custom f = Custom f
    (eqs. 19–20) — and {!Smat}'s composition rules keep feedback around
    the rank-one sampler on the Sherman–Morrison closed form instead of
    a dense LU. *)
-let rec structured c t s =
+(* The recursion is shared between the raising and the Result-returning
+   evaluators: only the feedback realization differs, so it is a
+   parameter. *)
+let rec eval_with ~fb c t s =
   let n = dim c in
   match t with
   | Lti h ->
@@ -64,14 +67,28 @@ let rec structured c t s =
   | Sampler -> Smat.rank1_const n (c.omega0 /. (2.0 *. Float.pi))
   | Identity -> Smat.identity n
   | Zero -> Smat.zeros n
-  | Scale (z, g) -> Smat.scale z (structured c g s)
-  | Series (g2, g1) -> Smat.mul (structured c g2 s) (structured c g1 s)
-  | Parallel (g1, g2) -> Smat.add (structured c g1 s) (structured c g2 s)
-  | Sub (g1, g2) -> Smat.sub (structured c g1 s) (structured c g2 s)
-  | Feedback g -> Smat.feedback (structured c g s)
+  | Scale (z, g) -> Smat.scale z (eval_with ~fb c g s)
+  | Series (g2, g1) -> Smat.mul (eval_with ~fb c g2 s) (eval_with ~fb c g1 s)
+  | Parallel (g1, g2) -> Smat.add (eval_with ~fb c g1 s) (eval_with ~fb c g2 s)
+  | Sub (g1, g2) -> Smat.sub (eval_with ~fb c g1 s) (eval_with ~fb c g2 s)
+  | Feedback g -> fb (eval_with ~fb c g s)
   | Custom f -> Smat.of_cmat (f c s)
 
-let to_matrix c t s = Smat.to_cmat (structured c t s)
+let structured c t s = eval_with ~fb:Smat.feedback c t s
+
+exception Checked_fail of Robust.Pllscope_error.t
+
+let structured_checked c t s =
+  let fb g =
+    match Smat.feedback_checked ~context:"Htm.feedback" g with
+    | Ok r -> r
+    | Error e -> raise (Checked_fail e)
+  in
+  match eval_with ~fb c t s with
+  | m ->
+      if Smat.is_finite m then Ok m
+      else Error (Robust.Pllscope_error.Non_finite { where = "Htm.structured" })
+  | exception Checked_fail e -> Error e
 
 (* Reference evaluator: the original all-dense boxed recursion, kept
    verbatim as the oracle for the structured path (equivalence tests,
@@ -104,26 +121,67 @@ let rec to_matrix_dense c t s =
       Lu.solve_mat (Lu.decompose i_plus_g) gm
   | Custom f -> f c s
 
+(* Graceful degradation: evaluate the structured fast path under the
+   guards; if one fires, either raise (strict mode) or degrade to the
+   all-dense oracle — whose boxed LU takes none of the structured
+   shortcuts — and count the event. With guards disabled this is
+   byte-for-byte the unguarded fast path. *)
+let structured_or_fallback c t s =
+  if not (Robust.Config.guards_enabled ()) then `Structured (structured c t s)
+  else
+    match structured_checked c t s with
+    | Ok m -> `Structured m
+    | Error e ->
+        if Robust.Config.is_strict () then Robust.Pllscope_error.raise_ e
+        else begin
+          Robust.Stats.record_fallback e;
+          `Dense (to_matrix_dense c t s)
+        end
+
+let to_matrix c t s =
+  match structured_or_fallback c t s with
+  | `Structured m -> Smat.to_cmat m
+  | `Dense m -> m
+
 let element c t ~n ~m s =
   if abs n > c.n_harm || abs m > c.n_harm then
     invalid_arg "Htm.element: harmonic outside truncation";
+  let i = index_of_harmonic c n and k = index_of_harmonic c m in
   (* fast path: one entry of the structured form, no n×n densification *)
-  Smat.get (structured c t s) (index_of_harmonic c n) (index_of_harmonic c m)
+  match structured_or_fallback c t s with
+  | `Structured sm -> Smat.get sm i k
+  | `Dense dm -> Cmat.get dm i k
 
 let baseband c t w = element c t ~n:0 ~m:0 (Cx.jomega w)
 
 let conversion_map c t w =
-  let m = Smat.densify (structured c t (Cx.jomega w)) in
-  Array.init (dim c) (fun i ->
-      Array.init (dim c) (fun k -> Cx.abs (Cmatf.get m i k)))
+  let getter =
+    match structured_or_fallback c t (Cx.jomega w) with
+    | `Structured sm ->
+        let m = Smat.densify sm in
+        fun i k -> Cx.abs (Cmatf.get m i k)
+    | `Dense dm -> fun i k -> Cx.abs (Cmat.get dm i k)
+  in
+  Array.init (dim c) (fun i -> Array.init (dim c) (fun k -> getter i k))
 
 let apply_to_tone c t ~m w =
   if abs m > c.n_harm then invalid_arg "Htm.apply_to_tone: harmonic outside truncation";
+  let k = index_of_harmonic c m in
   (* fast path: one structured column instead of the full matrix *)
-  Smat.col (structured c t (Cx.jomega w)) (index_of_harmonic c m)
+  match structured_or_fallback c t (Cx.jomega w) with
+  | `Structured sm -> Smat.col sm k
+  | `Dense dm -> Cvec.init (dim c) (fun i -> Cmat.get dm i k)
 
-let max_singular_value ?(iterations = 200) ?(tol = 1e-10) ?(seed = 0x51C0FFEEL)
-    c t w =
+type sv_certificate = {
+  sigma : float;
+  iterations : int;
+  residual : float;
+  restarts : int;
+  converged : bool;
+}
+
+let max_singular_value_cert ?(iterations = 200) ?(tol = 1e-10)
+    ?(seed = 0x51C0FFEEL) c t w =
   (* power iteration on B = MᴴM with a unit-normalized iterate: for unit
      v, |Mv| converges to the largest singular value. The iterate starts
      from a seeded pseudo-random vector: a fixed structured start (the
@@ -135,7 +193,11 @@ let max_singular_value ?(iterations = 200) ?(tol = 1e-10) ?(seed = 0x51C0FFEEL)
   (* structured fast path: both products per iteration run on the
      Smat shape (O(n) for diagonal/rank-one HTMs, O(n·k) banded) and
      the conjugate transpose is never materialized *)
-  let m = structured c t (Cx.jomega w) in
+  let m =
+    match structured_or_fallback c t (Cx.jomega w) with
+    | `Structured m -> m
+    | `Dense dm -> Smat.of_cmat dm
+  in
   let n = dim c in
   let g = Prng.create ~seed in
   let vre = Array.make n 0.0 and vim = Array.make n 0.0 in
@@ -175,15 +237,30 @@ let max_singular_value ?(iterations = 200) ?(tol = 1e-10) ?(seed = 0x51C0FFEEL)
   random_unit ();
   let sigma = ref 0.0 in
   let prev = ref Float.neg_infinity in
-  let restarts = ref (Stdlib.min 4 n) in
+  let max_restarts = Stdlib.min 4 n in
+  let restarts = ref max_restarts in
+  let used = ref 0 in
+  let residual = ref infinity in
+  let converged = ref false in
   (try
      for _ = 1 to iterations do
+       incr used;
        Smat.mv m ~xre:vre ~xim:vim ~yre:wre ~yim:wim;
        let est = norm2 wre wim in
-       let converged = Float.abs (est -. !prev) <= tol *. (1.0 +. est) in
+       let res = Float.abs (est -. !prev) in
+       residual := res;
+       (* an injected stall suppresses the convergence test, so the
+          budget runs out and the certificate reports non-convergence *)
+       let ok =
+         res <= tol *. (1.0 +. est)
+         && not (Robust.Inject.fire Robust.Inject.Power_stall)
+       in
        prev := est;
        if est > !sigma then sigma := est;
-       if converged then raise Exit;
+       if ok then begin
+         converged := true;
+         raise Exit
+       end;
        Smat.mhv m ~xre:wre ~xim:wim ~yre:ure ~yim:uim;
        if not (renormalize_into ure uim) then
          (* current iterate maps into the null space: restart rather
@@ -193,10 +270,40 @@ let max_singular_value ?(iterations = 200) ?(tol = 1e-10) ?(seed = 0x51C0FFEEL)
            prev := Float.neg_infinity;
            random_unit ()
          end
-         else raise Exit
+         else begin
+           (* every restart also hit the null space: the matrix maps
+              the whole probed subspace to zero. For σ = 0 that is the
+              exact answer (zero matrix), not a failure. *)
+           if Float.equal !sigma 0.0 then begin
+             converged := true;
+             residual := 0.0
+           end;
+           raise Exit
+         end
      done
    with Exit -> ());
-  !sigma
+  {
+    sigma = !sigma;
+    iterations = !used;
+    residual = !residual;
+    restarts = max_restarts - !restarts;
+    converged = !converged;
+  }
+
+let max_singular_value ?iterations ?tol ?seed c t w =
+  (max_singular_value_cert ?iterations ?tol ?seed c t w).sigma
+
+let max_singular_value_checked ?iterations ?tol ?seed c t w =
+  let cert = max_singular_value_cert ?iterations ?tol ?seed c t w in
+  if cert.converged then Ok cert
+  else begin
+    let e =
+      Robust.Pllscope_error.Non_convergence
+        { iters = cert.iterations; residual = cert.residual }
+    in
+    Robust.Stats.record_guard e;
+    Error e
+  end
 
 let baseband_sweep ?pool c t ws =
   Parallel.Sweep.grid ?pool (fun w -> baseband c t w) ws

@@ -83,8 +83,20 @@ val custom : (ctx -> Numeric.Cx.t -> Numeric.Cmat.t) -> t
     frequency [s]. Evaluation is structure-aware: the composition tree
     is realized as {!Smat.t} shapes (diagonal LTI blocks, banded
     Toeplitz periodic gains, the rank-one sampler, Sherman–Morrison
-    feedback) and densified only here, at the API boundary. *)
+    feedback) and densified only here, at the API boundary.
+    When the numerical guards are enabled (the default), a structured
+    evaluation whose conditioning or finiteness guard fires degrades
+    transparently to {!to_matrix_dense} — counted in
+    {!Robust.Stats} — unless strict mode is armed, in which case
+    {!Robust.Pllscope_error.Error} is raised instead. *)
 val to_matrix : ctx -> t -> Numeric.Cx.t -> Numeric.Cmat.t
+
+(** [structured_checked ctx t s] — the structured evaluation under its
+    guards, with no fallback: feedback realizations use
+    {!Smat.feedback_checked}, and the realized matrix is scanned for
+    non-finite entries. *)
+val structured_checked :
+  ctx -> t -> Numeric.Cx.t -> (Smat.t, Robust.Pllscope_error.t) result
 
 (** [structured ctx t s] — the realized HTM in its structured form,
     before densification. This is what {!to_matrix}, {!element},
@@ -131,6 +143,41 @@ val is_lti : ?tol:float -> ctx -> t -> Numeric.Cx.t -> bool
     rank-deficient HTM, so rank-one matrices cannot stall it at 0. *)
 val max_singular_value :
   ?iterations:int -> ?tol:float -> ?seed:int64 -> ctx -> t -> float -> float
+
+(** Convergence certificate of the power iteration: the estimate, the
+    iterations consumed, the final residual [|σ_k - σ_{k-1}|], how many
+    null-space restarts were taken, and whether the tolerance was met
+    within the iteration budget (σ = 0 after exhausting every restart is
+    the exact answer for a zero matrix and counts as converged). *)
+type sv_certificate = {
+  sigma : float;
+  iterations : int;
+  residual : float;
+  restarts : int;
+  converged : bool;
+}
+
+(** [max_singular_value_cert ctx t w] — {!max_singular_value} with its
+    full certificate. *)
+val max_singular_value_cert :
+  ?iterations:int ->
+  ?tol:float ->
+  ?seed:int64 ->
+  ctx ->
+  t ->
+  float ->
+  sv_certificate
+
+(** [max_singular_value_checked ctx t w] — [Ok cert] when the iteration
+    certifiably converged, [Error (Non_convergence _)] otherwise. *)
+val max_singular_value_checked :
+  ?iterations:int ->
+  ?tol:float ->
+  ?seed:int64 ->
+  ctx ->
+  t ->
+  float ->
+  (sv_certificate, Robust.Pllscope_error.t) result
 
 (** {1 Parallel sweeps}
 

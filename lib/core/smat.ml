@@ -260,7 +260,7 @@ let mv t ~xre ~xim ~yre ~yim =
   let n = dim t in
   if Array.length xre <> n || Array.length yre <> n then
     invalid_arg "Smat.mv: dimension mismatch";
-  match t with
+  (match t with
   | Diag { dre; dim_ } ->
       for i = 0 to n - 1 do
         let ar = dre.(i) and ai = dim_.(i) in
@@ -298,7 +298,8 @@ let mv t ~xre ~xim ~yre ~yim =
         yre.(i) <- (ar *. tr) -. (ai *. ti);
         yim.(i) <- (ar *. ti) +. (ai *. tr)
       done
-  | Dense m -> Cmatf.gemv m ~xre ~xim ~yre ~yim
+  | Dense m -> Cmatf.gemv m ~xre ~xim ~yre ~yim);
+  if n > 0 && Robust.Inject.fire Robust.Inject.Smat_nan then yre.(0) <- Float.nan
 
 let mhv t ~xre ~xim ~yre ~yim =
   let n = dim t in
@@ -518,6 +519,82 @@ let feedback g =
       Cmatf.lu_decompose_inplace a ws;
       Cmatf.lu_solve_inplace a ws b;
       of_cmatf b
+
+(* ------------------------------------------------------------------ *)
+(* finiteness and guarded feedback                                     *)
+
+let all_finite2 re im =
+  let len = Array.length re in
+  let rec go p =
+    p >= len || (Float.is_finite re.(p) && Float.is_finite im.(p) && go (p + 1))
+  in
+  go 0
+
+let is_finite = function
+  | Diag { dre; dim_ } -> all_finite2 dre dim_
+  | Band { bre; bim; _ } -> all_finite2 bre bim
+  | Rank1 { ure; uim; vre; vim } -> all_finite2 ure uim && all_finite2 vre vim
+  | Dense m -> Cmatf.is_finite m
+
+(* Result-returning feedback. The closed-form shapes guard their scalar
+   denominators with the conditioning proxy (1 + |d|)/|1 + d| — the
+   exact κ of the 1×1 (or rank-one deflated) subproblem the closed form
+   solves — against Config.smw_max_cond; the banded/dense shapes go
+   through the checked LU with its Hager estimate. *)
+let feedback_checked ?(context = "Smat.feedback") g =
+  let open Robust in
+  let n = dim g in
+  let finite_result t =
+    if is_finite t then Ok t
+    else Error (Pllscope_error.Non_finite { where = context })
+  in
+  match g with
+  | Diag { dre; dim_ } ->
+      let worst = ref 1.0 and exact = ref false in
+      for i = 0 to n - 1 do
+        let d = Cx.make dre.(i) dim_.(i) in
+        let dm = Cx.abs (Cx.add Cx.one d) in
+        if Float.equal dm 0.0 then exact := true
+        else begin
+          let proxy = (1.0 +. Cx.abs d) /. dm in
+          if proxy > !worst then worst := proxy
+        end
+      done;
+      if !exact then
+        Error (Pllscope_error.Singular { cond_est = infinity; context })
+      else if !worst > Config.get_smw_max_cond () then
+        Error (Pllscope_error.Singular { cond_est = !worst; context })
+      else finite_result (feedback g)
+  | Rank1 { ure; uim; vre; vim } ->
+      let sr = ref 0.0 and si = ref 0.0 in
+      for k = 0 to n - 1 do
+        let ar = vre.(k) and ai = vim.(k) in
+        let br = ure.(k) and bi = uim.(k) in
+        sr := !sr +. ((ar *. br) -. (ai *. bi));
+        si := !si +. ((ar *. bi) +. (ai *. br))
+      done;
+      let vtu = Cx.make !sr !si in
+      let dm = Cx.abs (Cx.add Cx.one vtu) in
+      if Float.equal dm 0.0 then
+        Error (Pllscope_error.Singular { cond_est = infinity; context })
+      else begin
+        let proxy = (1.0 +. Cx.abs vtu) /. dm in
+        if proxy > Config.get_smw_max_cond () then
+          Error (Pllscope_error.Singular { cond_est = proxy; context })
+        else finite_result (feedback g)
+      end
+  | Band _ | Dense _ -> (
+      let gm = densify g in
+      let a = Cmatf.copy gm in
+      Cmatf.add_ident a;
+      let b = Cmatf.copy gm in
+      let ws = Cmatf.lu_ws n in
+      match Cmatf.lu_decompose_checked ~context a ws with
+      | Error e -> Error e
+      | Ok _cond -> (
+          match Cmatf.lu_solve_checked a ws b ~context with
+          | Error e -> Error e
+          | Ok () -> Ok (of_cmatf b)))
 
 (* ------------------------------------------------------------------ *)
 (* diagnostics                                                         *)

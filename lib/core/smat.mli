@@ -77,6 +77,18 @@ val mul : t -> t -> t
     @raise Numeric.Lu.Singular when [I + G] is singular. *)
 val feedback : t -> t
 
+(** [feedback_checked ?context g] — guarded [(I + G)⁻¹·G] that never
+    raises on numerical failure. Closed-form shapes check their scalar
+    denominator's conditioning proxy [(1 + |d|)/|1 + d|] against
+    {!Robust.Config.get_smw_max_cond}; banded/dense shapes use
+    {!Numeric.Cmatf.lu_decompose_checked}. Returns [Error (Singular _)]
+    or [Error (Non_finite _)] accordingly. *)
+val feedback_checked :
+  ?context:string -> t -> (t, Robust.Pllscope_error.t) result
+
+(** True iff every stored entry is finite. *)
+val is_finite : t -> bool
+
 (** {1 Matrix–vector products on split re/im arrays}
 
     These never densify: the rank-one product is two dot products, the

@@ -76,6 +76,46 @@ val lu_decompose_inplace : t -> lu_ws -> unit
     factored with [ws]; all columns of [b] advance together. *)
 val lu_solve_inplace : t -> lu_ws -> t -> unit
 
+(** {1 Norms, finiteness and condition estimation} *)
+
+(** 1-norm (max column sum of moduli). *)
+val norm1 : t -> float
+
+(** True iff every entry is finite (no NaN or infinity). *)
+val is_finite : t -> bool
+
+(** [lu_cond_est_1 a ws ~norm1_a] — Hager-style 1-norm condition
+    estimate for a matrix already factored by [lu_decompose_inplace];
+    [norm1_a] is {!norm1} of the original matrix (captured before the
+    factorization overwrote it). A few O(n²) solve/adjoint-solve rounds
+    give a lower bound on κ₁ that is reliably within a small factor. *)
+val lu_cond_est_1 : t -> lu_ws -> norm1_a:float -> float
+
+(** {1 Checked factorization}
+
+    [Result]-returning variants of the LU entry points; these guard the
+    structured evaluator's fast path and never raise on numerical
+    failure. *)
+
+(** [lu_decompose_checked ?max_cond ~context a ws] factors [a] in place
+    and returns its condition estimate, or
+    [Error (Singular _)] when a pivot is exactly zero, the pivot
+    diagonal is degenerate, or the estimate exceeds [max_cond]
+    (default {!Robust.Config.get_max_cond}), or
+    [Error (Non_finite _)] when a NaN/infinity reached the factors.
+    On [Error] the contents of [a] are unspecified. *)
+val lu_decompose_checked :
+  ?max_cond:float ->
+  context:string ->
+  t ->
+  lu_ws ->
+  (float, Robust.Pllscope_error.t) result
+
+(** [lu_solve_checked a ws b ~context] — [b := a⁻¹·b] plus a finiteness
+    scan of the result. *)
+val lu_solve_checked :
+  t -> lu_ws -> t -> context:string -> (unit, Robust.Pllscope_error.t) result
+
 (** {1 Lossless converters} *)
 
 val of_cmat : Cmat.t -> t

@@ -199,6 +199,42 @@ let mapi ?chunk pool f a =
 
 let map ?chunk pool f a = mapi ?chunk pool (fun _ x -> f x) a
 
+(* One task under the retry policy. Retries happen in-lane, per index,
+   before the lane moves on — the schedule never observes a failure, so
+   the bit-identical-at-any-pool-size guarantee of [run_indices] carries
+   over to every lane that eventually succeeds. *)
+let run_one ~retries ~task f x =
+  let rec attempt k =
+    match
+      if Robust.Inject.fire Robust.Inject.Pool_task then
+        failwith "Pool.map_checked: injected pool-task fault"
+      else f x
+    with
+    | v -> Ok v
+    | exception e ->
+        if k < retries then begin
+          Robust.Stats.record_retry ();
+          attempt (k + 1)
+        end
+        else begin
+          Robust.Stats.record_worker_failure ();
+          Error
+            (Robust.Pllscope_error.Worker_failure
+               { task; attempts = k + 1; last = Printexc.to_string e })
+        end
+  in
+  attempt 0
+
+let map_checked ?chunk ?(retries = 2) pool f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    run_indices ?chunk pool n (fun i ->
+        out.(i) <- Some (run_one ~retries ~task:i f a.(i)));
+    extract out
+  end
+
 let init ?chunk pool n f =
   if n < 0 then invalid_arg "Pool.init: negative size";
   if n = 0 then [||]

@@ -61,6 +61,21 @@ val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** [mapi ?chunk pool f a] — indexed variant of {!map}. *)
 val mapi : ?chunk:int -> t -> (int -> 'a -> 'b) -> 'a array -> 'b array
 
+(** [map_checked ?retries pool f a] — like {!map}, but a task that
+    raises is retried in-lane up to [retries] times (default 2) before
+    its slot becomes [Error (Worker_failure _)]; other tasks are
+    unaffected and the sweep always completes. Retries happen inside the
+    owning lane before it advances, so surviving slots are bit-identical
+    to a fully clean run at any pool size. Retries and exhausted tasks
+    are counted in {!Robust.Stats}. *)
+val map_checked :
+  ?chunk:int ->
+  ?retries:int ->
+  t ->
+  ('a -> 'b) ->
+  'a array ->
+  ('b, Robust.Pllscope_error.t) result array
+
 (** [init ?chunk pool n f] — [Array.init n f] with the same guarantees
     as {!map}. *)
 val init : ?chunk:int -> t -> int -> (int -> 'b) -> 'b array

@@ -7,6 +7,37 @@ let map_list ?pool ?chunk f l =
 
 let init ?pool ?chunk n f = Pool.init ?chunk (pool_of pool) n f
 
+type 'a partial = {
+  values : 'a option array;
+  failures : (int * Robust.Pllscope_error.t) list;
+  total : int;
+}
+
+let ok_count p = p.total - List.length p.failures
+
+let grid_checked ?pool ?chunk ?retries f a =
+  let results = Pool.map_checked ?chunk ?retries (pool_of pool) f a in
+  let values =
+    Array.map (function Ok v -> Some v | Error _ -> None) results
+  in
+  let failures = ref [] in
+  for i = Array.length results - 1 downto 0 do
+    match results.(i) with
+    | Error e -> failures := (i, e) :: !failures
+    | Ok _ -> ()
+  done;
+  { values; failures = !failures; total = Array.length a }
+
+let pp_partial ppf p =
+  match p.failures with
+  | [] -> Format.fprintf ppf "sweep: %d/%d points ok" p.total p.total
+  | fs ->
+      Format.fprintf ppf "sweep: %d/%d points ok; failed:" (ok_count p) p.total;
+      List.iter
+        (fun (i, e) ->
+          Format.fprintf ppf "@\n  point %d: %s" i (Robust.Pllscope_error.to_string e))
+        fs
+
 let sum ?pool ?chunk n term =
   if n <= 0 then 0.0
   else begin

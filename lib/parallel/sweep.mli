@@ -19,6 +19,32 @@ val map_list : ?pool:Pool.t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [init ?pool ?chunk n f] — [Array.init n f] on the pool. *)
 val init : ?pool:Pool.t -> ?chunk:int -> int -> (int -> 'b) -> 'b array
 
+(** Partial-failure summary of a checked sweep: [values.(i)] is [None]
+    exactly when point [i] failed, [failures] lists those points in
+    ascending index order with their typed errors, and [total] is the
+    grid size. *)
+type 'a partial = {
+  values : 'a option array;
+  failures : (int * Robust.Pllscope_error.t) list;
+  total : int;
+}
+
+val ok_count : 'a partial -> int
+
+(** [grid_checked ?retries f a] — {!grid} through
+    {!Pool.map_checked}: each point is retried in-lane up to [retries]
+    times (default 2) and a failure costs only its own slot. Surviving
+    values are bit-identical to a clean {!grid} run at any pool size. *)
+val grid_checked :
+  ?pool:Pool.t ->
+  ?chunk:int ->
+  ?retries:int ->
+  ('a -> 'b) ->
+  'a array ->
+  'b partial
+
+val pp_partial : Format.formatter -> 'a partial -> unit
+
 (** [sum ?pool ?chunk n term] — [term 0 +. term 1 +. ... +. term (n-1)],
     terms evaluated in parallel, then reduced {b sequentially in index
     order} so the float rounding never depends on the schedule. *)

@@ -1,0 +1,171 @@
+(* Deterministic fault injection for the robustness test harness.
+
+   Production cost is a single [Atomic.get] per guarded site: every
+   [fire] call first reads the global [armed] flag and bails. Sites are
+   armed either programmatically ([configure]) or through the
+   [PLLSCOPE_INJECT] environment variable at module initialisation, so
+   released binaries can be fault-tested without recompilation.
+
+   Spec grammar (comma-separated, e.g. "lu-pivot:2,smat-nan:*"):
+     site:N    fire on the N-th hit of that site only (1-based)
+     site:N+   fire on the N-th hit and every later one
+     site:*    fire on every hit
+     site:~P   fire with probability P per hit, from a seeded stream
+
+   The ~P stream is a splitmix64 generator seeded from
+   [PLLSCOPE_INJECT_SEED] (or [configure ~seed]) and the site index, so
+   a given (seed, hit-ordinal) pair always gives the same verdict. *)
+
+type site = Lu_pivot | Smat_nan | Power_stall | Pool_task
+
+let n_sites = 4
+
+let index = function
+  | Lu_pivot -> 0
+  | Smat_nan -> 1
+  | Power_stall -> 2
+  | Pool_task -> 3
+
+let site_name = function
+  | Lu_pivot -> "lu-pivot"
+  | Smat_nan -> "smat-nan"
+  | Power_stall -> "power-stall"
+  | Pool_task -> "pool-task"
+
+let site_of_name = function
+  | "lu-pivot" -> Lu_pivot
+  | "smat-nan" -> Smat_nan
+  | "power-stall" -> Power_stall
+  | "pool-task" -> Pool_task
+  | s -> invalid_arg (Printf.sprintf "Inject.site_of_name: unknown site %S" s)
+
+type trigger = Never | Always | Nth of int | From of int | Prob of float
+
+let default_seed = 0x1a2b3c4d
+let armed = Atomic.make false
+let specs = Array.make n_sites Never
+let counters = Array.init n_sites (fun _ -> Atomic.make 0)
+
+(* One splitmix64 stream per site; states only advance for ~P specs. *)
+let prng_states = Array.init n_sites (fun _ -> Atomic.make 0L)
+
+let splitmix64 state =
+  let open Int64 in
+  let z = add state 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  (z, logxor z (shift_right_logical z 31))
+
+(* Advance the site's stream and map the draw to [0,1). *)
+let next_uniform i =
+  let rec loop () =
+    let s = Atomic.get prng_states.(i) in
+    let state', out = splitmix64 s in
+    if Atomic.compare_and_set prng_states.(i) s state' then
+      let bits = Int64.shift_right_logical out 11 in
+      Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
+    else loop ()
+  in
+  loop ()
+
+let seed_streams seed =
+  Array.iteri
+    (fun i st -> Atomic.set st (Int64.of_int ((seed * (i + 1)) lxor 0x5DEECE66D)))
+    prng_states
+
+let current_seed = ref default_seed
+
+let reset_counters () =
+  Array.iter (fun c -> Atomic.set c 0) counters;
+  seed_streams !current_seed
+
+let disarm () =
+  Atomic.set armed false;
+  Array.fill specs 0 n_sites Never;
+  current_seed := default_seed;
+  reset_counters ()
+
+let parse_trigger site s =
+  let fail () =
+    invalid_arg
+      (Printf.sprintf "Inject.parse_trigger: bad trigger %S for site %s" s
+         (site_name site))
+  in
+  let len = String.length s in
+  if len = 0 then fail ()
+  else if s = "*" then Always
+  else if s.[0] = '~' then (
+    match float_of_string_opt (String.sub s 1 (len - 1)) with
+    | Some p when p >= 0.0 && p <= 1.0 -> Prob p
+    | _ -> fail ())
+  else
+    let body, from =
+      if s.[len - 1] = '+' then (String.sub s 0 (len - 1), true) else (s, false)
+    in
+    match int_of_string_opt body with
+    | Some n when n >= 1 -> if from then From n else Nth n
+    | _ -> fail ()
+
+let parse_spec spec =
+  String.split_on_char ',' spec
+  |> List.filter_map (fun entry ->
+         let entry = String.trim entry in
+         if entry = "" then None
+         else
+           match String.index_opt entry ':' with
+           | None ->
+               invalid_arg
+                 (Printf.sprintf
+                    "Inject.parse_spec: bad spec entry %S (want site:trigger)"
+                    entry)
+           | Some i ->
+               let site = site_of_name (String.sub entry 0 i) in
+               let trig =
+                 parse_trigger site
+                   (String.sub entry (i + 1) (String.length entry - i - 1))
+               in
+               Some (site, trig))
+
+let configure ?(seed = default_seed) spec =
+  let entries = parse_spec spec in
+  Array.fill specs 0 n_sites Never;
+  List.iter (fun (site, trig) -> specs.(index site) <- trig) entries;
+  current_seed := (if seed = 0 then default_seed else seed);
+  reset_counters ();
+  Atomic.set armed (Array.exists (fun t -> t <> Never) specs)
+
+let enabled () = Atomic.get armed
+let hits site = Atomic.get counters.(index site)
+
+let fire site =
+  if not (Atomic.get armed) then false
+  else
+    let i = index site in
+    let hit = 1 + Atomic.fetch_and_add counters.(i) 1 in
+    match specs.(i) with
+    | Never -> false
+    | Always -> true
+    | Nth n -> hit = n
+    | From n -> hit >= n
+    | Prob p -> next_uniform i < p
+
+(* Environment gating: arm from PLLSCOPE_INJECT at startup so release
+   binaries can be fault-tested. An empty/unset variable costs nothing. *)
+let () =
+  match Sys.getenv_opt "PLLSCOPE_INJECT" with
+  | None | Some "" -> ()
+  | Some spec ->
+      let seed =
+        match Sys.getenv_opt "PLLSCOPE_INJECT_SEED" with
+        | None | Some "" -> default_seed
+        | Some s -> (
+            match int_of_string_opt s with
+            | Some n -> n
+            | None ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Inject.configure: PLLSCOPE_INJECT_SEED is not an \
+                      integer: %S"
+                     s))
+      in
+      configure ~seed spec

@@ -1,0 +1,43 @@
+(** Deterministic, seeded fault injection for robustness testing.
+
+    Guarded kernels call {!fire} at named sites; when the harness is
+    disarmed (the default) that is a single atomic load returning
+    [false], so production paths pay nothing. Arm it programmatically
+    with {!configure}, or via the [PLLSCOPE_INJECT] environment variable
+    (read once at startup; [PLLSCOPE_INJECT_SEED] overrides the seed).
+
+    Spec grammar — comma-separated [site:trigger] entries:
+    - [site:N] — fire on the N-th hit of that site only (1-based);
+    - [site:N+] — fire on the N-th and every subsequent hit;
+    - [site:*] — fire on every hit;
+    - [site:~P] — fire with probability [P] per hit, drawn from a
+      splitmix64 stream seeded per (seed, site), hence reproducible.
+
+    Site names: ["lu-pivot"], ["smat-nan"], ["power-stall"],
+    ["pool-task"]. Example: ["lu-pivot:2,smat-nan:*"]. *)
+
+type site =
+  | Lu_pivot  (** force an LU pivot-breakdown in [Cmatf.lu_decompose]. *)
+  | Smat_nan  (** poison a structured matvec result with a NaN. *)
+  | Power_stall  (** stall the power-iteration update in [Htm]. *)
+  | Pool_task  (** throw inside a [Parallel.Pool] task body. *)
+
+val site_name : site -> string
+
+(** [configure ?seed spec] parses [spec], resets all hit counters, and
+    arms the harness iff [spec] names at least one site. Raises
+    [Invalid_argument] on malformed specs. *)
+val configure : ?seed:int -> string -> unit
+
+(** Disarm all sites and reset counters; restores the zero-cost state. *)
+val disarm : unit -> unit
+
+val enabled : unit -> bool
+
+(** [fire site] — true iff the armed trigger for [site] fires on this
+    hit. Increments the site's hit counter whenever the harness is
+    armed (even if the trigger does not match). *)
+val fire : site -> bool
+
+(** Hits recorded at [site] since the last [configure]/[disarm]. *)
+val hits : site -> int

@@ -1,0 +1,35 @@
+(** Typed errors for the numerical-robustness layer.
+
+    One constructor per guarded failure mode of the solver stack.
+    [_checked] APIs across [Numeric], [Htm_core] and [Parallel] return
+    [(_, t) result]; {!Error} wraps the same payload where an exception
+    is unavoidable (parsers, strict mode). *)
+
+type t =
+  | Singular of { cond_est : float; context : string }
+      (** Ill-conditioned or exactly singular linear algebra.
+          [cond_est] is a 1-norm condition estimate ([infinity] when a
+          pivot was exactly zero); [context] names the operation. *)
+  | Non_convergence of { iters : int; residual : float }
+      (** An iterative method exhausted its budget without meeting its
+          convergence certificate. *)
+  | Non_finite of { where : string }
+      (** A NaN or infinity escaped the kernel named by [where]. *)
+  | Parse of { file : string; line : int; col : int; msg : string }
+      (** Netlist syntax error at [file:line:col] (0-based column). *)
+  | Worker_failure of { task : int; attempts : int; last : string }
+      (** A pool task kept throwing after deterministic retries; [last]
+          is the printed final exception. *)
+
+exception Error of t
+
+(** [raise_ t] raises {!Error}[ t]. *)
+val raise_ : t -> 'a
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** [parse_snippet ~src t] — for a {!Parse} error, the offending source
+    line of [src] with a caret under the offending column; [None] for
+    other constructors or out-of-range lines. *)
+val parse_snippet : src:string -> t -> string option

@@ -1,0 +1,71 @@
+(* Per-run counters of the robustness machinery.
+
+   Counters are atomics: guard sites fire from pool worker domains.
+   [snapshot] is a plain record so callers (the CLI, tests) can diff
+   before/after a run; [reset] starts a fresh run. *)
+
+type t = {
+  dense_fallbacks : int;
+  singular_guards : int;
+  nonfinite_guards : int;
+  non_convergences : int;
+  pool_retries : int;
+  worker_failures : int;
+}
+
+let dense_fallbacks = Atomic.make 0
+let singular_guards = Atomic.make 0
+let nonfinite_guards = Atomic.make 0
+let non_convergences = Atomic.make 0
+let pool_retries = Atomic.make 0
+let worker_failures = Atomic.make 0
+
+let snapshot () =
+  {
+    dense_fallbacks = Atomic.get dense_fallbacks;
+    singular_guards = Atomic.get singular_guards;
+    nonfinite_guards = Atomic.get nonfinite_guards;
+    non_convergences = Atomic.get non_convergences;
+    pool_retries = Atomic.get pool_retries;
+    worker_failures = Atomic.get worker_failures;
+  }
+
+let reset () =
+  Atomic.set dense_fallbacks 0;
+  Atomic.set singular_guards 0;
+  Atomic.set nonfinite_guards 0;
+  Atomic.set non_convergences 0;
+  Atomic.set pool_retries 0;
+  Atomic.set worker_failures 0
+
+let total s =
+  s.dense_fallbacks + s.singular_guards + s.nonfinite_guards
+  + s.non_convergences + s.pool_retries + s.worker_failures
+
+(* Classify the triggering error so the snapshot says *why* the dense
+   oracle was consulted, not just how often. *)
+let record_fallback err =
+  Atomic.incr dense_fallbacks;
+  match (err : Pllscope_error.t) with
+  | Singular _ -> Atomic.incr singular_guards
+  | Non_finite _ -> Atomic.incr nonfinite_guards
+  | Non_convergence _ -> Atomic.incr non_convergences
+  | Parse _ | Worker_failure _ -> ()
+
+let record_guard err =
+  match (err : Pllscope_error.t) with
+  | Singular _ -> Atomic.incr singular_guards
+  | Non_finite _ -> Atomic.incr nonfinite_guards
+  | Non_convergence _ -> Atomic.incr non_convergences
+  | Parse _ | Worker_failure _ -> ()
+
+let record_non_convergence () = Atomic.incr non_convergences
+let record_retry () = Atomic.incr pool_retries
+let record_worker_failure () = Atomic.incr worker_failures
+
+let pp ppf s =
+  Format.fprintf ppf
+    "robust: %d dense fallback(s) (%d singular, %d non-finite, %d \
+     non-convergent), %d pool retry(ies), %d worker failure(s)"
+    s.dense_fallbacks s.singular_guards s.nonfinite_guards s.non_convergences
+    s.pool_retries s.worker_failures

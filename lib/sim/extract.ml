@@ -60,7 +60,17 @@ let correlate pll ~stimulus ~omega_m ~eps ~warmup_periods ~window_periods
   let corr = Cx.mul corr (Cx.cis (-.omega_m *. t_start)) in
   (* the stimulus is eps sin(w t) = Re(-j eps e^{jwt}); goertzel returns
      the complex amplitude Y of Re(Y e^{jwt}), so gain = j Y / eps *)
-  Cx.scale (1.0 /. eps) (Cx.mul Cx.j corr)
+  let gain = Cx.scale (1.0 /. eps) (Cx.mul Cx.j corr) in
+  (* a diverging time march (unstable loop, bad step size) feeds the
+     correlator NaN/inf samples; report that as a typed error rather
+     than letting the bogus gain flow into a comparison table *)
+  if
+    Robust.Config.guards_enabled ()
+    && not (Float.is_finite (Cx.re gain) && Float.is_finite (Cx.im gain))
+  then
+    Robust.Pllscope_error.raise_
+      (Non_finite { where = "Sim.Extract.correlate: measured gain" });
+  gain
 
 let check_args ~harmonic ~window_periods =
   if harmonic < 1 then invalid_arg "Extract.measure_h00: harmonic >= 1";

@@ -1,0 +1,17 @@
+[@@@lint.allow "mli-coverage"]
+
+(* Seeded catch-all handler violations (rule applies under --lib-prefix). *)
+
+let wildcard f x = try f x with _ -> 0
+let unused_binder f x = try f x with e -> 0
+let match_exception f x = match f x with y -> y | exception _ -> 0
+
+(* Handlers that discriminate or re-raise must stay silent. *)
+let specific f x = try f x with Not_found -> 0
+let reraise f x = try f x with e -> raise e
+let inspects f x = try f x with e -> String.length (Printexc.to_string e)
+let guarded f x = try f x with e when x > 0 -> 0
+let payload f x = try f x with Failure _ -> 0
+
+(* Annotated escape hatch must stay silent. *)
+let allowed f x = (try f x with _ -> 0) [@lint.allow "catch-all"]

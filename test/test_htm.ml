@@ -190,7 +190,17 @@ let test_max_singular_rank_one_stall () =
   check_close ~tol:1e-8 "rank-one sigma recovered" expected sv;
   (* the result is deterministic: same seed, same value *)
   check_true "seeded start is deterministic"
-    (sv = Htm.max_singular_value ctx1 h 0.4)
+    (sv = Htm.max_singular_value ctx1 h 0.4);
+  (* the checked API must certify convergence on the same problem *)
+  match Htm.max_singular_value_checked ctx1 h 0.4 with
+  | Ok cert ->
+      check_true "certificate converged" cert.Htm.converged;
+      check_true "certificate residual within tolerance"
+        (cert.Htm.residual <= 1e-10 *. (1.0 +. cert.Htm.sigma));
+      check_close ~tol:1e-8 "certified sigma matches" expected cert.Htm.sigma
+  | Error e ->
+      Alcotest.failf "unexpected non-convergence: %s"
+        (Robust.Pllscope_error.to_string e)
 
 let test_max_singular_bounds_baseband () =
   (* sigma_max of a multiplier dominates any single element *)

@@ -59,19 +59,20 @@ R1 3 0 50
   check_int "extra unknowns (L + E)" 2 (Netlist.extra_unknowns n)
 
 let test_errors () =
+  let open Robust.Pllscope_error in
   (match Parse.netlist "R1 1 2" with
-  | exception Parse.Parse_error { line = 1; message } ->
-      check_true "mentions fields" (String.length message > 0)
+  | exception Error (Parse { line = 1; col = 0; msg; _ }) ->
+      check_true "mentions fields" (String.length msg > 0)
   | _ -> Alcotest.fail "expected parse error");
   (match Parse.netlist "X1 1 2 3" with
-  | exception Parse.Parse_error { line = 1; _ } -> ()
+  | exception Error (Parse { line = 1; _ }) -> ()
   | _ -> Alcotest.fail "unknown element must fail");
   (match Parse.netlist "R1 1 2 -5" with
-  | exception Parse.Parse_error { line = 0; _ } -> ()
+  | exception Error (Parse { line = 0; _ }) -> ()
   | _ -> Alcotest.fail "negative resistance must fail");
   match Parse.netlist "\n\nC4 a 0 1n" with
-  | exception Parse.Parse_error { line = 3; message } ->
-      check_true "bad node reported" (String.length message > 0)
+  | exception Error (Parse { line = 3; col = 3; msg; _ }) ->
+      check_true "bad node reported" (String.length msg > 0)
   | _ -> Alcotest.fail "bad node must fail"
 
 let test_comments_and_blanks () =

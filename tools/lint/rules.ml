@@ -21,6 +21,7 @@ let rule_pool_purity = "pool-purity"
 let rule_nondet = "nondeterminism"
 let rule_mli = "mli-coverage"
 let rule_prefix = "error-message-prefix"
+let rule_catch_all = "catch-all"
 
 let all_rules =
   [
@@ -34,6 +35,8 @@ let all_rules =
     (rule_mli, "every lib/**/*.ml must have a matching .mli");
     ( rule_prefix,
       "invalid_arg/failwith messages must start with 'Module.function: '" );
+    ( rule_catch_all,
+      "exception handlers under lib/ that silently swallow every exception" );
   ]
 
 type ctx = {
@@ -515,6 +518,79 @@ let check_prefix ctx e =
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* catch-all                                                           *)
+
+(* Does [e] reference the unqualified identifier [name]? Shadowing makes
+   this an over-approximation of "the binder is used", which errs toward
+   silence — the right direction for a gate. *)
+let uses_ident name e =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt = Longident.Lident n; _ }
+            when String.equal n name ->
+              found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it e;
+  !found
+
+(* [Some None] for a wildcard, [Some (Some name)] for a bare variable
+   binder, [None] for anything discriminating. *)
+let rec pat_catch_all p =
+  match p.ppat_desc with
+  | Ppat_any -> Some None
+  | Ppat_var { txt; _ } -> Some (Some txt)
+  | Ppat_alias (inner, { txt; _ }) -> (
+      match pat_catch_all inner with Some _ -> Some (Some txt) | None -> None)
+  | _ -> None
+
+(* A handler matching every exception hides injected faults,
+   Out_of_memory and genuine bugs alike. Flag [try ... with _ ->] and
+   handlers whose binder the body never looks at; a guard ([when ...])
+   makes the case discriminating, so guarded cases pass. *)
+let check_catch_all ctx e =
+  if ctx.in_lib then begin
+    let check_case ~unwrap (case : case) =
+      if Option.is_none case.pc_guard then
+        let p = unwrap case.pc_lhs in
+        match p with
+        | None -> ()
+        | Some p -> (
+            match pat_catch_all p with
+            | Some None ->
+                report ctx rule_catch_all p.ppat_loc
+                  "catch-all handler 'with _ ->' swallows every exception \
+                   (including Out_of_memory and injected faults); match the \
+                   exceptions you expect or re-raise"
+            | Some (Some name) when not (uses_ident name case.pc_rhs) ->
+                report ctx rule_catch_all p.ppat_loc
+                  (Printf.sprintf
+                     "handler binds '%s' but never uses it, silently \
+                      swallowing every exception; match the exceptions you \
+                      expect or re-raise"
+                     name)
+            | _ -> ())
+    in
+    match e.pexp_desc with
+    | Pexp_try (_, cases) -> List.iter (check_case ~unwrap:Option.some) cases
+    | Pexp_match (_, cases) ->
+        List.iter
+          (check_case ~unwrap:(fun p ->
+               match p.ppat_desc with
+               | Ppat_exception inner -> Some inner
+               | _ -> None))
+          cases
+    | _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
 (* mli-coverage (filesystem side; file-level suppression honoured)     *)
 
 let check_mli ctx =
@@ -553,6 +629,7 @@ let lint_structure ctx structure =
           check_pool_call ctx e;
           check_nondet ctx e;
           check_prefix ctx e;
+          check_catch_all ctx e;
           Ast_iterator.default_iterator.expr self e;
           ctx.stack <- List.tl ctx.stack);
       value_binding =
