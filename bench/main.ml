@@ -153,7 +153,6 @@ let run_parallel_bench () =
         (Parallel.Pool.speedup st))
     runs;
   Format.printf "bit-identical outputs across pool sizes: %b@." bit_identical;
-  let oc = open_out "BENCH_parallel.json" in
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b "  \"benchmark\": \"exp_fig4 pulse-vs-impulse sweep\",\n";
@@ -182,8 +181,7 @@ let run_parallel_bench () =
   Buffer.add_string b
     (Printf.sprintf "  \"bit_identical\": %b\n" bit_identical);
   Buffer.add_string b "}\n";
-  output_string oc (Buffer.contents b);
-  close_out oc;
+  Runner.Atomic_file.write_string "BENCH_parallel.json" (Buffer.contents b);
   Format.printf "wrote BENCH_parallel.json@."
 
 (* Structured vs dense HTM kernels: times Htm.to_matrix (Smat shapes,
@@ -244,7 +242,6 @@ let run_kernel_bench () =
         (n_harm, Htm_core.Htm.dim ctx, dense_ns, struct_ns, dense_b, struct_b))
       [ 10; 20; 40; 80 ]
   in
-  let oc = open_out "BENCH_kernels.json" in
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b
@@ -265,8 +262,7 @@ let run_kernel_bench () =
     rows;
   Buffer.add_string b "  ]\n";
   Buffer.add_string b "}\n";
-  output_string oc (Buffer.contents b);
-  close_out oc;
+  Runner.Atomic_file.write_string "BENCH_kernels.json" (Buffer.contents b);
   Format.printf "wrote BENCH_kernels.json@."
 
 (* Robustness-guard overhead: times the guarded structured evaluator
@@ -326,7 +322,6 @@ let run_robust_bench () =
   in
   let fallbacks = (Robust.Stats.snapshot ()).Robust.Stats.dense_fallbacks in
   Format.printf "dense fallbacks during the benchmark: %d@." fallbacks;
-  let oc = open_out "BENCH_robust.json" in
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b
@@ -347,9 +342,94 @@ let run_robust_bench () =
     rows;
   Buffer.add_string b "  ]\n";
   Buffer.add_string b "}\n";
-  output_string oc (Buffer.contents b);
-  close_out oc;
+  Runner.Atomic_file.write_string "BENCH_robust.json" (Buffer.contents b);
   Format.printf "wrote BENCH_robust.json@."
+
+(* Crash-safe runner overhead: the same checked ratio sweep run bare
+   (Sweep.grid_checked) and through Run.grid with a checkpoint journal
+   and an armed watchdog — i.e. the full crash-safety tax. Per-frame
+   journaling adds a Marshal encode + one mutexed write(2) per point,
+   which must stay < 5% of a realistic per-point analysis. Emitted as
+   BENCH_runner.json for CI tracking. *)
+let run_runner_bench () =
+  Format.printf "@.== Crash-safe runner: journal and watchdog overhead ==@.";
+  let n_points = 96 in
+  let ratios =
+    Array.init n_points (fun i ->
+        0.02 +. (0.46 *. float_of_int i /. float_of_int (n_points - 1)))
+  in
+  let task ratio =
+    let sub = Pll_lib.Design.with_ratio spec ratio in
+    let p = Pll_lib.Design.synthesize sub in
+    Pll_lib.Analysis.effective_report p
+  in
+  let ckpt = Filename.temp_file "pllscope_bench" ".ckpt" in
+  let codec = Runner.Run.marshal_codec () in
+  let plain () = ignore (Parallel.Sweep.grid_checked task ratios) in
+  (* journal only: the per-point Marshal + mutexed write(2) plus the
+     fixed open/fsync/close — the cost every checkpointed sweep pays.
+     Fresh run each repetition: Run.grid discards the stale journal
+     when resume is off. *)
+  let journaled () = ignore (Runner.Run.grid ~checkpoint:ckpt ~codec task ratios) in
+  (* journal + armed watchdog: adds the watchdog registration and the
+     per-task slot bookkeeping *)
+  let watched () =
+    ignore (Runner.Run.grid ~task_timeout:60.0 ~checkpoint:ckpt ~codec task ratios)
+  in
+  (* The three configurations are timed in interleaved rounds and
+     compared by median: CPU clocks drift over a run, so timing each
+     config in its own block would bill the drift to whichever config
+     ran last. *)
+  let configs = [| plain; journaled; watched |] in
+  let rounds = 7 in
+  let samples = Array.make_matrix (Array.length configs) rounds 0.0 in
+  Array.iter (fun f -> f ()) configs;
+  (* warmup *)
+  for r = 0 to rounds - 1 do
+    Array.iteri
+      (fun i f ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        samples.(i).(r) <- Unix.gettimeofday () -. t0)
+      configs
+  done;
+  let median xs =
+    let s = Array.copy xs in
+    Array.sort compare s;
+    s.(Array.length s / 2)
+  in
+  let plain_s = median samples.(0) in
+  let journaled_s = median samples.(1) in
+  let watched_s = median samples.(2) in
+  (try Sys.remove ckpt with Sys_error _ -> ());
+  let journal_pct = ((journaled_s /. plain_s) -. 1.0) *. 100.0 in
+  let watchdog_pct = ((watched_s /. plain_s) -. 1.0) *. 100.0 in
+  Format.printf
+    "  checked sweep, %d points: plain %8.4f s  +journal %8.4f s \
+     (%+.2f%%)  +journal+watchdog %8.4f s (%+.2f%%)@."
+    n_points plain_s journaled_s journal_pct watched_s watchdog_pct;
+  Format.printf "journal overhead acceptance (< 5%%): %s@."
+    (if journal_pct < 5.0 then "pass" else "FAIL");
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    "  \"benchmark\": \"checked ratio sweep: plain vs checkpoint journal vs \
+     journal + watchdog\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"points\": %d,\n" n_points);
+  Buffer.add_string b (Printf.sprintf "  \"plain_seconds\": %.6f,\n" plain_s);
+  Buffer.add_string b
+    (Printf.sprintf "  \"journaled_seconds\": %.6f,\n" journaled_s);
+  Buffer.add_string b
+    (Printf.sprintf "  \"journal_watchdog_seconds\": %.6f,\n" watched_s);
+  Buffer.add_string b
+    (Printf.sprintf "  \"journal_overhead_pct\": %.2f,\n" journal_pct);
+  Buffer.add_string b
+    (Printf.sprintf "  \"journal_watchdog_overhead_pct\": %.2f,\n" watchdog_pct);
+  Buffer.add_string b
+    (Printf.sprintf "  \"journal_overhead_pass\": %b\n" (journal_pct < 5.0));
+  Buffer.add_string b "}\n";
+  Runner.Atomic_file.write_string "BENCH_runner.json" (Buffer.contents b);
+  Format.printf "wrote BENCH_runner.json@."
 
 let bench_sim_period =
   Test.make ~name:"kernel: behavioral simulation (10 periods)"
@@ -424,6 +504,7 @@ let () =
   | "parallel" -> run_parallel_bench ()
   | "kernels" -> run_kernel_bench ()
   | "robust" -> run_robust_bench ()
+  | "runner" -> run_runner_bench ()
   | ("2" | "4" | "5" | "6" | "7" | "perf" | "xchk" | "ablation" | "isf" | "nonideal" | "pfd" | "noise" | "fractional") as f ->
       run_figures f
   | "all" ->
@@ -431,9 +512,10 @@ let () =
       run_benchmarks ();
       run_parallel_bench ();
       run_kernel_bench ();
-      run_robust_bench ()
+      run_robust_bench ();
+      run_runner_bench ()
   | other ->
       Format.printf
-        "unknown argument %s (want 2|4|5|6|7|perf|xchk|ablation|isf|nonideal|pfd|noise|fractional|bench|parallel|kernels|robust|all)@."
+        "unknown argument %s (want 2|4|5|6|7|perf|xchk|ablation|isf|nonideal|pfd|noise|fractional|bench|parallel|kernels|robust|runner|all)@."
         other;
       exit 1

@@ -46,9 +46,12 @@ let spec_term =
 
 let pp = Format.std_formatter
 
-(* Robustness plumbing shared by the analysis subcommands: --strict
-   turns guarded fallbacks into hard failures, and any degradation
-   events that did happen are summarized after the run. *)
+(* Robustness plumbing shared by every subcommand: --strict turns
+   guarded fallbacks into hard failures, the per-run counters and the
+   global cancellation token are reset at subcommand start (back-to-back
+   runs in one process must not leak state), and any degradation events
+   that did happen are summarized after the run. A run cancelled by a
+   signal or a --deadline exits with a distinct code (130 / 124). *)
 let strict_term =
   let doc =
     "Fail fast when a numerical guard fires instead of degrading to the \
@@ -56,16 +59,44 @@ let strict_term =
   in
   Arg.(value & flag & info [ "strict" ] ~doc)
 
-let with_robust strict f =
+let deadline_term =
+  let doc =
+    "Cancel the run after $(docv) seconds of wall-clock time. In-flight \
+     sweep chunks drain cleanly (checkpoints stay consistent) and the \
+     exit code is 124."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECS" ~doc)
+
+let with_robust ?deadline strict f =
   Robust.Config.set_strict strict;
   Robust.Stats.reset ();
-  (match f () with
-  | () -> ()
-  | exception Robust.Pllscope_error.Error e ->
-      Format.fprintf pp "error: %s@." (Robust.Pllscope_error.to_string e);
-      exit 1);
+  Parallel.Cancel.reset_global ();
+  let body () =
+    match deadline with
+    | Some s -> Parallel.Cancel.with_deadline ~seconds:s f
+    | None -> f ()
+  in
+  (match
+     Runner.Shutdown.run_quiet_epipe (fun () ->
+         match body () with
+         | () -> ()
+         | exception Robust.Pllscope_error.Error e ->
+             Format.fprintf pp "error: %s@." (Robust.Pllscope_error.to_string e);
+             exit 1
+         | exception Parallel.Cancel.Cancelled r ->
+             Format.fprintf pp "cancelled: %s@."
+               (Parallel.Cancel.reason_to_string r);
+             exit (Runner.Shutdown.exit_code_of_reason r))
+   with
+  | Some code -> exit code (* downstream closed the pipe: quiet success *)
+  | None -> ());
   let s = Robust.Stats.snapshot () in
-  if Robust.Stats.total s > 0 then Format.fprintf pp "%a@." Robust.Stats.pp s
+  if Robust.Stats.total s > 0 then Format.fprintf pp "%a@." Robust.Stats.pp s;
+  (* checked sweeps report cancellation as a typed partial instead of
+     raising; the exit code must still be the distinct one *)
+  match Parallel.Cancel.get (Parallel.Cancel.global ()) with
+  | Some r -> exit (Runner.Shutdown.exit_code_of_reason r)
+  | None -> ()
 
 let analyze_cmd =
   let run spec strict =
@@ -125,12 +156,71 @@ let bode_cmd =
   Cmd.v (Cmd.info "bode" ~doc) Term.(const run $ spec_term $ points $ strict_term)
 
 let sweep_cmd =
-  let run spec strict =
-    with_robust strict @@ fun () ->
-    Experiments.Exp_fig7.print pp (Experiments.Exp_fig7.compute ~spec ())
+  let points =
+    let doc =
+      "Number of ratio points, linearly spaced over [0.02, 0.5] (default: \
+       the 12 paper ratios)."
+    in
+    Arg.(value & opt (some int) None & info [ "points" ] ~docv:"N" ~doc)
   in
-  let doc = "Ratio sweep (Fig. 7 quantities)" in
-  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ spec_term $ strict_term)
+  let checkpoint =
+    let doc =
+      "Append each computed point to a crash-safe journal at $(docv); an \
+       interrupted run can be completed with --resume."
+    in
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"PATH" ~doc)
+  in
+  let resume =
+    let doc =
+      "Replay the --checkpoint journal and recompute only the missing \
+       points. The completed sweep is bit-identical to an uninterrupted one."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let task_timeout =
+    let doc =
+      "Per-point watchdog timeout in seconds; an overrunning point becomes \
+       a typed timed-out failure instead of hanging the sweep."
+    in
+    Arg.(value & opt (some float) None & info [ "task-timeout" ] ~docv:"SECS" ~doc)
+  in
+  let run spec points checkpoint resume deadline task_timeout strict =
+    if resume && checkpoint = None then begin
+      Format.fprintf pp "error: --resume requires --checkpoint@.";
+      exit 1
+    end;
+    with_robust ?deadline strict @@ fun () ->
+    let ratios =
+      match points with
+      | None -> Array.of_list Experiments.Exp_fig7.default_ratios
+      | Some n when n >= 2 ->
+          Array.init n (fun i ->
+              0.02 +. ((0.5 -. 0.02) *. float_of_int i /. float_of_int (n - 1)))
+      | Some _ ->
+          Format.fprintf pp "error: --points must be >= 2@.";
+          exit 1
+    in
+    let task ratio =
+      match Pll_lib.Analysis.ratio_sweep spec [ ratio ] with
+      | [ row ] -> row
+      | _ -> assert false
+    in
+    let partial =
+      Runner.Run.grid ?task_timeout ?checkpoint ~resume
+        ~codec:(Runner.Run.marshal_codec ()) task ratios
+    in
+    let rows =
+      Array.to_list partial.Parallel.Sweep.values |> List.filter_map Fun.id
+    in
+    Experiments.Exp_fig7.print pp rows;
+    if partial.Parallel.Sweep.failures <> [] then
+      Format.fprintf pp "%a@." Parallel.Sweep.pp_partial partial
+  in
+  let doc = "Ratio sweep (Fig. 7 quantities), checkpointable and resumable" in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(
+      const run $ spec_term $ points $ checkpoint $ resume $ deadline_term
+      $ task_timeout $ strict_term)
 
 let fig_cmd =
   let which =
@@ -139,8 +229,8 @@ let fig_cmd =
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FIG" ~doc)
   in
-  let run which strict =
-    with_robust strict @@ fun () ->
+  let run which deadline strict =
+    with_robust ?deadline strict @@ fun () ->
     match which with
     | "2" -> Experiments.Exp_fig2.run ()
     | "4" -> Experiments.Exp_fig4.run ()
@@ -172,7 +262,8 @@ let fig_cmd =
     | other -> Format.fprintf pp "unknown figure %s@." other
   in
   let doc = "Regenerate a paper figure" in
-  Cmd.v (Cmd.info "fig" ~doc) Term.(const run $ which $ strict_term)
+  Cmd.v (Cmd.info "fig" ~doc)
+    Term.(const run $ which $ deadline_term $ strict_term)
 
 let sim_cmd =
   let offset =
@@ -183,6 +274,7 @@ let sim_cmd =
     Arg.(value & opt int 400 & info [ "periods" ] ~docv:"N" ~doc:"Reference periods to simulate.")
   in
   let run spec offset periods =
+    with_robust false @@ fun () ->
     let p = Pll_lib.Design.synthesize spec in
     let record = Sim.Transient.acquisition p ~freq_offset:offset ~periods () in
     let period = Pll_lib.Pll.period p in
@@ -277,6 +369,8 @@ let netlist_cmd =
     Term.(const run $ spec_term $ file $ sense $ strict_term)
 
 let () =
+  Runner.Shutdown.ignore_sigpipe ();
+  Runner.Shutdown.install_handlers ();
   let doc = "time-varying frequency-domain PLL analysis (HTM formalism)" in
   let info = Cmd.info "pllscope" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info

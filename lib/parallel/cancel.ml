@@ -1,0 +1,72 @@
+(* Cooperative cancellation tokens for long-running sweeps.
+
+   A token is a single atomic cell holding the first cancellation
+   reason; lanes poll it at chunk boundaries (Pool.run_indices), so a
+   cancelled run drains cleanly: chunks already claimed finish, no new
+   chunks start, and the caller gets either a typed partial
+   (checked sweeps) or a [Cancelled] exception (plain sweeps).
+
+   The [global] token is the ambient one every pool map checks when no
+   explicit token is given. CLI deadline monitors and signal handlers
+   cancel it; [reset_global] starts a fresh run. *)
+
+type reason = Deadline of float | Signal of int | User of string
+
+exception Cancelled of reason
+
+let reason_to_string = function
+  | Deadline s -> Printf.sprintf "deadline of %g s exceeded" s
+  | Signal n ->
+      let name =
+        if n = Sys.sigint then "SIGINT"
+        else if n = Sys.sigterm then "SIGTERM"
+        else Printf.sprintf "signal %d" n
+      in
+      Printf.sprintf "interrupted by %s" name
+  | User s -> s
+
+type t = { cell : reason option Atomic.t }
+
+let create () = { cell = Atomic.make None }
+
+(* First cancellation wins; later ones keep the original reason so the
+   exit path reports what actually stopped the run. *)
+let cancel t r = ignore (Atomic.compare_and_set t.cell None (Some r))
+let get t = Atomic.get t.cell
+let is_cancelled t = Atomic.get t.cell <> None
+
+let check t =
+  match Atomic.get t.cell with None -> () | Some r -> raise (Cancelled r)
+
+let global_token = { cell = Atomic.make None }
+let global () = global_token
+let reset_global () = Atomic.set global_token.cell None
+
+(* Wall-clock reads below only decide *when* to stop issuing new
+   chunks; they never feed computed values, so sweep results stay
+   bit-identical whether or not a deadline is armed. *)
+let now () = (Unix.gettimeofday () [@lint.allow "nondeterminism"])
+
+let with_deadline ?token ~seconds f =
+  if not (seconds > 0.0) then
+    invalid_arg "Cancel.with_deadline: seconds must be > 0";
+  let token = match token with Some t -> t | None -> global_token in
+  let stop = Atomic.make false in
+  let t_end = now () +. seconds in
+  let monitor =
+    Domain.spawn (fun () ->
+        let rec loop () =
+          if (not (Atomic.get stop)) && not (is_cancelled token) then
+            if now () >= t_end then cancel token (Deadline seconds)
+            else begin
+              Unix.sleepf (Stdlib.min 0.02 (Stdlib.max 0.001 (t_end -. now ())));
+              loop ()
+            end
+        in
+        loop ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join monitor)
+    f

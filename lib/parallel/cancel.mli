@@ -1,0 +1,56 @@
+(** Cooperative cancellation tokens for long-running sweeps.
+
+    A token carries at most one cancellation {!reason} (the first one
+    wins). {!Pool} lanes poll the token {b at chunk boundaries}: a
+    cancelled run drains cleanly — chunks already claimed finish, no new
+    chunks start. Plain maps ({!Pool.map}, {!Sweep.grid}) then raise
+    {!Cancelled}; checked maps return the unexecuted points as typed
+    [Cancelled] errors in their partial summary, so everything computed
+    before the cancellation is preserved (and, with a checkpoint
+    journal, already on disk).
+
+    When no explicit token is passed, pool maps watch the process-wide
+    {!global} token — the one CLI signal handlers and [--deadline]
+    monitors cancel — so cancellation reaches every sweep in the
+    process without threading a token through each call site. *)
+
+type reason =
+  | Deadline of float  (** run-level deadline of [s] seconds expired *)
+  | Signal of int  (** asynchronous signal (e.g. [Sys.sigint]) *)
+  | User of string  (** caller-supplied reason *)
+
+exception Cancelled of reason
+
+val reason_to_string : reason -> string
+
+type t
+
+val create : unit -> t
+
+(** [cancel t r] — request cancellation. The first reason is kept;
+    subsequent calls are no-ops. Async-signal-safe (a single atomic
+    store), so it may be called from a [Sys.Signal_handle]. *)
+val cancel : t -> reason -> unit
+
+val get : t -> reason option
+val is_cancelled : t -> bool
+
+(** [check t] — raise {!Cancelled} iff [t] is cancelled. Call this from
+    long-running task bodies that want to honour cancellation at a finer
+    grain than chunk boundaries. *)
+val check : t -> unit
+
+(** The ambient token consulted by pool maps when no explicit
+    [?cancel] is given. *)
+val global : unit -> t
+
+(** Clear the {!global} token for a fresh run (CLI subcommand start,
+    test setup). *)
+val reset_global : unit -> unit
+
+(** [with_deadline ?token ~seconds f] — run [f ()] with a monitor
+    domain that cancels [token] (default {!global}) with
+    [Deadline seconds] once [seconds] of wall-clock time have elapsed.
+    The monitor is stopped and joined when [f] returns or raises.
+    Raises [Invalid_argument] if [seconds <= 0]. *)
+val with_deadline : ?token:t -> seconds:float -> (unit -> 'a) -> 'a

@@ -16,7 +16,15 @@
     Exceptions raised by the mapped function are caught in the worker,
     the sweep is cancelled (remaining chunks are skipped), and the first
     exception is re-raised in the caller with its backtrace. The pool
-    stays usable afterwards. *)
+    stays usable afterwards.
+
+    Every map also polls a {!Cancel.t} token (the explicit [?cancel]
+    argument, or else {!Cancel.global}) before claiming each chunk, so
+    deadlines and signal handlers drain a sweep cleanly: in-flight
+    chunks finish, unclaimed ones never start. Plain maps raise
+    {!Cancel.Cancelled} when that leaves the result incomplete;
+    {!map_checked} instead returns the skipped points as typed
+    [Cancelled] errors. *)
 
 type t
 
@@ -52,33 +60,55 @@ val default : unit -> t
 (** Number of lanes (worker domains + caller). *)
 val size : t -> int
 
-(** [map ?chunk pool f a] — [Array.map f a], computed by all lanes in
-    chunks of [chunk] indices (default: balanced across lanes, at most
-    32 items). Output ordering and values are independent of pool size
-    and scheduling. *)
-val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ?chunk ?cancel pool f a] — [Array.map f a], computed by all
+    lanes in chunks of [chunk] indices (default: balanced across lanes,
+    at most 32 items). Output ordering and values are independent of
+    pool size and scheduling. Raises {!Cancel.Cancelled} if [cancel]
+    (default {!Cancel.global}) is cancelled before every chunk ran. *)
+val map : ?chunk:int -> ?cancel:Cancel.t -> t -> ('a -> 'b) -> 'a array -> 'b array
 
-(** [mapi ?chunk pool f a] — indexed variant of {!map}. *)
-val mapi : ?chunk:int -> t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** [mapi ?chunk ?cancel pool f a] — indexed variant of {!map}. *)
+val mapi :
+  ?chunk:int -> ?cancel:Cancel.t -> t -> (int -> 'a -> 'b) -> 'a array -> 'b array
 
-(** [map_checked ?retries pool f a] — like {!map}, but a task that
-    raises is retried in-lane up to [retries] times (default 2) before
-    its slot becomes [Error (Worker_failure _)]; other tasks are
-    unaffected and the sweep always completes. Retries happen inside the
-    owning lane before it advances, so surviving slots are bit-identical
-    to a fully clean run at any pool size. Retries and exhausted tasks
-    are counted in {!Robust.Stats}. *)
+(** [map_checked ?retries ?cancel ?task_timeout pool f a] — like {!map},
+    but a task that raises is retried in-lane up to [retries] times
+    (default 2) before its slot becomes [Error (Worker_failure _)];
+    other tasks are unaffected and the sweep always completes. Retries
+    happen inside the owning lane before it advances, so surviving slots
+    are bit-identical to a fully clean run at any pool size. Retries and
+    exhausted tasks are counted in {!Robust.Stats}.
+
+    [task_timeout] (seconds, > 0) arms a watchdog: a monitor domain
+    marks any attempt running longer than the bound as overdue, the task
+    is abandoned at its next poll point ({!poll}, or the cooperative
+    hang of the [task-hang] injection site), and its slot becomes
+    [Error (Timed_out _)] without retrying — the timeout payload carries
+    the configured bound, not a wall-clock measurement, so results stay
+    deterministic. Cancellation mid-map turns never-claimed points into
+    [Error (Cancelled _)] slots instead of raising, so everything
+    computed is still returned. *)
 val map_checked :
   ?chunk:int ->
   ?retries:int ->
+  ?cancel:Cancel.t ->
+  ?task_timeout:float ->
   t ->
   ('a -> 'b) ->
   'a array ->
   ('b, Robust.Pllscope_error.t) result array
 
-(** [init ?chunk pool n f] — [Array.init n f] with the same guarantees
-    as {!map}. *)
-val init : ?chunk:int -> t -> int -> (int -> 'b) -> 'b array
+(** [init ?chunk ?cancel pool n f] — [Array.init n f] with the same
+    guarantees as {!map}. *)
+val init : ?chunk:int -> ?cancel:Cancel.t -> t -> int -> (int -> 'b) -> 'b array
+
+(** [poll ()] — cooperative watchdog check for long task bodies: raises
+    an internal timeout signal iff the calling task runs under
+    [map_checked ~task_timeout] and the watchdog has marked the current
+    attempt overdue. The raise is caught by the pool and surfaces as
+    that task's [Error (Timed_out _)] slot. A no-op (one domain-local
+    read) everywhere else. *)
+val poll : unit -> unit
 
 (** Snapshot of the cumulative counters. *)
 val stats : t -> stats

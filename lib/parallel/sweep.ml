@@ -15,8 +15,10 @@ type 'a partial = {
 
 let ok_count p = p.total - List.length p.failures
 
-let grid_checked ?pool ?chunk ?retries f a =
-  let results = Pool.map_checked ?chunk ?retries (pool_of pool) f a in
+let grid_checked ?pool ?chunk ?retries ?cancel ?task_timeout f a =
+  let results =
+    Pool.map_checked ?chunk ?retries ?cancel ?task_timeout (pool_of pool) f a
+  in
   let values =
     Array.map (function Ok v -> Some v | Error _ -> None) results
   in

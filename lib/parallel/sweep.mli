@@ -31,14 +31,19 @@ type 'a partial = {
 
 val ok_count : 'a partial -> int
 
-(** [grid_checked ?retries f a] — {!grid} through
+(** [grid_checked ?retries ?cancel ?task_timeout f a] — {!grid} through
     {!Pool.map_checked}: each point is retried in-lane up to [retries]
     times (default 2) and a failure costs only its own slot. Surviving
-    values are bit-identical to a clean {!grid} run at any pool size. *)
+    values are bit-identical to a clean {!grid} run at any pool size.
+    [cancel] and [task_timeout] behave as in {!Pool.map_checked}:
+    cancelled points and watchdog timeouts surface as typed failures in
+    the partial summary rather than exceptions. *)
 val grid_checked :
   ?pool:Pool.t ->
   ?chunk:int ->
   ?retries:int ->
+  ?cancel:Cancel.t ->
+  ?task_timeout:float ->
   ('a -> 'b) ->
   'a array ->
   'b partial

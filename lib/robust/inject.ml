@@ -16,27 +16,49 @@
    [PLLSCOPE_INJECT_SEED] (or [configure ~seed]) and the site index, so
    a given (seed, hit-ordinal) pair always gives the same verdict. *)
 
-type site = Lu_pivot | Smat_nan | Power_stall | Pool_task
+type site =
+  | Lu_pivot
+  | Smat_nan
+  | Power_stall
+  | Pool_task
+  | Task_hang
+  | Journal_torn
+  | Crash_at_point
 
-let n_sites = 4
+(* Raised by crash-simulation sites (journal-torn, crash-at-point) to
+   model abrupt process death. Defined here — not in Runner — so that
+   Parallel.Pool can recognise it and let it bypass the retry loop
+   without depending on the runner library. *)
+exception Simulated_crash
+
+let n_sites = 7
 
 let index = function
   | Lu_pivot -> 0
   | Smat_nan -> 1
   | Power_stall -> 2
   | Pool_task -> 3
+  | Task_hang -> 4
+  | Journal_torn -> 5
+  | Crash_at_point -> 6
 
 let site_name = function
   | Lu_pivot -> "lu-pivot"
   | Smat_nan -> "smat-nan"
   | Power_stall -> "power-stall"
   | Pool_task -> "pool-task"
+  | Task_hang -> "task-hang"
+  | Journal_torn -> "journal-torn"
+  | Crash_at_point -> "crash-at-point"
 
 let site_of_name = function
   | "lu-pivot" -> Lu_pivot
   | "smat-nan" -> Smat_nan
   | "power-stall" -> Power_stall
   | "pool-task" -> Pool_task
+  | "task-hang" -> Task_hang
+  | "journal-torn" -> Journal_torn
+  | "crash-at-point" -> Crash_at_point
   | s -> invalid_arg (Printf.sprintf "Inject.site_of_name: unknown site %S" s)
 
 type trigger = Never | Always | Nth of int | From of int | Prob of float

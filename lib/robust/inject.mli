@@ -14,13 +14,32 @@
       splitmix64 stream seeded per (seed, site), hence reproducible.
 
     Site names: ["lu-pivot"], ["smat-nan"], ["power-stall"],
-    ["pool-task"]. Example: ["lu-pivot:2,smat-nan:*"]. *)
+    ["pool-task"], ["task-hang"], ["journal-torn"], ["crash-at-point"].
+    Example: ["lu-pivot:2,smat-nan:*"]. *)
 
 type site =
   | Lu_pivot  (** force an LU pivot-breakdown in [Cmatf.lu_decompose]. *)
   | Smat_nan  (** poison a structured matvec result with a NaN. *)
   | Power_stall  (** stall the power-iteration update in [Htm]. *)
   | Pool_task  (** throw inside a [Parallel.Pool] task body. *)
+  | Task_hang
+      (** hang a [Parallel.Pool] task until the watchdog marks it
+          overdue (cooperative: the simulated hang polls the abort
+          flag). *)
+  | Journal_torn
+      (** tear a [Runner.Journal] append mid-frame and simulate the
+          process dying, leaving a truncated tail on disk. *)
+  | Crash_at_point
+      (** simulate an abrupt process death right after a sweep point
+          has been journaled. *)
+
+(** Raised by the crash-simulation sites ([Journal_torn],
+    [Crash_at_point]) to model abrupt process death. [Parallel.Pool]
+    lets it bypass task retries (a crash is not a retryable task
+    failure) and propagates it to the caller, which is exactly what a
+    [kill -9] at that instant would leave behind — minus the dead
+    process. *)
+exception Simulated_crash
 
 val site_name : site -> string
 

@@ -16,6 +16,8 @@ type t =
   | Non_finite of { where : string }
   | Parse of { file : string; line : int; col : int; msg : string }
   | Worker_failure of { task : int; attempts : int; last : string }
+  | Timed_out of { task : int; seconds : float }
+  | Cancelled of { reason : string }
 
 exception Error of t
 
@@ -37,6 +39,9 @@ let to_string = function
       Printf.sprintf "%s:%d:%d: parse error: %s" file line (col + 1) msg
   | Worker_failure { task; attempts; last } ->
       Printf.sprintf "task %d failed after %d attempt(s): %s" task attempts last
+  | Timed_out { task; seconds } ->
+      Printf.sprintf "task %d exceeded its %g s watchdog timeout" task seconds
+  | Cancelled { reason } -> Printf.sprintf "cancelled (%s) before execution" reason
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 

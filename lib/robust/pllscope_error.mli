@@ -20,6 +20,14 @@ type t =
   | Worker_failure of { task : int; attempts : int; last : string }
       (** A pool task kept throwing after deterministic retries; [last]
           is the printed final exception. *)
+  | Timed_out of { task : int; seconds : float }
+      (** A pool task overran the per-task watchdog timeout. [seconds]
+          is the configured bound, not a measurement, so the error is
+          deterministic for a given configuration. *)
+  | Cancelled of { reason : string }
+      (** A sweep point was skipped because the run was cancelled
+          (deadline, signal, or explicit token) before its chunk was
+          claimed. *)
 
 exception Error of t
 

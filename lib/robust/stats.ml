@@ -11,6 +11,9 @@ type t = {
   non_convergences : int;
   pool_retries : int;
   worker_failures : int;
+  task_timeouts : int;
+  cancelled_points : int;
+  resumed_points : int;
 }
 
 let dense_fallbacks = Atomic.make 0
@@ -19,6 +22,9 @@ let nonfinite_guards = Atomic.make 0
 let non_convergences = Atomic.make 0
 let pool_retries = Atomic.make 0
 let worker_failures = Atomic.make 0
+let task_timeouts = Atomic.make 0
+let cancelled_points = Atomic.make 0
+let resumed_points = Atomic.make 0
 
 let snapshot () =
   {
@@ -28,6 +34,9 @@ let snapshot () =
     non_convergences = Atomic.get non_convergences;
     pool_retries = Atomic.get pool_retries;
     worker_failures = Atomic.get worker_failures;
+    task_timeouts = Atomic.get task_timeouts;
+    cancelled_points = Atomic.get cancelled_points;
+    resumed_points = Atomic.get resumed_points;
   }
 
 let reset () =
@@ -36,11 +45,15 @@ let reset () =
   Atomic.set nonfinite_guards 0;
   Atomic.set non_convergences 0;
   Atomic.set pool_retries 0;
-  Atomic.set worker_failures 0
+  Atomic.set worker_failures 0;
+  Atomic.set task_timeouts 0;
+  Atomic.set cancelled_points 0;
+  Atomic.set resumed_points 0
 
 let total s =
   s.dense_fallbacks + s.singular_guards + s.nonfinite_guards
-  + s.non_convergences + s.pool_retries + s.worker_failures
+  + s.non_convergences + s.pool_retries + s.worker_failures + s.task_timeouts
+  + s.cancelled_points + s.resumed_points
 
 (* Classify the triggering error so the snapshot says *why* the dense
    oracle was consulted, not just how often. *)
@@ -50,22 +63,29 @@ let record_fallback err =
   | Singular _ -> Atomic.incr singular_guards
   | Non_finite _ -> Atomic.incr nonfinite_guards
   | Non_convergence _ -> Atomic.incr non_convergences
-  | Parse _ | Worker_failure _ -> ()
+  | Parse _ | Worker_failure _ | Timed_out _ | Cancelled _ -> ()
 
 let record_guard err =
   match (err : Pllscope_error.t) with
   | Singular _ -> Atomic.incr singular_guards
   | Non_finite _ -> Atomic.incr nonfinite_guards
   | Non_convergence _ -> Atomic.incr non_convergences
-  | Parse _ | Worker_failure _ -> ()
+  | Parse _ | Worker_failure _ | Timed_out _ | Cancelled _ -> ()
 
 let record_non_convergence () = Atomic.incr non_convergences
 let record_retry () = Atomic.incr pool_retries
 let record_worker_failure () = Atomic.incr worker_failures
+let record_timeout () = Atomic.incr task_timeouts
+let record_cancelled () = Atomic.incr cancelled_points
+
+let record_resumed n =
+  if n > 0 then ignore (Atomic.fetch_and_add resumed_points n)
 
 let pp ppf s =
   Format.fprintf ppf
     "robust: %d dense fallback(s) (%d singular, %d non-finite, %d \
-     non-convergent), %d pool retry(ies), %d worker failure(s)"
+     non-convergent), %d pool retry(ies), %d worker failure(s), %d \
+     timeout(s), %d cancelled point(s), %d resumed point(s)"
     s.dense_fallbacks s.singular_guards s.nonfinite_guards s.non_convergences
-    s.pool_retries s.worker_failures
+    s.pool_retries s.worker_failures s.task_timeouts s.cancelled_points
+    s.resumed_points

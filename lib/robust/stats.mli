@@ -10,7 +10,13 @@
       guard firings by error kind (a fallback increments both its kind
       counter and [dense_fallbacks]);
     - [pool_retries]: task re-executions after an exception;
-    - [worker_failures]: tasks that still failed after all retries. *)
+    - [worker_failures]: tasks that still failed after all retries;
+    - [task_timeouts]: tasks converted to typed [Timed_out] by the
+      pool watchdog;
+    - [cancelled_points]: sweep points skipped because the run was
+      cancelled (deadline, signal, explicit token);
+    - [resumed_points]: points restored from a checkpoint journal
+      instead of being recomputed. *)
 
 type t = {
   dense_fallbacks : int;
@@ -19,6 +25,9 @@ type t = {
   non_convergences : int;
   pool_retries : int;
   worker_failures : int;
+  task_timeouts : int;
+  cancelled_points : int;
+  resumed_points : int;
 }
 
 val snapshot : unit -> t
@@ -38,4 +47,11 @@ val record_guard : Pllscope_error.t -> unit
 val record_non_convergence : unit -> unit
 val record_retry : unit -> unit
 val record_worker_failure : unit -> unit
+val record_timeout : unit -> unit
+val record_cancelled : unit -> unit
+
+(** [record_resumed n] — [n] points were restored from a checkpoint
+    journal (no-op for [n <= 0]). *)
+val record_resumed : int -> unit
+
 val pp : Format.formatter -> t -> unit

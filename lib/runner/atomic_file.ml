@@ -1,0 +1,44 @@
+(* Crash-safe whole-file writes.
+
+   The classic temp-write + fsync + rename dance: the temp file lives
+   in the *target's* directory (rename(2) is only atomic within one
+   filesystem), is fsynced before the rename so the data is durable
+   before the name flips, and the rename itself is atomic, so any
+   reader — including a resumed run after a crash — sees either the
+   old complete file or the new complete file, never a torn mix. *)
+
+let fsync_dir dir =
+  (* Persist the rename itself. Some filesystems refuse O_RDONLY fsync
+     on directories; failing to sync the directory entry only risks
+     losing the *rename* on power loss, never producing a torn file,
+     so ignore errors. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+let write ?(fsync = true) path f =
+  let dir = Filename.dirname path in
+  let tmp, oc =
+    Filename.open_temp_file ~temp_dir:dir ~mode:[ Open_binary ]
+      ("." ^ Filename.basename path ^ ".")
+      ".tmp"
+  in
+  match
+    f oc;
+    flush oc;
+    if fsync then Unix.fsync (Unix.descr_of_out_channel oc);
+    close_out oc
+  with
+  | () ->
+      Unix.rename tmp path;
+      if fsync then fsync_dir dir
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Printexc.raise_with_backtrace e bt
+
+let write_string ?fsync path s =
+  write ?fsync path (fun oc -> output_string oc s)

@@ -1,0 +1,16 @@
+(** Atomic whole-file writes: temp file in the target directory, fsync,
+    then [rename(2)] over the target. Readers never observe a torn or
+    partially written file — they see the old content or the new
+    content, nothing in between. Benchmark JSON, golden files and
+    experiment reports are routed through this so a crash mid-report
+    cannot corrupt an artifact a later run (or CI diff) depends on. *)
+
+(** [write ?fsync path f] — open a fresh temp file in [path]'s
+    directory, run [f] on its (binary-mode) channel, flush, fsync
+    (unless [~fsync:false]), close, and atomically rename it to
+    [path]. On any exception from [f] the temp file is removed and
+    [path] is untouched. *)
+val write : ?fsync:bool -> string -> (out_channel -> unit) -> unit
+
+(** [write_string ?fsync path s] — {!write} of one string. *)
+val write_string : ?fsync:bool -> string -> string -> unit

@@ -1,0 +1,11 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320) checksums for journal
+    frames. *)
+
+(** [string s] — checksum of the whole string. [Crc32.string ""] is
+    [0l]. *)
+val string : string -> int32
+
+(** [update crc s pos len] — extend [crc] with [s.[pos .. pos+len-1]],
+    so [update (string a) b 0 (String.length b) = string (a ^ b)].
+    Raises [Invalid_argument] if the range is out of bounds. *)
+val update : int32 -> string -> int -> int -> int32

@@ -1,0 +1,180 @@
+(* Append-only checkpoint journal for sweep runs.
+
+   File layout:
+
+     +--------------------+
+     | magic "PLLSCJ1\n"  |  8 bytes
+     +--------------------+
+     | frame 0            |
+     | frame 1            |
+     | ...                |
+     +--------------------+
+
+   each frame being
+
+     [4B LE payload_len] [4B LE point index] [4B LE crc32] [payload]
+
+   where the CRC covers the 4 index bytes followed by the payload, so
+   a frame whose length field survived but whose body was torn — or
+   whose index was bit-flipped — fails the check. Frames are
+   self-delimiting and appended with a single [write]; [replay] accepts
+   every complete, checksummed frame up to the first torn or corrupt
+   one and ignores the rest. That makes the journal crash-tolerant by
+   construction: a process killed mid-append leaves a torn tail that
+   replay treats exactly as if the append never happened.
+
+   [open_append] re-scans an existing journal, truncates the torn tail
+   (so the next append starts on a clean frame boundary) and positions
+   at the end. Appends from concurrent pool lanes are serialised by a
+   per-journal mutex; each append is flushed to the OS immediately so
+   only the process's own buffered data — never a previously appended
+   frame — can be lost to a crash. *)
+
+let magic = "PLLSCJ1\n"
+let header_len = String.length magic
+let frame_header_len = 12
+
+let bad_header path =
+  Robust.Pllscope_error.raise_
+    (Robust.Pllscope_error.Parse
+       {
+         file = path;
+         line = 0;
+         col = 0;
+         msg = "not a pllscope checkpoint journal (bad magic)";
+       })
+
+let put_u32 b v =
+  Buffer.add_char b (Char.chr (v land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xff))
+
+let get_u32 s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+let frame_crc index payload =
+  let b = Buffer.create 4 in
+  put_u32 b index;
+  let crc = Crc32.string (Buffer.contents b) in
+  Crc32.update crc payload 0 (String.length payload)
+
+(* Scan raw journal bytes; return the complete frames and the byte
+   length of the valid prefix (header + whole frames). Anything past
+   [valid_len] is a torn tail. *)
+let scan path raw =
+  let n = String.length raw in
+  if n < header_len || String.sub raw 0 header_len <> magic then
+    if n = 0 then ([], 0) else bad_header path
+  else begin
+    let frames = ref [] in
+    let pos = ref header_len in
+    let stop = ref false in
+    while not !stop do
+      if !pos + frame_header_len > n then stop := true
+      else begin
+        let len = get_u32 raw !pos in
+        let index = get_u32 raw (!pos + 4) in
+        let crc = Int32.of_int (get_u32 raw (!pos + 8)) in
+        let body = !pos + frame_header_len in
+        if len < 0 || body + len > n then stop := true
+        else begin
+          let payload = String.sub raw body len in
+          if frame_crc index payload <> crc then stop := true
+          else begin
+            frames := (index, payload) :: !frames;
+            pos := body + len
+          end
+        end
+      end
+    done;
+    (List.rev !frames, !pos)
+  end
+
+let read_raw path =
+  if Sys.file_exists path then
+    Some (In_channel.with_open_bin path In_channel.input_all)
+  else None
+
+let replay path =
+  match read_raw path with None -> [] | Some raw -> fst (scan path raw)
+
+type t = {
+  fd : Unix.file_descr;
+  path : string;
+  m : Mutex.t;
+  mutable closed : bool;
+}
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let open_append path =
+  match read_raw path with
+  | None ->
+      let fd =
+        Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+      in
+      write_all fd magic;
+      { fd; path; m = Mutex.create (); closed = false }
+  | Some raw ->
+      let _, valid_len = scan path raw in
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+      (* drop the torn tail so the next frame starts on a boundary *)
+      if valid_len < String.length raw then Unix.ftruncate fd valid_len;
+      if valid_len = 0 then write_all fd magic
+      else ignore (Unix.lseek fd valid_len Unix.SEEK_SET);
+      { fd; path; m = Mutex.create (); closed = false }
+
+let check_open t fn =
+  if t.closed then
+    invalid_arg (fn ^ ": journal " ^ t.path ^ " is closed")
+
+let append t ~index payload =
+  if index < 0 then invalid_arg "Journal.append: negative index";
+  let b = Buffer.create (frame_header_len + String.length payload) in
+  put_u32 b (String.length payload);
+  put_u32 b index;
+  put_u32 b (Int32.to_int (frame_crc index payload) land 0xffffffff);
+  Buffer.add_string b payload;
+  let frame = Buffer.contents b in
+  Mutex.lock t.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.m)
+    (fun () ->
+      check_open t "Journal.append";
+      if Robust.Inject.fire Robust.Inject.Journal_torn then begin
+        (* model a crash mid-append: half a frame reaches the disk,
+           then the process "dies" *)
+        let torn = String.length frame / 2 in
+        write_all t.fd (String.sub frame 0 torn);
+        raise Robust.Inject.Simulated_crash
+      end;
+      write_all t.fd frame)
+
+let sync t =
+  Mutex.lock t.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.m)
+    (fun () ->
+      check_open t "Journal.sync";
+      Unix.fsync t.fd)
+
+let close t =
+  Mutex.lock t.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.m)
+    (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
+        Unix.close t.fd
+      end)

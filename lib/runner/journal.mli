@@ -1,0 +1,43 @@
+(** Append-only, checksummed checkpoint journal for sweep runs.
+
+    An 8-byte magic header followed by self-delimiting frames
+
+    {v [4B LE payload_len][4B LE point index][4B LE crc32][payload] v}
+
+    where the CRC-32 covers the index bytes and the payload. Each
+    {!append} writes its frame with a single [write(2)] flushed straight
+    to the OS, so a crash (or [kill -9]) can only tear the frame being
+    written — never a frame already appended. {!replay} accepts every
+    complete, checksummed frame up to the first torn or corrupt one;
+    {!open_append} additionally truncates that torn tail so new frames
+    land on a clean boundary. A resumed run therefore sees exactly the
+    set of points whose frames were durably appended, in any order, and
+    recomputes the rest.
+
+    Appends are serialised by a per-journal mutex and may come from
+    concurrent {!Parallel.Pool} lanes. *)
+
+type t
+
+(** [open_append path] — create [path] (with header) if absent;
+    otherwise validate the header, truncate any torn tail and position
+    at the end. Raises {!Robust.Pllscope_error.Error} with a [Parse]
+    payload if [path] exists but is not a journal (bad magic). *)
+val open_append : string -> t
+
+(** [append t ~index payload] — durably order one frame after all
+    previous ones. Thread-safe. Raises [Invalid_argument] on a negative
+    [index] or a closed journal. *)
+val append : t -> index:int -> string -> unit
+
+(** [replay path] — the complete frames of [path] in file order, as
+    [(index, payload)] pairs. A missing file is an empty journal; a
+    torn or corrupt tail is silently dropped. Raises like
+    {!open_append} on a bad magic. *)
+val replay : string -> (int * string) list
+
+(** [sync t] — [fsync(2)] the journal. *)
+val sync : t -> unit
+
+(** [close t] — fsync and close. Idempotent; later appends raise. *)
+val close : t -> unit

@@ -1,0 +1,69 @@
+(* Graceful-shutdown plumbing for the CLI.
+
+   SIGINT/SIGTERM handlers cancel the global Cancel token instead of
+   killing the process: pool lanes notice at the next chunk boundary,
+   checked sweeps return a typed partial (with the journal already
+   flushed per point), and the CLI exits with a distinct code.
+
+   SIGPIPE is ignored so that `pllscope ... | head` surfaces EPIPE as
+   an exception we convert to a quiet status-0 exit, instead of dying
+   mid-write with a signal. *)
+
+let exit_interrupted = 130 (* 128 + SIGINT, the shell convention *)
+let exit_deadline = 124 (* timeout(1)'s exit code *)
+
+let set_signal n behaviour =
+  (* Signal installation can fail on exotic platforms; shutdown
+     niceties must never take the tool down. *)
+  try Sys.set_signal n behaviour with Invalid_argument _ | Sys_error _ -> ()
+
+let install_handlers () =
+  let handle n =
+    Parallel.Cancel.cancel (Parallel.Cancel.global ())
+      (Parallel.Cancel.Signal n)
+  in
+  set_signal Sys.sigint (Sys.Signal_handle handle);
+  set_signal Sys.sigterm (Sys.Signal_handle handle)
+
+let ignore_sigpipe () = set_signal Sys.sigpipe Sys.Signal_ignore
+
+let exit_code_of_reason = function
+  | Parallel.Cancel.Signal _ -> exit_interrupted
+  | Parallel.Cancel.Deadline _ -> exit_deadline
+  | Parallel.Cancel.User _ -> exit_interrupted
+
+let is_epipe = function
+  | Unix.Unix_error (Unix.EPIPE, _, _) -> true
+  | Sys_error msg ->
+      (* stdlib channels report EPIPE as Sys_error "...: Broken pipe" *)
+      let needle = "Broken pipe" in
+      let nl = String.length needle and ml = String.length msg in
+      let rec scan i =
+        i + nl <= ml && (String.sub msg i nl = needle || scan (i + 1))
+      in
+      scan 0
+  | _ -> false
+
+let silence_std_formatters () =
+  (* After EPIPE, Format's at_exit flush of std_formatter would raise
+     again (uncatchably, during exit). Point both std formatters at a
+     sink so the pending output is dropped instead. *)
+  let sink =
+    {
+      Format.out_string = (fun _ _ _ -> ());
+      out_flush = (fun () -> ());
+      out_newline = (fun () -> ());
+      out_spaces = (fun _ -> ());
+      out_indent = (fun _ -> ());
+    }
+  in
+  Format.pp_set_formatter_out_functions Format.std_formatter sink;
+  Format.pp_set_formatter_out_functions Format.err_formatter sink
+
+let run_quiet_epipe f =
+  try
+    f ();
+    None
+  with e when is_epipe e ->
+    silence_std_formatters ();
+    Some 0

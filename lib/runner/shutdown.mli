@@ -1,0 +1,42 @@
+(** Graceful shutdown for the CLI: signal handling, distinct exit
+    codes, and broken-pipe hygiene. *)
+
+(** Exit code after a signal-cancelled run: 130 (128 + SIGINT, the
+    shell convention). *)
+val exit_interrupted : int
+
+(** Exit code after a [--deadline] expiry: 124, matching [timeout(1)]. *)
+val exit_deadline : int
+
+(** Install SIGINT/SIGTERM handlers that cancel
+    {!Parallel.Cancel.global} instead of killing the process, so
+    in-flight chunks drain, journals stay consistent and the CLI can
+    report a typed partial summary. Platforms without these signals are
+    tolerated silently. *)
+val install_handlers : unit -> unit
+
+(** Ignore SIGPIPE so writes to a closed pipe raise [EPIPE] (which
+    {!run_quiet_epipe} turns into a quiet exit) instead of killing the
+    process. *)
+val ignore_sigpipe : unit -> unit
+
+(** Map a cancellation reason to the process exit code:
+    {!exit_interrupted} for signals, {!exit_deadline} for deadlines. *)
+val exit_code_of_reason : Parallel.Cancel.reason -> int
+
+(** Recognise a broken-pipe failure, whether it surfaces as
+    [Unix_error (EPIPE, _, _)] or as the stdlib's
+    [Sys_error "...: Broken pipe"]. *)
+val is_epipe : exn -> bool
+
+(** Redirect the std/err formatters to a sink. Called after an EPIPE so
+    the at-exit flush of pending formatter output cannot raise during
+    [exit]. *)
+val silence_std_formatters : unit -> unit
+
+(** [run_quiet_epipe f] — run [f ()]; on a broken pipe, silence the
+    formatters and return [Some 0] (the exit code for a downstream
+    consumer like [head] closing the pipe early — conventionally not an
+    error). [None] means [f] completed normally. Other exceptions
+    propagate. *)
+val run_quiet_epipe : (unit -> unit) -> int option

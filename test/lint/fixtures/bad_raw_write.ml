@@ -1,0 +1,22 @@
+[@@@lint.allow "mli-coverage"]
+
+(* Seeded raw-result-write violations: result artifacts written without
+   Runner.Atomic_file. *)
+
+let bad_json () = open_out "BENCH_demo.json"
+let bad_bin () = open_out_bin "results/run.json"
+
+let bad_golden () =
+  Out_channel.with_open_bin "test/golden/fig_metrics.txt" (fun _ -> ())
+
+let bad_qualified () = Stdlib.open_out "sweep.json"
+
+(* Suppressed at the site: must stay silent in both golden runs. *)
+let allowed () =
+  (open_out "BENCH_allowed.json" [@lint.allow "raw-result-write"])
+
+(* Near-misses that must stay silent: non-artifact literal, computed
+   path, and a read of an artifact. *)
+let ok_log () = open_out "run.log"
+let ok_var path = open_out_bin path
+let ok_read () = open_in "BENCH_demo.json"

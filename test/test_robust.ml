@@ -25,7 +25,8 @@ let clean f () =
     ~finally:(fun () ->
       Robust.Inject.disarm ();
       Robust.Config.reset ();
-      Robust.Stats.reset ())
+      Robust.Stats.reset ();
+      Parallel.Cancel.reset_global ())
     f
 
 let ctx3 = Htm.ctx ~n_harm:3 ~omega0:2.0
@@ -371,7 +372,8 @@ let test_stats_pp () =
   let s = Format.asprintf "%a" Robust.Stats.pp (Robust.Stats.snapshot ()) in
   check_true "pp mentions the fallback"
     (s = "robust: 1 dense fallback(s) (1 singular, 0 non-finite, 0 \
-          non-convergent), 1 pool retry(ies), 0 worker failure(s)");
+          non-convergent), 1 pool retry(ies), 0 worker failure(s), 0 \
+          timeout(s), 0 cancelled point(s), 0 resumed point(s)");
   check_int "total sums every counter" 3
     (Robust.Stats.total (Robust.Stats.snapshot ()));
   Robust.Stats.reset ();

@@ -3,22 +3,29 @@
    (tolerance 1e-9). Run after an *intentional* change to the modeled
    figures:
 
-     dune exec tools/gen_golden/gen_golden.exe > test/golden/fig_metrics.txt
+     dune exec tools/gen_golden/gen_golden.exe -- -o test/golden/fig_metrics.txt
+
+   With -o the snapshot is written atomically (temp file + fsync +
+   rename), so an interrupted regeneration can never leave a torn
+   golden file for the test suite to diff against; without -o it goes
+   to stdout as before.
 
    Values are printed with %.17g (round-trip exact for doubles) and
    computed on a 1-domain pool; the test suite recomputes them on the
    shared default pool, so this file also locks down the determinism
    guarantee of the parallel sweep engine. *)
 
-let pr key v = Printf.printf "%s %.17g\n" key v
+let buf = Buffer.create 4096
+let line s = Buffer.add_string buf (s ^ "\n")
+let pr key v = line (Printf.sprintf "%s %.17g" key v)
 
-let () =
+let generate () =
   let spec = Pll_lib.Design.default_spec in
   Parallel.Pool.with_pool ~domains:1 (fun pool ->
-      print_endline
-        "# golden snapshot of paper-facing metrics; regenerate with";
-      print_endline
-        "#   dune exec tools/gen_golden/gen_golden.exe > test/golden/fig_metrics.txt";
+      line "# golden snapshot of paper-facing metrics; regenerate with";
+      line
+        "#   dune exec tools/gen_golden/gen_golden.exe -- -o \
+         test/golden/fig_metrics.txt";
       (* Fig. 6 / Fig. 7 family: closed-loop bandwidth + peaking and the
          effective (time-varying) margins at the paper's ratios *)
       List.iter
@@ -69,3 +76,22 @@ let () =
           pr (key "theta_impulse") r.Experiments.Exp_fig4.theta_impulse;
           pr (key "rel_err") r.Experiments.Exp_fig4.rel_err)
         (Experiments.Exp_fig4.compute ~spec ~pool ()))
+
+let () =
+  let out = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "-o" :: path :: rest ->
+        out := Some path;
+        parse rest
+    | arg :: _ ->
+        prerr_endline ("gen_golden: unknown argument " ^ arg ^ " (want -o FILE)");
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  generate ();
+  match !out with
+  | None -> print_string (Buffer.contents buf)
+  | Some path ->
+      Runner.Atomic_file.write_string path (Buffer.contents buf);
+      Printf.eprintf "wrote %s\n" path

@@ -1,4 +1,4 @@
-(* The five pllscope lint rules, implemented as checks over the untyped
+(* The pllscope lint rules, implemented as checks over the untyped
    parsetree (compiler-libs [Parse] + [Ast_iterator]).
 
    Working untyped keeps the tool dependency-free and fast, at the cost
@@ -22,6 +22,7 @@ let rule_nondet = "nondeterminism"
 let rule_mli = "mli-coverage"
 let rule_prefix = "error-message-prefix"
 let rule_catch_all = "catch-all"
+let rule_raw_write = "raw-result-write"
 
 let all_rules =
   [
@@ -37,6 +38,9 @@ let all_rules =
       "invalid_arg/failwith messages must start with 'Module.function: '" );
     ( rule_catch_all,
       "exception handlers under lib/ that silently swallow every exception" );
+    ( rule_raw_write,
+      "direct open_out/Out_channel writes to *.json or golden artifacts; \
+       route them through Runner.Atomic_file" );
   ]
 
 type ctx = {
@@ -591,6 +595,68 @@ let check_catch_all ctx e =
   end
 
 (* ------------------------------------------------------------------ *)
+(* raw-result-write                                                    *)
+
+(* Result artifacts — BENCH_*.json and the golden snapshots — must be
+   written through Runner.Atomic_file (temp file in the target dir +
+   fsync + rename), so a crash or SIGKILL mid-write can never leave a
+   torn file for CI or the test suite to consume. Flag direct
+   [open_out]-family and [Out_channel] opens whose path argument is a
+   string literal that is visibly such an artifact (ends in ".json" or
+   mentions "golden"). Computed paths pass: the rule under-approximates
+   rather than spam scratch-file writes. *)
+
+let raw_write_fns = [ "open_out"; "open_out_bin"; "open_out_gen" ]
+
+let out_channel_open_fns =
+  [ "open_bin"; "open_text"; "open_gen"; "with_open_bin"; "with_open_text";
+    "with_open_gen" ]
+
+let raw_write_target f =
+  match f.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match Longident.flatten txt with
+      | [ fn ] | [ "Stdlib"; fn ] when List.mem fn raw_write_fns -> Some fn
+      | [ "Out_channel"; fn ] | [ "Stdlib"; "Out_channel"; fn ]
+        when List.mem fn out_channel_open_fns ->
+          Some ("Out_channel." ^ fn)
+      | _ -> None)
+  | _ -> None
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i =
+    if i + nn > nh then false
+    else String.equal (String.sub hay i nn) needle || at (i + 1)
+  in
+  at 0
+
+let result_artifact_path s =
+  Filename.check_suffix s ".json"
+  || contains_substring (String.lowercase_ascii s) "golden"
+
+let check_raw_write ctx e =
+  match e.pexp_desc with
+  | Pexp_apply (f, args) -> (
+      match raw_write_target f with
+      | None -> ()
+      | Some fn ->
+          List.iter
+            (fun (_, arg) ->
+              match arg.pexp_desc with
+              | Pexp_constant (Pconst_string (s, _, _))
+                when result_artifact_path s ->
+                  report ctx rule_raw_write e.pexp_loc
+                    (Printf.sprintf
+                       "%s %S writes a result artifact directly; route it \
+                        through Runner.Atomic_file so a crash cannot leave a \
+                        torn file"
+                       fn s)
+              | _ -> ())
+            args)
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
 (* mli-coverage (filesystem side; file-level suppression honoured)     *)
 
 let check_mli ctx =
@@ -630,6 +696,7 @@ let lint_structure ctx structure =
           check_nondet ctx e;
           check_prefix ctx e;
           check_catch_all ctx e;
+          check_raw_write ctx e;
           Ast_iterator.default_iterator.expr self e;
           ctx.stack <- List.tl ctx.stack);
       value_binding =
