@@ -265,6 +265,123 @@ let run_kernel_bench () =
   Runner.Atomic_file.write_string "BENCH_kernels.json" (Buffer.contents b);
   Format.printf "wrote BENCH_kernels.json@."
 
+(* Grid-batched plan/execute vs per-point structured evaluation: one
+   compiled Htm_core.Plan streamed over a 1k-point log grid against the
+   per-point structured path (Htm.to_matrix), which re-walks the
+   composition tree, reallocates every intermediate and densifies at
+   the API boundary at each point. Both paths run guarded, as in
+   production sweeps. Also reported: the scalar fast paths on each side
+   (per-point Htm.element vs planned baseband extraction, neither
+   densifies) and the planned full-matrix Bigarray grid output.
+   Emitted as BENCH_grid.json for CI tracking. *)
+let run_grid_bench () =
+  Format.printf
+    "@.== HTM grid: planned (plan/execute) vs per-point evaluation ==@.";
+  let cl = Pll_lib.Pll.closed_loop_htm pll in
+  let points = 1000 in
+  let ss =
+    Array.map Numeric.Cx.jomega
+      (Numeric.Optimize.logspace (w0 *. 1e-4) (w0 *. 0.49) points)
+  in
+  (* seconds per whole-grid run, best-of-3 over a rep count sized to
+     >= 50 ms per batch *)
+  let time_grid f =
+    ignore (f ());
+    let reps = ref 1 in
+    let batch () =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to !reps do
+        ignore (f ())
+      done;
+      Unix.gettimeofday () -. t0
+    in
+    let dt = ref (batch ()) in
+    while !dt < 0.05 && !reps < 1_000_000 do
+      reps := !reps * 4;
+      dt := batch ()
+    done;
+    let best = ref !dt in
+    for _ = 1 to 2 do
+      let d = batch () in
+      if d < !best then best := d
+    done;
+    !best /. float_of_int !reps
+  in
+  let bytes_per_point f =
+    ignore (f ());
+    let b0 = Gc.allocated_bytes () in
+    ignore (f ());
+    (Gc.allocated_bytes () -. b0) /. float_of_int points
+  in
+  let rows =
+    List.map
+      (fun n_harm ->
+        let ctx = Htm_core.Htm.ctx ~n_harm ~omega0:w0 in
+        let plan = Htm_core.Plan.make ctx cl in
+        let sink = ref Numeric.Cx.zero in
+        let i0 = Htm_core.Htm.index_of_harmonic ctx 0 in
+        let per_point () =
+          Array.iter
+            (fun s ->
+              sink := Numeric.Cmat.get (Htm_core.Htm.to_matrix ctx cl s) i0 i0)
+            ss
+        in
+        let per_point_elt () =
+          Array.iter (fun s -> sink := Htm_core.Htm.element ctx cl ~n:0 ~m:0 s) ss
+        in
+        let planned () =
+          ignore
+            (Htm_core.Plan.run_grid_map plan (fun _ m -> Htm_core.Smat.get m i0 i0)
+               ss)
+        in
+        let planned_ba () = ignore (Htm_core.Plan.run_grid_ba plan ss) in
+        let pp_t = time_grid per_point
+        and pe_t = time_grid per_point_elt
+        and pl_t = time_grid planned
+        and ba_t = time_grid planned_ba in
+        let pp_b = bytes_per_point per_point
+        and pe_b = bytes_per_point per_point_elt
+        and pl_b = bytes_per_point planned in
+        ignore !sink;
+        let pps t = float_of_int points /. t in
+        Format.printf
+          "  n_harm %3d (dim %3d): to_matrix %8.0f pt/s  planned %8.0f pt/s \
+           (%.1fx)  element %8.0f pt/s (planned %.1fx)  planned-ba %8.0f \
+           pt/s; alloc/pt %9.3e B -> %9.3e B (%.0fx)@."
+          n_harm (Htm_core.Htm.dim ctx) (pps pp_t) (pps pl_t) (pp_t /. pl_t)
+          (pps pe_t) (pe_t /. pl_t) (pps ba_t) pp_b pl_b
+          (pp_b /. Stdlib.max 1.0 pl_b);
+        (n_harm, Htm_core.Htm.dim ctx, pp_t, pe_t, pl_t, ba_t, pp_b, pe_b, pl_b))
+      [ 8; 20; 80 ]
+  in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    "  \"benchmark\": \"closed-loop HTM grid: planned plan/execute vs \
+     per-point structured\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"grid_points\": %d,\n" points);
+  Buffer.add_string b "  \"runs\": [\n";
+  List.iteri
+    (fun i (n_harm, dim, pp_t, pe_t, pl_t, ba_t, pp_b, pe_b, pl_b) ->
+      let pps t = float_of_int points /. t in
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"n_harm\": %d, \"dim\": %d, \"per_point_pts_per_s\": %.1f, \
+            \"per_point_element_pts_per_s\": %.1f, \"planned_pts_per_s\": \
+            %.1f, \"planned_ba_pts_per_s\": %.1f, \"speedup\": %.2f, \
+            \"element_speedup\": %.2f, \"per_point_bytes_per_pt\": %.1f, \
+            \"per_point_element_bytes_per_pt\": %.1f, \
+            \"planned_bytes_per_pt\": %.1f, \"alloc_ratio\": %.2f}%s\n"
+           n_harm dim (pps pp_t) (pps pe_t) (pps pl_t) (pps ba_t)
+           (pp_t /. pl_t) (pe_t /. pl_t) pp_b pe_b pl_b
+           (pp_b /. Stdlib.max 1.0 pl_b)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n";
+  Buffer.add_string b "}\n";
+  Runner.Atomic_file.write_string "BENCH_grid.json" (Buffer.contents b);
+  Format.printf "wrote BENCH_grid.json@."
+
 (* Robustness-guard overhead: times the guarded structured evaluator
    (condition estimates + finiteness scans, the default) against the
    same evaluator with Robust.Config guards disabled, with fault
@@ -496,6 +613,7 @@ let run_figures which =
   if all || which = "pfd" then Experiments.Exp_pfd.run ();
   if all || which = "noise" then Experiments.Exp_noise.run ();
   if all || which = "fractional" then Experiments.Exp_fractional.run ();
+  if all || which = "grid" then Experiments.Exp_grid.run ();
   if all || which = "perf" then Experiments.Exp_perf.run ()
 
 let () =
@@ -503,6 +621,7 @@ let () =
   | "bench" -> run_benchmarks ()
   | "parallel" -> run_parallel_bench ()
   | "kernels" -> run_kernel_bench ()
+  | "grid" -> run_grid_bench ()
   | "robust" -> run_robust_bench ()
   | "runner" -> run_runner_bench ()
   | ("2" | "4" | "5" | "6" | "7" | "perf" | "xchk" | "ablation" | "isf" | "nonideal" | "pfd" | "noise" | "fractional") as f ->
@@ -512,10 +631,11 @@ let () =
       run_benchmarks ();
       run_parallel_bench ();
       run_kernel_bench ();
+      run_grid_bench ();
       run_robust_bench ();
       run_runner_bench ()
   | other ->
       Format.printf
-        "unknown argument %s (want 2|4|5|6|7|perf|xchk|ablation|isf|nonideal|pfd|noise|fractional|bench|parallel|kernels|robust|runner|all)@."
+        "unknown argument %s (want 2|4|5|6|7|perf|xchk|ablation|isf|nonideal|pfd|noise|fractional|grid|bench|parallel|kernels|grid|robust|runner|all)@."
         other;
       exit 1

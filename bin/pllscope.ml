@@ -225,7 +225,7 @@ let sweep_cmd =
 let fig_cmd =
   let which =
     let doc =
-      "Figure to regenerate: 2, 4, 5, 6, 7, perf, xchk, ablation, isf, nonideal, pfd, noise, fractional or all."
+      "Figure to regenerate: 2, 4, 5, 6, 7, perf, xchk, ablation, isf, nonideal, pfd, noise, fractional, grid or all."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FIG" ~doc)
   in
@@ -245,6 +245,7 @@ let fig_cmd =
     | "pfd" -> Experiments.Exp_pfd.run ()
     | "noise" -> Experiments.Exp_noise.run ()
     | "fractional" -> Experiments.Exp_fractional.run ()
+    | "grid" -> Experiments.Exp_grid.run ()
     | "all" ->
         Experiments.Exp_fig2.run ();
         Experiments.Exp_fig4.run ();
@@ -258,6 +259,7 @@ let fig_cmd =
         Experiments.Exp_pfd.run ();
         Experiments.Exp_noise.run ();
         Experiments.Exp_fractional.run ();
+        Experiments.Exp_grid.run ();
         Experiments.Exp_perf.run ()
     | other -> Format.fprintf pp "unknown figure %s@." other
   in

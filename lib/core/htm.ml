@@ -1,51 +1,44 @@
 open Numeric
 
-type ctx = { n_harm : int; omega0 : float }
+(* The composition tree itself lives in [Htm_expr] (shared with the
+   plan/execute grid layer); this module provides the validated
+   constructors, the per-point evaluators and the grid sweeps. *)
 
-type t =
-  | Lti of (Cx.t -> Cx.t)
-  | Periodic_gain of Cx.t array
-  | Sampler
-  | Identity
-  | Zero
-  | Scale of Cx.t * t
-  | Series of t * t
-  | Parallel of t * t
-  | Sub of t * t
-  | Feedback of t
-  | Custom of (ctx -> Cx.t -> Cmat.t)
+type ctx = Htm_expr.ctx = { n_harm : int; omega0 : float }
+type t = Htm_expr.t
 
 let ctx ~n_harm ~omega0 =
   if n_harm < 0 then invalid_arg "Htm.ctx: n_harm must be >= 0";
   if omega0 <= 0.0 then invalid_arg "Htm.ctx: omega0 must be positive";
   { n_harm; omega0 }
 
-let dim c = (2 * c.n_harm) + 1
-let harmonic_of_index c i = i - c.n_harm
-let index_of_harmonic c n = n + c.n_harm
+let dim = Htm_expr.dim
+let harmonic_of_index = Htm_expr.harmonic_of_index
+let index_of_harmonic = Htm_expr.index_of_harmonic
 
-let lti h = Lti h
+let lti h = Htm_expr.Lti h
+let lti_rat r = Htm_expr.Lti_rat r
 
 let periodic_gain coeffs =
   if Array.length coeffs mod 2 = 0 then
     invalid_arg "Htm.periodic_gain: coefficient array must have odd length";
-  Periodic_gain (Array.copy coeffs)
+  Htm_expr.Periodic_gain (Array.copy coeffs)
 
-let sampler = Sampler
-let identity = Identity
-let zero = Zero
-let scale z t = Scale (z, t)
-let series g2 g1 = Series (g2, g1)
+let sampler = Htm_expr.Sampler
+let identity = Htm_expr.Identity
+let zero = Htm_expr.Zero
+let scale z t = Htm_expr.Scale (z, t)
+let series g2 g1 = Htm_expr.Series (g2, g1)
 
 let series_list = function
-  | [] -> Identity
-  | g :: rest -> List.fold_left (fun acc h -> Series (acc, h)) g rest
+  | [] -> Htm_expr.Identity
+  | g :: rest -> List.fold_left (fun acc h -> Htm_expr.Series (acc, h)) g rest
 
-let parallel g1 g2 = Parallel (g1, g2)
-let sub g1 g2 = Sub (g1, g2)
-let neg g = Scale (Cx.neg Cx.one, g)
-let feedback g = Feedback g
-let custom f = Custom f
+let parallel g1 g2 = Htm_expr.Parallel (g1, g2)
+let sub g1 g2 = Htm_expr.Sub (g1, g2)
+let neg g = Htm_expr.Scale (Cx.neg Cx.one, g)
+let feedback g = Htm_expr.Feedback g
+let custom f = Htm_expr.Custom f
 
 (* Structure-aware evaluator: realize the composition tree as the
    cheapest {!Smat.t} shape and densify only at the API boundary. The
@@ -54,27 +47,7 @@ let custom f = Custom f
    (eqs. 19–20) — and {!Smat}'s composition rules keep feedback around
    the rank-one sampler on the Sherman–Morrison closed form instead of
    a dense LU. *)
-(* The recursion is shared between the raising and the Result-returning
-   evaluators: only the feedback realization differs, so it is a
-   parameter. *)
-let rec eval_with ~fb c t s =
-  let n = dim c in
-  match t with
-  | Lti h ->
-      Smat.diag_init n (fun i ->
-          h (Cx.add s (Cx.jomega (float_of_int (harmonic_of_index c i) *. c.omega0))))
-  | Periodic_gain coeffs -> Smat.of_toeplitz ~n coeffs
-  | Sampler -> Smat.rank1_const n (c.omega0 /. (2.0 *. Float.pi))
-  | Identity -> Smat.identity n
-  | Zero -> Smat.zeros n
-  | Scale (z, g) -> Smat.scale z (eval_with ~fb c g s)
-  | Series (g2, g1) -> Smat.mul (eval_with ~fb c g2 s) (eval_with ~fb c g1 s)
-  | Parallel (g1, g2) -> Smat.add (eval_with ~fb c g1 s) (eval_with ~fb c g2 s)
-  | Sub (g1, g2) -> Smat.sub (eval_with ~fb c g1 s) (eval_with ~fb c g2 s)
-  | Feedback g -> fb (eval_with ~fb c g s)
-  | Custom f -> Smat.of_cmat (f c s)
-
-let structured c t s = eval_with ~fb:Smat.feedback c t s
+let structured c t s = Htm_expr.eval_with ~fb:Smat.feedback c t s
 
 exception Checked_fail of Robust.Pllscope_error.t
 
@@ -84,42 +57,13 @@ let structured_checked c t s =
     | Ok r -> r
     | Error e -> raise (Checked_fail e)
   in
-  match eval_with ~fb c t s with
+  match Htm_expr.eval_with ~fb c t s with
   | m ->
       if Smat.is_finite m then Ok m
       else Error (Robust.Pllscope_error.Non_finite { where = "Htm.structured" })
   | exception Checked_fail e -> Error e
 
-(* Reference evaluator: the original all-dense boxed recursion, kept
-   verbatim as the oracle for the structured path (equivalence tests,
-   kernel benchmarks). *)
-let rec to_matrix_dense c t s =
-  let n = dim c in
-  match t with
-  | Lti h ->
-      Cmat.init n n (fun i k ->
-          if i <> k then Cx.zero
-          else
-            h (Cx.add s (Cx.jomega (float_of_int (harmonic_of_index c i) *. c.omega0))))
-  | Periodic_gain coeffs ->
-      let kmax = Array.length coeffs / 2 in
-      Cmat.init n n (fun i k ->
-          let diff = i - k in
-          if abs diff > kmax then Cx.zero else coeffs.(diff + kmax))
-  | Sampler ->
-      let w = Cx.of_float (c.omega0 /. (2.0 *. Float.pi)) in
-      Cmat.init n n (fun _ _ -> w)
-  | Identity -> Cmat.identity n
-  | Zero -> Cmat.zeros n n
-  | Scale (z, g) -> Cmat.scale z (to_matrix_dense c g s)
-  | Series (g2, g1) -> Cmat.mul (to_matrix_dense c g2 s) (to_matrix_dense c g1 s)
-  | Parallel (g1, g2) -> Cmat.add (to_matrix_dense c g1 s) (to_matrix_dense c g2 s)
-  | Sub (g1, g2) -> Cmat.sub (to_matrix_dense c g1 s) (to_matrix_dense c g2 s)
-  | Feedback g ->
-      let gm = to_matrix_dense c g s in
-      let i_plus_g = Cmat.add (Cmat.identity n) gm in
-      Lu.solve_mat (Lu.decompose i_plus_g) gm
-  | Custom f -> f c s
+let to_matrix_dense = Htm_expr.to_matrix_dense
 
 (* Graceful degradation: evaluate the structured fast path under the
    guards; if one fires, either raise (strict mode) or degrade to the
@@ -154,15 +98,17 @@ let element c t ~n ~m s =
 
 let baseband c t w = element c t ~n:0 ~m:0 (Cx.jomega w)
 
+(* magnitude map of an already realized HTM — shared by the per-point
+   and the planned sweep paths *)
+let conversion_map_of n sm =
+  Array.init n (fun i -> Array.init n (fun k -> Cx.abs (Smat.get sm i k)))
+
 let conversion_map c t w =
-  let getter =
-    match structured_or_fallback c t (Cx.jomega w) with
-    | `Structured sm ->
-        let m = Smat.densify sm in
-        fun i k -> Cx.abs (Cmatf.get m i k)
-    | `Dense dm -> fun i k -> Cx.abs (Cmat.get dm i k)
-  in
-  Array.init (dim c) (fun i -> Array.init (dim c) (fun k -> getter i k))
+  match structured_or_fallback c t (Cx.jomega w) with
+  | `Structured sm -> conversion_map_of (dim c) sm
+  | `Dense dm ->
+      Array.init (dim c) (fun i ->
+          Array.init (dim c) (fun k -> Cx.abs (Cmat.get dm i k)))
 
 let apply_to_tone c t ~m w =
   if abs m > c.n_harm then invalid_arg "Htm.apply_to_tone: harmonic outside truncation";
@@ -180,25 +126,19 @@ type sv_certificate = {
   converged : bool;
 }
 
-let max_singular_value_cert ?(iterations = 200) ?(tol = 1e-10)
-    ?(seed = 0x51C0FFEEL) c t w =
-  (* power iteration on B = MᴴM with a unit-normalized iterate: for unit
-     v, |Mv| converges to the largest singular value. The iterate starts
-     from a seeded pseudo-random vector: a fixed structured start (the
-     old all-ones-ish ramp) can sit exactly in the null space of a
-     rank-deficient HTM — e.g. a rank-one sampler composition whose row
-     space is orthogonal to it — and stall the iteration at σ = 0. A
-     null-space start is detected (MᴴMv = 0 before convergence) and
-     retried with a fresh vector from the same deterministic stream. *)
-  (* structured fast path: both products per iteration run on the
-     Smat shape (O(n) for diagonal/rank-one HTMs, O(n·k) banded) and
-     the conjugate transpose is never materialized *)
-  let m =
-    match structured_or_fallback c t (Cx.jomega w) with
-    | `Structured m -> m
-    | `Dense dm -> Smat.of_cmat dm
-  in
-  let n = dim c in
+(* Power iteration on an already realized HTM: B = MᴴM with a
+   unit-normalized iterate; for unit v, |Mv| converges to the largest
+   singular value. The iterate starts from a seeded pseudo-random
+   vector: a fixed structured start (the old all-ones-ish ramp) can sit
+   exactly in the null space of a rank-deficient HTM — e.g. a rank-one
+   sampler composition whose row space is orthogonal to it — and stall
+   the iteration at σ = 0. A null-space start is detected (MᴴMv = 0
+   before convergence) and retried with a fresh vector from the same
+   deterministic stream. Both products per iteration run on the Smat
+   shape (O(n) for diagonal/rank-one HTMs, O(n·k) banded) and the
+   conjugate transpose is never materialized. Factored out of the
+   per-point entry so the planned sweeps can run it on a plan view. *)
+let power_iter ~iterations ~tol ~seed n m =
   let g = Prng.create ~seed in
   let vre = Array.make n 0.0 and vim = Array.make n 0.0 in
   let wre = Array.make n 0.0 and wim = Array.make n 0.0 in
@@ -290,6 +230,15 @@ let max_singular_value_cert ?(iterations = 200) ?(tol = 1e-10)
     converged = !converged;
   }
 
+let max_singular_value_cert ?(iterations = 200) ?(tol = 1e-10)
+    ?(seed = 0x51C0FFEEL) c t w =
+  let m =
+    match structured_or_fallback c t (Cx.jomega w) with
+    | `Structured m -> m
+    | `Dense dm -> Smat.of_cmat dm
+  in
+  power_iter ~iterations ~tol ~seed (dim c) m
+
 let max_singular_value ?iterations ?tol ?seed c t w =
   (max_singular_value_cert ?iterations ?tol ?seed c t w).sigma
 
@@ -305,14 +254,32 @@ let max_singular_value_checked ?iterations ?tol ?seed c t w =
     Error e
   end
 
+(* Grid sweeps now go through the plan/execute layer: one [Plan.t] per
+   concurrently running lane (never shared — a plan is a mutable
+   workspace), handed out by [Sweep.grid_local]'s instance cache. Each
+   point is realized in place instead of re-walking the composition
+   tree and reallocating every intermediate. *)
+
 let baseband_sweep ?pool c t ws =
-  Parallel.Sweep.grid ?pool (fun w -> baseband c t w) ws
+  Parallel.Sweep.grid_local ?pool
+    ~local:(fun () -> Plan.make c t)
+    (fun p w -> Plan.baseband p (Cx.jomega w))
+    ws
 
 let conversion_sweep ?pool c t ws =
-  Parallel.Sweep.grid ?pool (conversion_map c t) ws
+  Parallel.Sweep.grid_local ?pool
+    ~local:(fun () -> Plan.make c t)
+    (fun p w -> conversion_map_of (dim c) (Plan.eval p (Cx.jomega w)))
+    ws
 
-let max_singular_value_sweep ?pool ?iterations ?tol ?seed c t ws =
-  Parallel.Sweep.grid ?pool (fun w -> max_singular_value ?iterations ?tol ?seed c t w) ws
+let max_singular_value_sweep ?pool ?(iterations = 200) ?(tol = 1e-10)
+    ?(seed = 0x51C0FFEEL) c t ws =
+  Parallel.Sweep.grid_local ?pool
+    ~local:(fun () -> Plan.make c t)
+    (fun p w ->
+      (power_iter ~iterations ~tol ~seed (dim c) (Plan.eval p (Cx.jomega w)))
+        .sigma)
+    ws
 
 let is_lti ?(tol = 1e-12) c t s =
   let m = structured c t s in

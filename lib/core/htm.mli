@@ -24,10 +24,13 @@
     A truncation keeps harmonics [-n_harm .. n_harm]; matrix index [i]
     corresponds to harmonic [i - n_harm]. *)
 
-type t
+(** The composition tree (equal to {!Htm_expr.t} so the grid-batched
+    {!Plan} layer can compile the same values). Build through the smart
+    constructors below — they enforce the representation invariants. *)
+type t = Htm_expr.t
 
 (** Evaluation context: truncation size and fundamental frequency. *)
-type ctx = { n_harm : int; omega0 : float }
+type ctx = Htm_expr.ctx = { n_harm : int; omega0 : float }
 
 val ctx : n_harm:int -> omega0:float -> ctx
 
@@ -45,6 +48,14 @@ val index_of_harmonic : ctx -> int -> int
 (** [lti h] — the diagonal HTM of an LTI block with transfer function
     [h]. *)
 val lti : (Numeric.Cx.t -> Numeric.Cx.t) -> t
+
+(** [lti_rat r] — the same diagonal HTM as [lti (Numeric.Rat.eval r)],
+    but carrying the rational form: the plan/execute grid layer
+    ({!Plan}) fills its diagonal through the allocation-free split
+    Horner evaluation of {!Numeric.Rat.eval_into}. Prefer this over
+    [lti] whenever the transfer function is rational (loop filters,
+    VCO integrators). *)
+val lti_rat : Numeric.Rat.t -> t
 
 (** [periodic_gain coeffs] — memoryless multiplication by
     [p(t) = Σ_k P_k e^{jkω₀t}]; [coeffs] is indexed [k + K] for
@@ -182,8 +193,12 @@ val max_singular_value_checked :
 (** {1 Parallel sweeps}
 
     Grid evaluations of one HTM at many frequencies are embarrassingly
-    parallel: each point realizes and factors its own matrices. These
-    helpers run on [pool] (default: the shared [Parallel.Pool.default])
+    parallel. These helpers run through the plan/execute layer: each
+    concurrently running lane owns one compiled {!Plan.t} (handed out by
+    [Parallel.Sweep.grid_local]'s instance cache, never shared) and
+    streams its points through it in place, instead of re-walking the
+    composition tree and reallocating every intermediate per point.
+    They run on [pool] (default: the shared [Parallel.Pool.default])
     with output order and values independent of the pool size. *)
 
 val baseband_sweep :

@@ -1,0 +1,107 @@
+(** Grid-batched plan/execute evaluation of HTM composition trees.
+
+    {!make} walks a composition tree {b once}: it runs {!Smat}'s static
+    shape rules over every node, preallocates one structured container
+    per dynamic node plus every densification scratch and LU workspace a
+    point evaluation can need, hoists s-independent feedback-free
+    subtrees into plan-time constants, and compiles LTI leaves into
+    harmonic shift tables (allocation-free split-rational evaluation for
+    [Htm.lti_rat] leaves). {!eval} and the grid drivers then stream
+    frequency points through the plan {b entirely in place}.
+
+    Planned evaluation is proven equivalent to the per-point path by the
+    differential suite in [test/test_grid.ml]: same values as
+    [Htm.to_matrix] against the dense oracle [Htm.to_matrix_dense], and
+    bit-identical across pool sizes and plan reuse.
+
+    {b Ownership.} A plan is a mutable workspace: every evaluation
+    overwrites every container, and the {!Smat.t} returned by {!eval} is
+    a view into plan storage, valid only until the next evaluation. One
+    plan must be used by at most one domain lane at a time — parallel
+    sweeps create one plan per lane via {!Parallel.Sweep.grid_local}
+    (see the ownership rule in its documentation). *)
+
+open Numeric
+
+type ctx = Htm_expr.ctx
+
+type t
+
+(** [make ?lambda ctx tree] — compile [tree] for grid evaluation.
+
+    [lambda] is the [Special] closed-form fast path: when the {b
+    outermost} [Feedback] node realizes as rank one (sampling-PFD loop),
+    its Sherman–Morrison denominator term [vᵀu] is replaced by
+    [lambda s] — the closed-form loop gain λ(s) of eq. 28, exact for
+    time-invariant-VCO loops (see [Pll.lambda_fn]). It is ignored for
+    other shapes and for inner feedback nodes. *)
+val make : ?lambda:(Cx.t -> Cx.t) -> ctx -> Htm_expr.t -> t
+
+val ctx : t -> ctx
+
+(** Matrix dimension [2·n_harm + 1]. *)
+val dim : t -> int
+
+(** The statically assigned shape of the realized root — what every
+    structured evaluation of this plan returns. May sit higher in the
+    lattice than [Htm.to_matrix]'s value-dependent shape (see the static
+    shape rules in {!Smat}). *)
+val root_shape : t -> Smat.shape_t
+
+(** {1 Point evaluation}
+
+    Guard semantics mirror [Htm.to_matrix] exactly: with
+    {!Robust.Config.guards_enabled} off, kernels run unchecked (exact
+    singularity raises [Numeric.Lu.Singular]); with guards on, checked
+    kernels plus a root finiteness scan degrade failing points to the
+    dense oracle, counted in {!Robust.Stats} — unless strict mode
+    ({!Robust.Config.is_strict}) raises the typed error instead. *)
+
+(** [eval p s] — realize the HTM at [s]. The result is a view into plan
+    storage: use it (or copy out of it) before the next evaluation. *)
+val eval : t -> Cx.t -> Smat.t
+
+(** [element p ~n ~m s] — entry [H_{n,m}(s)] by harmonic index. *)
+val element : t -> n:int -> m:int -> Cx.t -> Cx.t
+
+(** [baseband p s] — [element p ~n:0 ~m:0 s], the H₀₀ transfer. *)
+val baseband : t -> Cx.t -> Cx.t
+
+(** [to_cmat p s] — boxed dense copy of the realized HTM (fresh
+    storage, not a view). *)
+val to_cmat : t -> Cx.t -> Cmat.t
+
+(** {1 Grid drivers}
+
+    Sequential on one plan; to parallelize, hand [fun () -> Plan.make …]
+    to {!Parallel.Sweep.grid_local} so each lane owns its own plan. *)
+
+(** [run_grid p ss] — boxed dense copies, one per point. *)
+val run_grid : t -> Cx.t array -> Cmat.t array
+
+(** [run_grid_map p f ss] — [f i view] per point, in index order; [f]
+    must copy whatever it keeps out of the view. This is the
+    allocation-free path for scalar extraction (Bode responses, noise
+    rows). *)
+val run_grid_map : t -> (int -> Smat.t -> 'a) -> Cx.t array -> 'a array
+
+(** Bigarray-backed grid output: split re/im [points × dim × dim]
+    float64 C-layout blocks, allocated outside the OCaml heap — the
+    layout for handing whole grids to plotting or external tools
+    without boxing. *)
+module Out : sig
+  type ba3 =
+    (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array3.t
+
+  type t
+
+  val points : t -> int
+  val dim : t -> int
+  val get : t -> p:int -> i:int -> k:int -> Cx.t
+  val re : t -> ba3
+  val im : t -> ba3
+end
+
+(** [run_grid_ba p ss] — evaluate the whole grid into one Bigarray
+    block. Off-structure entries are exact zeros. *)
+val run_grid_ba : t -> Cx.t array -> Out.t

@@ -648,3 +648,410 @@ let norm_inf t =
     if !acc > !best then best := !acc
   done;
   !best
+
+(* ------------------------------------------------------------------ *)
+(* plan/execute support: static shape algebra, preallocated containers *)
+(* and in-place kernels. [Plan] compiles an HTM tree once, allocating  *)
+(* one container per node from the static shapes below, then streams   *)
+(* s-points through the [Into] kernels — the same composition rules as *)
+(* the pure operations above, writing into caller-owned storage        *)
+(* instead of fresh arrays.                                            *)
+
+type shape_t = [ `Diag | `Band of int | `Rank1 | `Dense ]
+
+let create n (sh : shape_t) =
+  if n < 0 then invalid_arg "Smat.create: negative dimension";
+  match sh with
+  | `Diag -> Diag { dre = Array.make n 0.0; dim_ = Array.make n 0.0 }
+  | `Band kmax ->
+      if kmax < 0 then invalid_arg "Smat.create: negative bandwidth";
+      let w = (2 * kmax) + 1 in
+      Band { n; kmax; bre = Array.make (n * w) 0.0; bim = Array.make (n * w) 0.0 }
+  | `Rank1 ->
+      Rank1
+        {
+          ure = Array.make n 0.0;
+          uim = Array.make n 0.0;
+          vre = Array.make n 0.0;
+          vim = Array.make n 0.0;
+        }
+  | `Dense -> Dense (Cmatf.create n n)
+
+let diag_of_arrays ~dre ~dim_ =
+  if Array.length dre <> Array.length dim_ then
+    invalid_arg "Smat.diag_of_arrays: length mismatch";
+  Diag { dre; dim_ }
+
+let band_of_arrays ~n ~kmax ~bre ~bim =
+  let w = (2 * kmax) + 1 in
+  if kmax < 0 || Array.length bre <> n * w || Array.length bim <> n * w then
+    invalid_arg "Smat.band_of_arrays: storage/bandwidth mismatch";
+  Band { n; kmax; bre; bim }
+
+(* Static composition rules, mirroring the value-level dispatch of
+   [add]/[mul]/[feedback] decision for decision — with one deliberate
+   exception: [add] short-circuits on an exactly-zero diagonal operand
+   at runtime (returning the other operand's shape); the static rule
+   cannot see values, so it returns the no-shortcut shape. The planned
+   result is then equal to the pure one up to the rounding of adding
+   exact zeros. *)
+
+let band_k : shape_t -> int = function
+  | `Diag -> 0
+  | `Band k -> k
+  | _ -> invalid_arg "Smat.band_k: not banded"
+
+let shape_add (a : shape_t) (b : shape_t) : shape_t =
+  match (a, b) with
+  | (`Diag | `Band _), (`Diag | `Band _) ->
+      let k = Stdlib.max (band_k a) (band_k b) in
+      if k = 0 then `Diag else `Band k
+  | _ -> `Dense
+
+let shape_mul ~n (a : shape_t) (b : shape_t) : shape_t =
+  match (a, b) with
+  | `Diag, `Diag -> `Diag
+  | _, `Rank1 | `Rank1, _ -> `Rank1
+  | (`Diag | `Band _), (`Diag | `Band _) ->
+      let k = Stdlib.min (band_k a + band_k b) (n - 1) in
+      if band_too_wide ~n ~kmax:k && n > 1 then `Dense
+      else if k = 0 then `Diag
+      else `Band k
+  | `Dense, `Diag | `Diag, `Dense -> `Dense
+  | _ -> `Dense
+
+let shape_feedback : shape_t -> shape_t = function
+  | `Diag -> `Diag
+  | `Rank1 -> `Rank1
+  | `Band _ | `Dense -> `Dense
+
+(* Which operands of an [Into.mul] with these shapes must be densified
+   into caller-provided scratch ([da], [db])? Mirrors [Into.mul]'s
+   dispatch: only the gemm paths need dense operands. *)
+let mul_scratch ~n (a : shape_t) (b : shape_t) =
+  match (a, b) with
+  | `Diag, `Diag -> (false, false)
+  | _, `Rank1 | `Rank1, _ -> (false, false)
+  | (`Diag | `Band _), (`Diag | `Band _) ->
+      let k = Stdlib.min (band_k a + band_k b) (n - 1) in
+      if band_too_wide ~n ~kmax:k && n > 1 then (true, true) else (false, false)
+  | `Dense, `Diag | `Diag, `Dense -> (false, false)
+  | _ -> (a <> `Dense, b <> `Dense)
+
+(* dst += sgn·t on the raw dense storage (dst must be n×n). *)
+let axpy_sgn_into t sgn m =
+  let n = dim t in
+  let mre, mim = Cmatf.raw m in
+  let nc = Cmatf.cols m in
+  match t with
+  | Diag { dre; dim_ } ->
+      for i = 0 to n - 1 do
+        let p = (i * nc) + i in
+        mre.(p) <- mre.(p) +. (sgn *. dre.(i));
+        mim.(p) <- mim.(p) +. (sgn *. dim_.(i))
+      done
+  | Band { kmax; bre; bim; _ } ->
+      let w = (2 * kmax) + 1 in
+      for i = 0 to n - 1 do
+        for d = Stdlib.max (-kmax) (-i) to Stdlib.min kmax (n - 1 - i) do
+          let j = i + d in
+          let p = (i * w) + d + kmax in
+          mre.((i * nc) + j) <- mre.((i * nc) + j) +. (sgn *. bre.(p));
+          mim.((i * nc) + j) <- mim.((i * nc) + j) +. (sgn *. bim.(p))
+        done
+      done
+  | Rank1 { ure; uim; vre; vim } ->
+      for i = 0 to n - 1 do
+        let ar = ure.(i) and ai = uim.(i) in
+        for k = 0 to n - 1 do
+          let br = vre.(k) and bi = vim.(k) in
+          let p = (i * nc) + k in
+          mre.(p) <- mre.(p) +. (sgn *. ((ar *. br) -. (ai *. bi)));
+          mim.(p) <- mim.(p) +. (sgn *. ((ar *. bi) +. (ai *. br)))
+        done
+      done
+  | Dense src ->
+      let sre, sim = Cmatf.raw src in
+      for p = 0 to (n * nc) - 1 do
+        mre.(p) <- mre.(p) +. (sgn *. sre.(p));
+        mim.(p) <- mim.(p) +. (sgn *. sim.(p))
+      done
+
+let densify_into t m =
+  if Cmatf.rows m <> dim t || Cmatf.cols m <> dim t then
+    invalid_arg "Smat.densify_into: dimension mismatch";
+  Cmatf.fill_zero m;
+  axpy_sgn_into t 1.0 m
+
+(* Complex division into split scalars, mirroring [Complex.div]
+   (Smith's algorithm) so closed-form feedback keeps the exact rounding
+   of the pure path. Returns (re, im) as a pair of floats — local use
+   only, immediately destructured (no heap escape under flambda, and a
+   single short-lived block otherwise). *)
+let div_parts nr ni dr di =
+  if Float.abs dr >= Float.abs di then begin
+    let r = di /. dr in
+    let d = dr +. (r *. di) in
+    ((nr +. (r *. ni)) /. d, (ni -. (r *. nr)) /. d)
+  end
+  else begin
+    let r = dr /. di in
+    let d = di +. (r *. dr) in
+    (((r *. nr) +. ni) /. d, ((r *. ni) -. nr) /. d)
+  end
+
+(* |re + i·im| mirroring [Complex.norm]'s overflow-safe scaling, so the
+   checked-feedback conditioning proxies agree with [feedback_checked]
+   to the last ulp. *)
+let cnorm re im =
+  let r = Float.abs re and i = Float.abs im in
+  if Float.equal r 0.0 then i
+  else if Float.equal i 0.0 then r
+  else if r >= i then
+    let q = i /. r in
+    r *. Stdlib.sqrt (1.0 +. (q *. q))
+  else
+    let q = r /. i in
+    i *. Stdlib.sqrt (1.0 +. (q *. q))
+
+module Into = struct
+  (* All kernels write into [dst]'s storage. [dst] must have exactly
+     the shape the static rules above assign to the operation, must not
+     alias an operand, and every cell of it is overwritten (containers
+     can be reused point after point with no clearing in between). *)
+
+  let scale_pair_into z src_re src_im dst_re dst_im =
+    let zr = Cx.re z and zi = Cx.im z in
+    for p = 0 to Array.length src_re - 1 do
+      let ar = src_re.(p) and ai = src_im.(p) in
+      dst_re.(p) <- (zr *. ar) -. (zi *. ai);
+      dst_im.(p) <- (zr *. ai) +. (zi *. ar)
+    done
+
+  let scale ~dst z t =
+    match (dst, t) with
+    | Diag d, Diag s -> scale_pair_into z s.dre s.dim_ d.dre d.dim_
+    | Band d, Band s when d.kmax = s.kmax ->
+        scale_pair_into z s.bre s.bim d.bre d.bim
+    | Rank1 d, Rank1 s ->
+        scale_pair_into z s.ure s.uim d.ure d.uim;
+        Array.blit s.vre 0 d.vre 0 (Array.length s.vre);
+        Array.blit s.vim 0 d.vim 0 (Array.length s.vim)
+    | Dense d, Dense s ->
+        Cmatf.blit ~src:s ~dst:d;
+        Cmatf.scale_inplace z d
+    | _ -> invalid_arg "Smat.Into.scale: dst shape mismatch"
+
+  let add ~dst ?(sub = false) a b =
+    let sgn = if sub then -1.0 else 1.0 in
+    match dst with
+    | Diag _ | Band _ ->
+        let n, kd, dre, dim_ = to_band_parts dst in
+        let _, ka, are, aim = to_band_parts a in
+        let _, kb, bre_, bim_ = to_band_parts b in
+        let w = (2 * kd) + 1 and wa = (2 * ka) + 1 and wb = (2 * kb) + 1 in
+        Array.fill dre 0 (n * w) 0.0;
+        Array.fill dim_ 0 (n * w) 0.0;
+        for i = 0 to n - 1 do
+          for d = -kd to kd do
+            let j = i + d in
+            if j >= 0 && j < n then begin
+              let p = (i * w) + d + kd in
+              if abs d <= ka then begin
+                dre.(p) <- dre.(p) +. are.((i * wa) + d + ka);
+                dim_.(p) <- dim_.(p) +. aim.((i * wa) + d + ka)
+              end;
+              if abs d <= kb then begin
+                dre.(p) <- dre.(p) +. (sgn *. bre_.((i * wb) + d + kb));
+                dim_.(p) <- dim_.(p) +. (sgn *. bim_.((i * wb) + d + kb))
+              end
+            end
+          done
+        done
+    | Dense m ->
+        Cmatf.fill_zero m;
+        axpy_sgn_into a 1.0 m;
+        axpy_sgn_into b sgn m
+    | Rank1 _ -> invalid_arg "Smat.Into.add: rank-one destination"
+
+  let gemm_operand t scratch =
+    match t with
+    | Dense m -> m
+    | _ -> (
+        match scratch with
+        | Some m ->
+            densify_into t m;
+            m
+        | None -> invalid_arg "Smat.Into.mul: missing densification scratch")
+
+  let mul ~dst ?da ?db a b =
+    let n = dim a in
+    match (dst, a, b) with
+    | Diag d, Diag x, Diag y ->
+        for i = 0 to n - 1 do
+          let ar = x.dre.(i) and ai = x.dim_.(i) in
+          let br = y.dre.(i) and bi = y.dim_.(i) in
+          d.dre.(i) <- (ar *. br) -. (ai *. bi);
+          d.dim_.(i) <- (ar *. bi) +. (ai *. br)
+        done
+    | Rank1 d, _, Rank1 r ->
+        (* A·(u·vᵀ) = (A·u)·vᵀ *)
+        mv a ~xre:r.ure ~xim:r.uim ~yre:d.ure ~yim:d.uim;
+        Array.blit r.vre 0 d.vre 0 n;
+        Array.blit r.vim 0 d.vim 0 n
+    | Rank1 d, Rank1 r, _ ->
+        (* (u·vᵀ)·B = u·(Bᵀv)ᵀ *)
+        mtv b ~xre:r.vre ~xim:r.vim ~yre:d.vre ~yim:d.vim;
+        Array.blit r.ure 0 d.ure 0 n;
+        Array.blit r.uim 0 d.uim 0 n
+    | (Diag _ | Band _), (Diag _ | Band _), (Diag _ | Band _) ->
+        let _, kd, dre, dim_ = to_band_parts dst in
+        let _, ka, are, aim = to_band_parts a in
+        let _, kb, bre_, bim_ = to_band_parts b in
+        let w = (2 * kd) + 1 and wa = (2 * ka) + 1 and wb = (2 * kb) + 1 in
+        Array.fill dre 0 (n * w) 0.0;
+        Array.fill dim_ 0 (n * w) 0.0;
+        for i = 0 to n - 1 do
+          let llo = Stdlib.max 0 (i - ka) and lhi = Stdlib.min (n - 1) (i + ka) in
+          for l = llo to lhi do
+            let pa = (i * wa) + (l - i) + ka in
+            let ar = are.(pa) and ai = aim.(pa) in
+            if not (Float.equal ar 0.0 && Float.equal ai 0.0) then begin
+              let jlo = Stdlib.max (Stdlib.max 0 (l - kb)) (i - kd) in
+              let jhi = Stdlib.min (Stdlib.min (n - 1) (l + kb)) (i + kd) in
+              for j = jlo to jhi do
+                let pb = (l * wb) + (j - l) + kb in
+                let br = bre_.(pb) and bi = bim_.(pb) in
+                let p = (i * w) + (j - i) + kd in
+                dre.(p) <- dre.(p) +. ((ar *. br) -. (ai *. bi));
+                dim_.(p) <- dim_.(p) +. ((ar *. bi) +. (ai *. br))
+              done
+            end
+          done
+        done
+    | Dense d, Dense x, Diag y ->
+        (* column scaling *)
+        let dr, di = Cmatf.raw d and xr, xi = Cmatf.raw x in
+        for i = 0 to n - 1 do
+          for k = 0 to n - 1 do
+            let p = (i * n) + k in
+            let ar = xr.(p) and ai = xi.(p) in
+            let br = y.dre.(k) and bi = y.dim_.(k) in
+            dr.(p) <- (ar *. br) -. (ai *. bi);
+            di.(p) <- (ar *. bi) +. (ai *. br)
+          done
+        done
+    | Dense d, Diag x, Dense y ->
+        (* row scaling *)
+        let dr, di = Cmatf.raw d and yr, yi = Cmatf.raw y in
+        for i = 0 to n - 1 do
+          let ar = x.dre.(i) and ai = x.dim_.(i) in
+          for k = 0 to n - 1 do
+            let p = (i * n) + k in
+            let br = yr.(p) and bi = yi.(p) in
+            dr.(p) <- (ar *. br) -. (ai *. bi);
+            di.(p) <- (ar *. bi) +. (ai *. br)
+          done
+        done
+    | Dense d, _, _ ->
+        Cmatf.gemm ~dst:d (gemm_operand a da) (gemm_operand b db)
+    | _ -> invalid_arg "Smat.Into.mul: dst shape mismatch"
+
+  let feedback ~dst ?scratch ?denom_override ~checked ~context g =
+    let open Robust in
+    let n = dim g in
+    let max_cond = if checked then Config.get_smw_max_cond () else infinity in
+    match (dst, g) with
+    | Diag d, Diag x ->
+        let guard_err = ref None in
+        if checked then begin
+          let worst = ref 1.0 and exact = ref false in
+          for i = 0 to n - 1 do
+            let dr = x.dre.(i) and di = x.dim_.(i) in
+            let dm = cnorm (1.0 +. dr) di in
+            if Float.equal dm 0.0 then exact := true
+            else begin
+              let proxy = (1.0 +. cnorm dr di) /. dm in
+              if proxy > !worst then worst := proxy
+            end
+          done;
+          if !exact then
+            guard_err :=
+              Some (Pllscope_error.Singular { cond_est = infinity; context })
+          else if !worst > max_cond then
+            guard_err :=
+              Some (Pllscope_error.Singular { cond_est = !worst; context })
+        end;
+        (match !guard_err with
+        | Some e -> Error e
+        | None ->
+            for i = 0 to n - 1 do
+              let dr = x.dre.(i) and di = x.dim_.(i) in
+              let er = 1.0 +. dr in
+              if Float.equal (cnorm er di) 0.0 then raise Lu.Singular;
+              let qr, qi = div_parts dr di er di in
+              d.dre.(i) <- qr;
+              d.dim_.(i) <- qi
+            done;
+            if checked && not (all_finite2 d.dre d.dim_) then
+              Error (Pllscope_error.Non_finite { where = context })
+            else Ok ())
+    | Rank1 d, Rank1 r ->
+        let sr = ref 0.0 and si = ref 0.0 in
+        for k = 0 to n - 1 do
+          let ar = r.vre.(k) and ai = r.vim.(k) in
+          let br = r.ure.(k) and bi = r.uim.(k) in
+          sr := !sr +. ((ar *. br) -. (ai *. bi));
+          si := !si +. ((ar *. bi) +. (ai *. br))
+        done;
+        let lr, li =
+          match denom_override with
+          | Some lam -> (Cx.re lam, Cx.im lam)
+          | None -> (!sr, !si)
+        in
+        let er = 1.0 +. lr and ei = li in
+        let dm = cnorm er ei in
+        if Float.equal dm 0.0 then
+          if checked then
+            Error (Pllscope_error.Singular { cond_est = infinity; context })
+          else raise Lu.Singular
+        else begin
+          let proxy = (1.0 +. cnorm lr li) /. dm in
+          if checked && proxy > max_cond then
+            Error (Pllscope_error.Singular { cond_est = proxy; context })
+          else begin
+            let zr, zi = div_parts 1.0 0.0 er ei in
+            for i = 0 to n - 1 do
+              let ar = r.ure.(i) and ai = r.uim.(i) in
+              d.ure.(i) <- (zr *. ar) -. (zi *. ai);
+              d.uim.(i) <- (zr *. ai) +. (zi *. ar)
+            done;
+            Array.blit r.vre 0 d.vre 0 n;
+            Array.blit r.vim 0 d.vim 0 n;
+            if
+              checked
+              && not (all_finite2 d.ure d.uim && all_finite2 d.vre d.vim)
+            then Error (Pllscope_error.Non_finite { where = context })
+            else Ok ()
+          end
+        end
+    | Dense b, (Band _ | Dense _) -> (
+        let a, ws =
+          match scratch with
+          | Some s -> s
+          | None -> invalid_arg "Smat.Into.feedback: missing dense scratch"
+        in
+        densify_into g b;
+        Cmatf.blit ~src:b ~dst:a;
+        Cmatf.add_ident a;
+        if not checked then begin
+          Cmatf.lu_decompose_inplace a ws;
+          Cmatf.lu_solve_inplace a ws b;
+          Ok ()
+        end
+        else
+          match Cmatf.lu_decompose_checked ~context a ws with
+          | Error e -> Error e
+          | Ok _cond -> Cmatf.lu_solve_checked a ws b ~context)
+    | _ -> invalid_arg "Smat.Into.feedback: dst shape mismatch"
+end

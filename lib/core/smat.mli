@@ -106,11 +106,93 @@ val mhv :
   xre:float array -> xim:float array -> yre:float array -> yim:float array ->
   unit
 
+(** {1 Plan/execute support}
+
+    The grid-batched evaluator ({!Plan}) allocates one container per
+    composition node from the {b static} shape rules below, then
+    streams frequency points through the {!Into} kernels — the same
+    composition rules as the pure operations, writing into preallocated
+    storage. *)
+
+(** A shape descriptor (the type {!shape} returns). *)
+type shape_t = [ `Diag | `Band of int | `Rank1 | `Dense ]
+
+(** [create n shape] — a zero-filled container of the given shape,
+    meant to be written through {!Into}. *)
+val create : int -> shape_t -> t
+
+(** [diag_of_arrays ~dre ~dim_] — zero-copy diagonal view: the arrays
+    are the live storage (mutating them mutates the matrix). *)
+val diag_of_arrays : dre:float array -> dim_:float array -> t
+
+(** [band_of_arrays ~n ~kmax ~bre ~bim] — zero-copy banded view; entry
+    [(i, i+d)], [|d| <= kmax], lives at [i·(2·kmax+1) + d + kmax]. *)
+val band_of_arrays :
+  n:int -> kmax:int -> bre:float array -> bim:float array -> t
+
+(** Static composition rules, mirroring the value-level dispatch of
+    {!add}/{!mul}/{!feedback} decision for decision — except the
+    exactly-zero-diagonal shortcut of {!add}, which is value-dependent
+    and statically unknowable: the static sum shape never shortcuts, so
+    a planned result can sit higher in the lattice than the pure one
+    (equal values up to the rounding of adding exact zeros). *)
+
+val shape_add : shape_t -> shape_t -> shape_t
+
+val shape_mul : n:int -> shape_t -> shape_t -> shape_t
+val shape_feedback : shape_t -> shape_t
+
+(** [mul_scratch ~n a b] — which operands of an {!Into.mul} at these
+    shapes need densification scratch [(da, db)]: only the gemm paths
+    (band products too wide for banded storage, dense·band mixes) do. *)
+val mul_scratch : n:int -> shape_t -> shape_t -> bool * bool
+
+(** [densify_into t m] — write [t] densely over [m] (cleared first). *)
+val densify_into : t -> Numeric.Cmatf.t -> unit
+
+module Into : sig
+  (** In-place counterparts of the pure algebra. Every kernel
+      overwrites all of [dst]'s storage, so containers are reusable
+      point after point without clearing. [dst] must have exactly the
+      shape the static rules assign to the operation and must not alias
+      an operand; violations raise [Invalid_argument]. *)
+
+  val scale : dst:t -> Numeric.Cx.t -> t -> unit
+
+  (** [add ~dst ?sub a b] — [dst = a + b], or [a - b] with [~sub:true].
+      No zero-diagonal shortcut (see the static shape rules). *)
+  val add : dst:t -> ?sub:bool -> t -> t -> unit
+
+  (** [mul ~dst ?da ?db a b] — [dst = a·b]; [da]/[db] are densification
+      scratch, required exactly when {!mul_scratch} says so. *)
+  val mul :
+    dst:t -> ?da:Numeric.Cmatf.t -> ?db:Numeric.Cmatf.t -> t -> t -> unit
+
+  (** [feedback ~dst ?scratch ?denom_override ~checked ~context g] —
+      [dst = (I + G)⁻¹·G]. [scratch] (an [n×n] matrix and an LU
+      workspace) is required for banded/dense [g]. With [~checked:true]
+      the guards of {!feedback_checked} run (conditioning proxies,
+      checked LU, finiteness) and failures come back as [Error];
+      with [~checked:false] exact singularity raises
+      [Numeric.Lu.Singular] like {!feedback}. [denom_override] replaces
+      the rank-one Sherman–Morrison denominator term [vᵀu] with a
+      closed-form loop gain λ(s) — the plan layer's [Special] fast path
+      for time-invariant-VCO loops. *)
+  val feedback :
+    dst:t ->
+    ?scratch:Numeric.Cmatf.t * Numeric.Cmatf.lu_ws ->
+    ?denom_override:Numeric.Cx.t ->
+    checked:bool ->
+    context:string ->
+    t ->
+    (unit, Robust.Pllscope_error.t) result
+end
+
 (** {1 Diagnostics} *)
 
 (** The shape actually held — exposed so tests and benchmarks can
     assert that composition stayed low in the lattice. *)
-val shape : t -> [ `Diag | `Band of int | `Rank1 | `Dense ]
+val shape : t -> shape_t
 
 (** Largest off-diagonal modulus ([0.] for [Diag] by construction). *)
 val max_offdiag_abs : t -> float

@@ -22,18 +22,22 @@ let unwrap phases =
     out
   end
 
-let sweep ?pool f ~lo ~hi ~points =
-  let ws = Optimize.logspace lo hi points in
-  let responses = Parallel.Sweep.grid ?pool f ws in
+let of_responses ~ws responses =
+  if Array.length ws <> Array.length responses then
+    invalid_arg "Bode.of_responses: grid and responses differ in length";
   let raw_phases = Array.map (fun z -> Stats.deg (Cx.arg z)) responses in
   let phases = unwrap raw_phases in
-  Array.init points (fun i ->
+  Array.init (Array.length ws) (fun i ->
       {
         omega = ws.(i);
         response = responses.(i);
         mag_db = Stats.db (Cx.abs responses.(i));
         phase_deg = phases.(i);
       })
+
+let sweep ?pool f ~lo ~hi ~points =
+  let ws = Optimize.logspace lo hi points in
+  of_responses ~ws (Parallel.Sweep.grid ?pool f ws)
 
 let sweep_tf ?pool tf = sweep ?pool (Tf.freq_response tf)
 let mag_db_at f w = Stats.db (Cx.abs (f w))

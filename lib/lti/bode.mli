@@ -12,6 +12,15 @@ type point = {
   phase_deg : float;  (** unwrapped along the sweep *)
 }
 
+(** [of_responses ~ws responses] — build Bode points from responses
+    already evaluated on the grid [ws] (phase unwrapped from the
+    low-frequency end). This is how batched evaluators — notably the
+    grid-batched HTM plans of [Htm_core.Plan] — feed the Bode layer:
+    evaluate the grid however is cheapest, then post-process here.
+    {!sweep} is [of_responses] over a pool-evaluated log grid.
+    @raise Invalid_argument when lengths differ. *)
+val of_responses : ws:float array -> Numeric.Cx.t array -> point array
+
 (** [sweep f ~lo ~hi ~points] evaluates [f] on a log grid and unwraps the
     phase continuously from the low-frequency end. Grid points are
     evaluated on [pool] (default [Parallel.Pool.default]); the result is

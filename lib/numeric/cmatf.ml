@@ -33,6 +33,8 @@ let set m i k z =
 let copy m =
   { rows = m.rows; cols = m.cols; re = Array.copy m.re; im = Array.copy m.im }
 
+let raw m = (m.re, m.im)
+
 let blit ~src ~dst =
   if src.rows <> dst.rows || src.cols <> dst.cols then
     invalid_arg "Cmatf.blit: dimension mismatch";

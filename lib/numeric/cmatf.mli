@@ -116,6 +116,15 @@ val lu_decompose_checked :
 val lu_solve_checked :
   t -> lu_ws -> t -> context:string -> (unit, Robust.Pllscope_error.t) result
 
+(** {1 Raw storage access}
+
+    [raw m] exposes the two row-major split halves backing [m]
+    (entry [(i,k)] lives at index [i·cols + k]). The arrays are the
+    live storage, not a copy: mutating them mutates [m]. Reserved for
+    the plan/execute grid layer and benchmarks, which need unboxed
+    bulk copies in and out of preallocated workspaces. *)
+val raw : t -> float array * float array
+
 (** {1 Lossless converters} *)
 
 val of_cmat : Cmat.t -> t

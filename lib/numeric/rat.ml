@@ -11,6 +11,68 @@ let one = of_poly Poly.one
 let s = of_poly Poly.s
 let eval r x = Cx.div (Poly.eval r.num x) (Poly.eval r.den x)
 
+(* Precompiled split-coefficient form. [eval_into] must stay
+   bit-identical to [eval]: the Horner loop mirrors [Poly.eval]
+   (descending index, acc·x + c at each step) and the final division
+   mirrors the stdlib [Complex.div] (Smith's algorithm) literally —
+   same operations, same order, so the roundings coincide. *)
+type split = {
+  num_re : float array;
+  num_im : float array;
+  den_re : float array;
+  den_im : float array;
+  acc : float array;
+      (* 4-slot Horner scratch — float-array slots keep the accumulators
+         unboxed (refs or tuple returns would allocate per evaluation),
+         at the price of making a [split] a single-thread workspace *)
+}
+
+let split r =
+  let unzip p =
+    let cs = Poly.coeffs p in
+    ( Array.map Cx.re cs,
+      Array.map Cx.im cs )
+  in
+  let num_re, num_im = unzip r.num and den_re, den_im = unzip r.den in
+  { num_re; num_im; den_re; den_im; acc = Array.make 4 0.0 }
+
+(* Horner on split arrays into (acc.(j), acc.(j+1)) = p(x). *)
+let horner_into acc j re im xr xi =
+  acc.(j) <- 0.0;
+  acc.(j + 1) <- 0.0;
+  for i = Array.length re - 1 downto 0 do
+    let ar = acc.(j) and ai = acc.(j + 1) in
+    let mr = (ar *. xr) -. (ai *. xi) in
+    let mi = (ar *. xi) +. (ai *. xr) in
+    acc.(j) <- mr +. re.(i);
+    acc.(j + 1) <- mi +. im.(i)
+  done
+
+let eval_into sp ~re ~im ~out_re ~out_im ~idx =
+  let acc = sp.acc in
+  horner_into acc 0 sp.num_re sp.num_im re im;
+  horner_into acc 2 sp.den_re sp.den_im re im;
+  let nr = acc.(0) and ni = acc.(1) in
+  let dr = acc.(2) and di = acc.(3) in
+  (* Smith's algorithm, exactly as [Complex.div] *)
+  if Float.abs dr >= Float.abs di then begin
+    let r = di /. dr in
+    let d = dr +. (r *. di) in
+    out_re.(idx) <- (nr +. (r *. ni)) /. d;
+    out_im.(idx) <- (ni -. (r *. nr)) /. d
+  end
+  else begin
+    let r = dr /. di in
+    let d = di +. (r *. dr) in
+    out_re.(idx) <- ((r *. nr) +. ni) /. d;
+    out_im.(idx) <- ((r *. ni) -. nr) /. d
+  end
+
+let eval_split sp x =
+  let out_re = [| 0.0 |] and out_im = [| 0.0 |] in
+  eval_into sp ~re:(Cx.re x) ~im:(Cx.im x) ~out_re ~out_im ~idx:0;
+  Cx.make out_re.(0) out_im.(0)
+
 let add a b =
   make
     (Poly.add (Poly.mul a.num b.den) (Poly.mul b.num a.den))

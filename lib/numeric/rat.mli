@@ -18,6 +18,40 @@ val one : t
 val s : t
 
 val eval : t -> Cx.t -> Cx.t
+
+(** {1 Allocation-free evaluation}
+
+    [split r] precompiles the coefficients into flat unboxed arrays;
+    {!eval_into} then evaluates the rational without allocating a single
+    heap block — the hot path of grid-batched HTM plans, where one
+    rational is evaluated at thousands of shifted frequencies.
+    [eval_into] is bit-identical to {!eval}: the Horner recurrences and
+    the complex division mirror [Poly.eval] and [Complex.div] (Smith's
+    algorithm) operation for operation.
+
+    A [split] carries a small private evaluation scratch (that is how it
+    stays allocation-free), so one [split] value supports one evaluation
+    at a time: give each concurrent lane its own [split] — grid plans do
+    this by construction, one compiled plan per lane. *)
+
+type split
+
+val split : t -> split
+
+(** [eval_into sp ~re ~im ~out_re ~out_im ~idx] — evaluate at
+    [re + i·im] and store the result at [out_re.(idx)], [out_im.(idx)]. *)
+val eval_into :
+  split ->
+  re:float ->
+  im:float ->
+  out_re:float array ->
+  out_im:float array ->
+  idx:int ->
+  unit
+
+(** [eval_split sp x] — boxed convenience wrapper over {!eval_into}
+    (equality-with-{!eval} tests). *)
+val eval_split : split -> Cx.t -> Cx.t
 val add : t -> t -> t
 val sub : t -> t -> t
 val mul : t -> t -> t

@@ -2,6 +2,32 @@ let pool_of = function Some p -> p | None -> Pool.default ()
 
 let grid ?pool ?chunk f a = Pool.map ?chunk (pool_of pool) f a
 
+(* Lane-local state without Domain.DLS: a mutex-guarded free list of
+   [local ()] instances. A task pops an instance (creating one when the
+   list is empty), runs, and pushes it back — so at most [lanes]
+   instances ever exist, and an instance is owned by exactly one task
+   at a time. [Domain.DLS] would also work, but its slots are never
+   reclaimed: a fresh key per sweep would grow every domain's local
+   table for the life of the process. *)
+type 'l lane_cache = { lock : Mutex.t; mutable free : 'l list }
+
+let cache_acquire c local =
+  Mutex.lock c.lock;
+  let hit = match c.free with [] -> None | x :: rest -> c.free <- rest; Some x in
+  Mutex.unlock c.lock;
+  match hit with Some x -> x | None -> local ()
+
+let cache_release c l =
+  Mutex.lock c.lock;
+  c.free <- l :: c.free;
+  Mutex.unlock c.lock
+
+let grid_local ?pool ?chunk ~local f a =
+  let cache = { lock = Mutex.create (); free = [] } in
+  Pool.map ?chunk (pool_of pool) (fun x ->
+      let l = cache_acquire cache local in
+      Fun.protect ~finally:(fun () -> cache_release cache l) (fun () -> f l x)) a
+
 let map_list ?pool ?chunk f l =
   Array.to_list (Pool.map ?chunk (pool_of pool) f (Array.of_list l))
 

@@ -12,6 +12,29 @@
 (** [grid ?pool ?chunk f a] — [Array.map f a] on the pool. *)
 val grid : ?pool:Pool.t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 
+(** [grid_local ?pool ?chunk ~local f a] — like {!grid}, but each task
+    runs as [f lane_state a.(i)] with a lane-owned instance of
+    [local ()]. Instances are pooled: at most one per concurrently
+    running lane is ever created, and an instance is owned by exactly
+    one task at a time — this is how mutable per-lane workspaces (e.g.
+    an [Htm_core.Plan.t], whose buffers are overwritten at every
+    evaluation) ride a sweep without aliasing across lanes.
+
+    Ownership rule: [f] may freely mutate its lane state but must leave
+    it reusable, and its {b result must not depend on} which instance it
+    received or on the instance's history — fresh instance and reused
+    instance must produce bit-identical values, otherwise results would
+    depend on the pool size and schedule. (Plans satisfy this by
+    construction: every output cell of a plan evaluation is
+    overwritten before it is read.) *)
+val grid_local :
+  ?pool:Pool.t ->
+  ?chunk:int ->
+  local:(unit -> 'l) ->
+  ('l -> 'a -> 'b) ->
+  'a array ->
+  'b array
+
 (** [map_list ?pool ?chunk f l] — [List.map f l] on the pool, preserving
     order. *)
 val map_list : ?pool:Pool.t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -34,13 +34,10 @@ let effective_report ?(method_ = Pll.Exact) p =
      meaningful crossover lives strictly inside (0, ω₀/2). *)
   of_margins (Lti.Margins.analyze f ~lo:(w0 *. 1e-5) ~hi:(w0 *. 0.4999))
 
-let closed_loop_metrics ?(method_ = Pll.Exact) ?(points = 800) ?pool p =
-  let h = Pll.h00_fn p method_ in
-  let w0 = Pll.omega0 p in
-  let mag w = Cx.abs (h (Cx.jomega w)) in
-  let lo = w0 *. 1e-5 and hi = w0 *. 0.4999 in
-  let ws = Optimize.logspace lo hi points in
-  let mags = Parallel.Sweep.grid ?pool mag ws in
+(* peak/bandwidth extraction shared by the closed-form and the
+   HTM-grid metric paths: [mags] is |H₀₀| on the grid [ws], [mag] is a
+   sequential evaluator used only by the refinement searches. *)
+let metrics_of_grid ~points ~ws ~mags ~mag =
   let dc_mag = mags.(0) in
   let peak_idx = ref 0 in
   Array.iteri (fun i m -> if m > mags.(!peak_idx) then peak_idx := i) mags;
@@ -74,6 +71,34 @@ let closed_loop_metrics ?(method_ = Pll.Exact) ?(points = 800) ?pool p =
     peak_freq;
     bandwidth_3db;
   }
+
+let closed_loop_metrics ?(method_ = Pll.Exact) ?(points = 800) ?pool p =
+  let h = Pll.h00_fn p method_ in
+  let w0 = Pll.omega0 p in
+  let mag w = Cx.abs (h (Cx.jomega w)) in
+  let lo = w0 *. 1e-5 and hi = w0 *. 0.4999 in
+  let ws = Optimize.logspace lo hi points in
+  let mags = Parallel.Sweep.grid ?pool mag ws in
+  metrics_of_grid ~points ~ws ~mags ~mag
+
+let closed_loop_metrics_htm ?(n_harm = 12) ?(points = 800) ?pool p =
+  (* same metrics from the truncated closed-loop HTM instead of the
+     time-invariant closed form: valid for ISF VCOs and mixing PFDs.
+     The grid runs through per-lane plans; the peak/bandwidth
+     refinement searches reuse one sequential plan. *)
+  let c = { Htm_core.Htm.n_harm; omega0 = Pll.omega0 p } in
+  let w0 = Pll.omega0 p in
+  let lo = w0 *. 1e-5 and hi = w0 *. 0.4999 in
+  let ws = Optimize.logspace lo hi points in
+  let mags =
+    Parallel.Sweep.grid_local ?pool
+      ~local:(fun () -> Pll.closed_loop_plan c p)
+      (fun plan w -> Cx.abs (Htm_core.Plan.baseband plan (Cx.jomega w)))
+      ws
+  in
+  let plan = Pll.closed_loop_plan c p in
+  let mag w = Cx.abs (Htm_core.Plan.baseband plan (Cx.jomega w)) in
+  metrics_of_grid ~points ~ws ~mags ~mag
 
 type ratio_point = {
   ratio : float;

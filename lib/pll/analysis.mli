@@ -40,6 +40,20 @@ val closed_loop_metrics :
   Pll.t ->
   closed_loop_metrics
 
+(** [closed_loop_metrics_htm ?n_harm ?points ?pool p] — the same
+    metrics computed from [|H₀₀|] of the {b truncated closed-loop HTM}
+    (grid-batched through {!Pll.closed_loop_plan}, one plan per lane)
+    instead of the time-invariant closed form: this path is also valid
+    for ISF VCOs and mixing PFDs, where eq. 38 does not apply. For a
+    time-invariant VCO with the sampling PFD the two agree to rounding
+    (the plan substitutes the exact λ). *)
+val closed_loop_metrics_htm :
+  ?n_harm:int ->
+  ?points:int ->
+  ?pool:Parallel.Pool.t ->
+  Pll.t ->
+  closed_loop_metrics
+
 (** Row of the Fig. 7 sweep. *)
 type ratio_point = {
   ratio : float;  (** ω_UG/ω₀ *)

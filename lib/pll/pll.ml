@@ -76,17 +76,31 @@ let h00_lti p s =
 let open_loop_htm p =
   Htm_core.Htm.series_list
     [ Vco.htm p.vco;
-      Htm_core.Htm.lti (Lti.Tf.eval (Loop_filter.tf p.filter));
+      Htm_core.Htm.lti_rat (Lti.Tf.to_rat (Loop_filter.tf p.filter));
       Pfd.htm p.pfd ]
 
 let closed_loop_htm p = Htm_core.Htm.feedback (open_loop_htm p)
+
+let closed_loop_plan ?(exact_lambda = true) ctx p =
+  (* the Special fast path: for a time-invariant VCO behind the sampler
+     the closed loop realizes as rank one, and its Sherman–Morrison
+     denominator term can be replaced by the exact λ(s) of eq. 37
+     (coth lattice sums) instead of the truncated [vᵀu] — the planned
+     evaluation then carries no truncation error in the denominator *)
+  let lambda =
+    match p.pfd with
+    | Pfd.Sampling when exact_lambda && Vco.is_time_invariant p.vco ->
+        Some (lambda_fn p Exact)
+    | _ -> None
+  in
+  Htm_core.Plan.make ?lambda ctx (closed_loop_htm p)
 
 let forward_chain_matrix ctx p s =
   (* H_VCO(s) * H_LF(s) as a truncated matrix *)
   let open Htm_core in
   let chain =
     Htm.series (Vco.htm p.vco)
-      (Htm.lti (Lti.Tf.eval (Loop_filter.tf p.filter)))
+      (Htm.lti_rat (Lti.Tf.to_rat (Loop_filter.tf p.filter)))
   in
   Htm.to_matrix ctx chain s
 

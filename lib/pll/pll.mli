@@ -78,6 +78,17 @@ val open_loop_htm : t -> Htm_core.Htm.t
 (** [closed_loop_htm p] — [(I+G)^{-1}G] via truncated LU (eq. 28). *)
 val closed_loop_htm : t -> Htm_core.Htm.t
 
+(** [closed_loop_plan ctx p] — {!closed_loop_htm} compiled for
+    grid-batched evaluation ({!Htm_core.Plan}). When the VCO is time
+    invariant and the PFD is the sampler (and [exact_lambda] is left
+    [true], the default), the plan's rank-one feedback uses the {b
+    exact} λ(s) of eq. 37 (partial fractions + coth lattice sums) in
+    place of the truncated Sherman–Morrison denominator [vᵀu]: the
+    planned H₀₀ then matches {!h00} to rounding rather than to the
+    truncation tail. Each concurrent lane needs its own plan — see the
+    ownership rule in [Parallel.Sweep.grid_local]. *)
+val closed_loop_plan : ?exact_lambda:bool -> Htm_core.Htm.ctx -> t -> Htm_core.Plan.t
+
 (** [closed_loop_rank_one ctx p s] — the Sherman–Morrison closed form
     evaluated with truncated matrices (eqs. 29–34): valid for any VCO
     ISF as long as the PFD is the sampler; O(dim²) instead of the LU's

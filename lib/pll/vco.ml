@@ -36,10 +36,14 @@ let isf_coeffs vco ~max_harmonic =
       done);
   out
 
-let htm vco =
-  let integ = Htm_core.Htm.lti (fun s -> Cx.inv s) in
-  match vco.harmonics with
-  | None -> Htm_core.Htm.series integ (Htm_core.Htm.lti (fun _ -> Cx.of_float vco.v0))
-  | Some coeffs -> Htm_core.Htm.series integ (Htm_core.Htm.periodic_gain coeffs)
-
 let tf vco = Lti.Tf.scale vco.v0 Lti.Tf.integrator
+
+(* rational leaves so the plan/execute grid layer fills these diagonals
+   without boxing (see Htm.lti_rat) *)
+let htm vco =
+  match vco.harmonics with
+  | None -> Htm_core.Htm.lti_rat (Lti.Tf.to_rat (tf vco))
+  | Some coeffs ->
+      Htm_core.Htm.series
+        (Htm_core.Htm.lti_rat (Lti.Tf.to_rat Lti.Tf.integrator))
+        (Htm_core.Htm.periodic_gain coeffs)

@@ -24,6 +24,7 @@ type site =
   | Task_hang
   | Journal_torn
   | Crash_at_point
+  | Grid_plan_nan
 
 (* Raised by crash-simulation sites (journal-torn, crash-at-point) to
    model abrupt process death. Defined here — not in Runner — so that
@@ -31,7 +32,7 @@ type site =
    without depending on the runner library. *)
 exception Simulated_crash
 
-let n_sites = 7
+let n_sites = 8
 
 let index = function
   | Lu_pivot -> 0
@@ -41,6 +42,7 @@ let index = function
   | Task_hang -> 4
   | Journal_torn -> 5
   | Crash_at_point -> 6
+  | Grid_plan_nan -> 7
 
 let site_name = function
   | Lu_pivot -> "lu-pivot"
@@ -50,6 +52,7 @@ let site_name = function
   | Task_hang -> "task-hang"
   | Journal_torn -> "journal-torn"
   | Crash_at_point -> "crash-at-point"
+  | Grid_plan_nan -> "grid-plan-nan"
 
 let site_of_name = function
   | "lu-pivot" -> Lu_pivot
@@ -59,6 +62,7 @@ let site_of_name = function
   | "task-hang" -> Task_hang
   | "journal-torn" -> Journal_torn
   | "crash-at-point" -> Crash_at_point
+  | "grid-plan-nan" -> Grid_plan_nan
   | s -> invalid_arg (Printf.sprintf "Inject.site_of_name: unknown site %S" s)
 
 type trigger = Never | Always | Nth of int | From of int | Prob of float

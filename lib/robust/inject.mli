@@ -14,7 +14,8 @@
       splitmix64 stream seeded per (seed, site), hence reproducible.
 
     Site names: ["lu-pivot"], ["smat-nan"], ["power-stall"],
-    ["pool-task"], ["task-hang"], ["journal-torn"], ["crash-at-point"].
+    ["pool-task"], ["task-hang"], ["journal-torn"], ["crash-at-point"],
+    ["grid-plan-nan"].
     Example: ["lu-pivot:2,smat-nan:*"]. *)
 
 type site =
@@ -32,6 +33,10 @@ type site =
   | Crash_at_point
       (** simulate an abrupt process death right after a sweep point
           has been journaled. *)
+  | Grid_plan_nan
+      (** poison the root of a planned grid evaluation ([Htm_core.Plan])
+          with a NaN after one point's in-place execution, exercising
+          the per-point dense-oracle fallback of the plan layer. *)
 
 (** Raised by the crash-simulation sites ([Journal_torn],
     [Crash_at_point]) to model abrupt process death. [Parallel.Pool]

@@ -1,0 +1,434 @@
+(* The grid-batched plan/execute evaluator (Htm_core.Plan) against the
+   per-point paths it replaces:
+
+   - a deterministic randomized generator over every Htm constructor
+     (lti, lti_rat, periodic_gain, sampler, identity, zero, scale,
+     series, parallel, sub, feedback, custom) asserts that a compiled
+     plan agrees entrywise with both Htm.to_matrix and the dense oracle
+     Htm.to_matrix_dense to 1e-12, across every structure class and
+     feedback nesting the generator can produce;
+   - plan reuse is safe: one plan over two grids back-to-back, and a
+     re-run of the first grid, are bit-identical to a fresh plan;
+   - planned sweeps are pool-size independent: Sweep.grid_local over
+     per-lane plans is bit-identical at 1 and 4 domains;
+   - Rat.eval_into (the allocation-free split-rational kernel plans are
+     built on) is bit-identical to Rat.eval;
+   - the grid-plan-nan injection site degrades poisoned points to the
+     dense oracle, counted in Robust.Stats, and refuses under --strict;
+   - golden regression rows pin a 64-point planned grid of the default
+     closed loop at n_harm = 20 against test/golden/fig_metrics.txt;
+   - the exact-λ fast path, the HTM-native metrics, and the HTM-native
+     noise folding agree with their closed-form counterparts. *)
+
+open Numeric
+open Helpers
+module Htm = Htm_core.Htm
+module Smat = Htm_core.Smat
+module Plan = Htm_core.Plan
+module Pool = Parallel.Pool
+module Sweep = Parallel.Sweep
+module E = Robust.Pllscope_error
+
+(* ------------------------------------------------------------------ *)
+(* deterministic random expression generator (test_htm_struct's, plus
+   lti_rat leaves so the split-rational fill path is exercised)         *)
+
+let rint g n = int_of_float (Prng.float g *. float_of_int n)
+
+let gen_cx_with g scale =
+  Cx.make (scale *. Prng.gaussian g) (scale *. Prng.gaussian g)
+
+(* an LTI block bounded on the imaginary axis: (a0 + a1 s)/(s + c) with
+   re c >= 0.7, so random feedback loops stay comfortably away from
+   exact singularity *)
+let gen_lti_parts g =
+  let a0 = gen_cx_with g 0.8 and a1 = gen_cx_with g 0.4 in
+  let c = Cx.add (Cx.of_float (0.7 +. Float.abs (Prng.gaussian g))) (gen_cx_with g 0.3) in
+  let c = Cx.make (Float.abs (Cx.re c) +. 0.7) (Cx.im c) in
+  (a0, a1, c)
+
+let gen_lti g =
+  let a0, a1, c = gen_lti_parts g in
+  Htm.lti (fun s -> Cx.div (Cx.add a0 (Cx.mul a1 s)) (Cx.add s c))
+
+let gen_lti_rat g =
+  let a0, a1, c = gen_lti_parts g in
+  Htm.lti_rat
+    (Rat.make (Poly.of_coeffs [ a0; a1 ]) (Poly.of_coeffs [ c; Cx.one ]))
+
+let gen_periodic g =
+  let k = rint g 3 in
+  let coeffs = Array.init ((2 * k) + 1) (fun _ -> gen_cx_with g 0.5) in
+  Htm.periodic_gain coeffs
+
+let gen_custom g =
+  let z1 = gen_cx_with g 0.4 and z2 = gen_cx_with g 0.2 in
+  Htm.custom (fun c s ->
+      let n = Htm.dim c in
+      Cmat.init n n (fun i k ->
+          let fade = 1.0 /. float_of_int (1 + abs (i - k)) in
+          Cx.scale fade (Cx.add z1 (Cx.mul z2 s))))
+
+let rec gen_expr g depth =
+  let leaf () =
+    match rint g 7 with
+    | 0 -> gen_lti g
+    | 1 -> gen_lti_rat g
+    | 2 -> gen_periodic g
+    | 3 -> Htm.sampler
+    | 4 -> Htm.identity
+    | 5 -> Htm.zero
+    | _ -> gen_custom g
+  in
+  if depth = 0 then leaf ()
+  else
+    match rint g 10 with
+    | 0 | 1 | 2 -> leaf ()
+    | 3 -> Htm.scale (gen_cx_with g 0.7) (gen_expr g (depth - 1))
+    | 4 | 5 -> Htm.series (gen_expr g (depth - 1)) (gen_expr g (depth - 1))
+    | 6 -> Htm.parallel (gen_expr g (depth - 1)) (gen_expr g (depth - 1))
+    | 7 -> Htm.sub (gen_expr g (depth - 1)) (gen_expr g (depth - 1))
+    | _ ->
+        (* keep the loop gain small so (I + G) stays well conditioned
+           and the 1e-12 agreement bound is meaningful *)
+        Htm.feedback (Htm.scale (gen_cx_with g 0.15) (gen_expr g (depth - 1)))
+
+let gen_s g = Cx.make (0.5 *. Prng.gaussian g) (2.0 *. Prng.gaussian g)
+
+(* every test that may touch the global robustness state restores it *)
+let clean f () =
+  Fun.protect
+    ~finally:(fun () ->
+      Robust.Inject.disarm ();
+      Robust.Config.reset ();
+      Robust.Stats.reset ())
+    f
+
+let bits_equal a b =
+  Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let check_bits msg a b =
+  if not (Cx.is_finite a && Cx.is_finite b) then
+    Alcotest.failf "%s: non-finite (%s vs %s)" msg (Cx.to_string a)
+      (Cx.to_string b);
+  if not (bits_equal (Cx.re a) (Cx.re b) && bits_equal (Cx.im a) (Cx.im b))
+  then
+    Alcotest.failf "%s: not bit-identical (%s vs %s)" msg (Cx.to_string a)
+      (Cx.to_string b)
+
+(* ------------------------------------------------------------------ *)
+(* randomized differential: plan = per-point = dense oracle            *)
+
+let test_randomized_plan_vs_oracle () =
+  let g = Prng.create ~seed:0x6B1DL in
+  let checked = ref 0 in
+  for trial = 1 to 120 do
+    let n_harm = 1 + rint g 4 in
+    let c = Htm.ctx ~n_harm ~omega0:(Prng.uniform g ~lo:1.0 ~hi:3.0) in
+    let t = gen_expr g 3 in
+    let plan = Plan.make c t in
+    (* the same plan is streamed over several points: reuse inside the
+       trial is part of what is being tested *)
+    for point = 1 to 3 do
+      let s = gen_s g in
+      match
+        (Htm.to_matrix_dense c t s, Htm.to_matrix c t s, Plan.to_cmat plan s)
+      with
+      | exception Lu.Singular -> () (* all paths raise on exact singularity *)
+      | dense, structured, planned ->
+          incr checked;
+          if not (Cmat.equal ~tol:1e-12 dense planned) then
+            Alcotest.failf
+              "trial %d point %d (n_harm %d): planned and dense disagree \
+               beyond 1e-12"
+              trial point n_harm;
+          if not (Cmat.equal ~tol:1e-12 structured planned) then
+            Alcotest.failf
+              "trial %d point %d (n_harm %d): planned and per-point \
+               structured disagree beyond 1e-12"
+              trial point n_harm;
+          (* the element fast path reads off the same plan storage *)
+          let n = rint g ((2 * n_harm) + 1) - n_harm in
+          check_cx ~tol:1e-12
+            (Printf.sprintf "trial %d element" trial)
+            (Cmat.get dense (Htm.index_of_harmonic c n)
+               (Htm.index_of_harmonic c 0))
+            (Plan.element plan ~n ~m:0 s)
+    done
+  done;
+  (* the singular guard must not have eaten the test *)
+  check_true "almost all trials checked" (!checked >= 330)
+
+let test_run_grid_matches_dense () =
+  let g = Prng.create ~seed:0x9157L in
+  for trial = 1 to 12 do
+    let n_harm = 1 + rint g 3 in
+    let c = Htm.ctx ~n_harm ~omega0:(Prng.uniform g ~lo:1.0 ~hi:3.0) in
+    let t = gen_expr g 3 in
+    let plan = Plan.make c t in
+    let ss = Array.init 9 (fun _ -> gen_s g) in
+    match (Plan.run_grid plan ss, Array.map (Htm.to_matrix_dense c t) ss) with
+    | exception Lu.Singular -> ()
+    | planned, oracle ->
+        Array.iteri
+          (fun i m ->
+            if not (Cmat.equal ~tol:1e-12 oracle.(i) m) then
+              Alcotest.failf "trial %d grid point %d disagrees with oracle"
+                trial i)
+          planned
+  done
+
+(* run_grid_ba writes the same values into the Bigarray block, with
+   exact zeros off-structure *)
+let test_run_grid_ba_matches_eval () =
+  let g = Prng.create ~seed:0xBA3L in
+  for trial = 1 to 12 do
+    let n_harm = 1 + rint g 3 in
+    let c = Htm.ctx ~n_harm ~omega0:(Prng.uniform g ~lo:1.0 ~hi:3.0) in
+    let t = gen_expr g 2 in
+    let plan = Plan.make c t in
+    let ss = Array.init 5 (fun _ -> gen_s g) in
+    match (Plan.run_grid_ba plan ss, Plan.run_grid plan ss) with
+    | exception Lu.Singular -> ()
+    | out, boxed ->
+        check_int "points" (Plan.Out.points out) (Array.length ss);
+        check_int "dim" (Plan.Out.dim out) (Htm.dim c);
+        let n = Htm.dim c in
+        for p = 0 to Array.length ss - 1 do
+          for i = 0 to n - 1 do
+            for k = 0 to n - 1 do
+              check_bits
+                (Printf.sprintf "trial %d ba (%d,%d,%d)" trial p i k)
+                (Cmat.get boxed.(p) i k)
+                (Plan.Out.get out ~p ~i ~k)
+            done
+          done
+        done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* plan reuse and pool-size independence                               *)
+
+let closed_loop_fixture () =
+  let p = pll_of spec_default in
+  let w0 = Pll_lib.Pll.omega0 p in
+  let ctx = Htm.ctx ~n_harm:8 ~omega0:w0 in
+  (p, w0, ctx)
+
+let test_plan_reuse_bit_identical () =
+  let p, w0, ctx = closed_loop_fixture () in
+  let t = Pll_lib.Pll.closed_loop_htm p in
+  let grid lo hi =
+    Array.map Cx.jomega (Optimize.logspace (lo *. w0) (hi *. w0) 48)
+  in
+  let ss1 = grid 1e-3 0.49 and ss2 = grid 3e-3 0.3 in
+  let h00 plan ss =
+    Plan.run_grid_map plan
+      (fun _ sm -> Smat.get sm (Htm.index_of_harmonic ctx 0) (Htm.index_of_harmonic ctx 0))
+      ss
+  in
+  let plan = Plan.make ctx t in
+  let first = h00 plan ss1 in
+  let _second = h00 plan ss2 in
+  let again = h00 plan ss1 in
+  let fresh = h00 (Plan.make ctx t) ss1 in
+  Array.iteri
+    (fun i v ->
+      check_bits (Printf.sprintf "reused plan, point %d" i) first.(i) v;
+      check_bits (Printf.sprintf "fresh plan, point %d" i) first.(i) fresh.(i))
+    again
+
+let test_pool_size_bit_identical () =
+  let p, w0, ctx = closed_loop_fixture () in
+  let t = Pll_lib.Pll.closed_loop_htm p in
+  let ws = Optimize.logspace (w0 *. 1e-3) (w0 *. 0.49) 160 in
+  let sweep pool =
+    (* one plan per concurrent lane: with 4 domains and a small chunk
+       size several plan instances are live at once *)
+    Sweep.grid_local ~pool ~chunk:8
+      ~local:(fun () -> Plan.make ctx t)
+      (fun plan w -> Plan.baseband plan (Cx.jomega w))
+      ws
+  in
+  let seq =
+    let plan = Plan.make ctx t in
+    Array.map (fun w -> Plan.baseband plan (Cx.jomega w)) ws
+  in
+  let one = Pool.with_pool ~domains:1 sweep in
+  let four = Pool.with_pool ~domains:4 sweep in
+  Array.iteri
+    (fun i _ ->
+      check_bits (Printf.sprintf "1-domain vs sequential, point %d" i)
+        seq.(i) one.(i);
+      check_bits (Printf.sprintf "4-domain vs sequential, point %d" i)
+        seq.(i) four.(i))
+    ws
+
+(* ------------------------------------------------------------------ *)
+(* Rat.eval_into: the split kernel under the plan's LTI fills          *)
+
+let test_rat_split_bit_identical () =
+  let g = Prng.create ~seed:0x5137L in
+  for trial = 1 to 200 do
+    let coeffs n = List.init n (fun _ -> gen_cx_with g 1.0) in
+    let num = Poly.of_coeffs (coeffs (1 + rint g 4)) in
+    let den = Poly.of_coeffs (coeffs (1 + rint g 3) @ [ Cx.one ]) in
+    let r = Rat.make num den in
+    let sp = Rat.split r in
+    for _ = 1 to 5 do
+      let x = gen_s g in
+      let a = Rat.eval r x and b = Rat.eval_split sp x in
+      if Cx.is_finite a then
+        check_bits (Printf.sprintf "trial %d" trial) a b
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* fault injection: grid-plan-nan                                      *)
+
+let test_injected_nan_falls_back =
+  clean (fun () ->
+      let p, w0, ctx = closed_loop_fixture () in
+      let t = Pll_lib.Pll.closed_loop_htm p in
+      let plan = Plan.make ctx t in
+      let ss =
+        Array.map Cx.jomega (Optimize.logspace (w0 *. 1e-2) (w0 *. 0.4) 8)
+      in
+      Robust.Stats.reset ();
+      Robust.Inject.configure "grid-plan-nan:1";
+      let planned = Plan.run_grid plan ss in
+      Robust.Inject.disarm ();
+      (* every point — the poisoned one via the dense oracle — must
+         still match the reference *)
+      Array.iteri
+        (fun i s ->
+          let oracle = Htm.to_matrix_dense ctx t s in
+          if not (Cmat.equal ~tol:1e-9 oracle planned.(i)) then
+            Alcotest.failf "point %d disagrees with oracle after injection" i)
+        ss;
+      let st = Robust.Stats.snapshot () in
+      check_int "one dense fallback" 1 st.Robust.Stats.dense_fallbacks;
+      check_int "counted as non-finite" 1 st.Robust.Stats.nonfinite_guards)
+
+let test_injected_nan_strict_refuses =
+  clean (fun () ->
+      let p, w0, ctx = closed_loop_fixture () in
+      let t = Pll_lib.Pll.closed_loop_htm p in
+      let plan = Plan.make ctx t in
+      let s = Cx.jomega (0.1 *. w0) in
+      Robust.Inject.configure "grid-plan-nan:1";
+      Robust.Config.set_strict true;
+      (match Plan.eval plan s with
+      | exception E.Error (E.Non_finite _) -> ()
+      | exception e ->
+          Alcotest.failf "expected typed Non_finite, got %s"
+            (Printexc.to_string e)
+      | _ -> Alcotest.fail "strict mode accepted an injected NaN");
+      Robust.Config.set_strict false;
+      Robust.Inject.disarm ();
+      (* the plan workspace is still usable after the refusal *)
+      let oracle = Htm.to_matrix_dense ctx t s in
+      if not (Cmat.equal ~tol:1e-9 oracle (Plan.to_cmat plan s)) then
+        Alcotest.fail "plan unusable after strict refusal")
+
+(* ------------------------------------------------------------------ *)
+(* golden regression: 64-point planned grid at n_harm = 20             *)
+
+let test_planned_grid_golden () =
+  let tbl = Test_golden.load () in
+  let check_golden key actual =
+    match Hashtbl.find_opt tbl key with
+    | None -> Alcotest.failf "golden key %s missing from snapshot" key
+    | Some expected -> check_close ~tol:1e-9 key expected actual
+  in
+  let p = pll_of spec_default in
+  let w0 = Pll_lib.Pll.omega0 p in
+  let ctx = Htm.ctx ~n_harm:20 ~omega0:w0 in
+  let c0 = Htm.index_of_harmonic ctx 0 in
+  let ss =
+    Array.map Cx.jomega (Optimize.logspace (w0 *. 1e-3) (w0 *. 0.49) 64)
+  in
+  let plan = Pll_lib.Pll.closed_loop_plan ctx p in
+  let h00s = Plan.run_grid_map plan (fun _ sm -> Smat.get sm c0 c0) ss in
+  Array.iteri
+    (fun i h ->
+      check_golden (Printf.sprintf "grid_n20.p%d.re" i) (Cx.re h);
+      check_golden (Printf.sprintf "grid_n20.p%d.im" i) (Cx.im h))
+    h00s;
+  let sm = Plan.eval plan ss.(31) in
+  check_golden "grid_n20.p31.h10_re" (Cx.re (Smat.get sm (c0 + 1) c0));
+  check_golden "grid_n20.p31.h10_im" (Cx.im (Smat.get sm (c0 + 1) c0));
+  check_golden "grid_n20.p31.hm10_re" (Cx.re (Smat.get sm (c0 - 1) c0));
+  check_golden "grid_n20.p31.hm10_im" (Cx.im (Smat.get sm (c0 - 1) c0));
+  check_golden "grid_n20.p31.frobenius"
+    (Cmat.norm_frobenius (Smat.to_cmat sm))
+
+(* ------------------------------------------------------------------ *)
+(* exact-λ fast path and the HTM-native analysis entry points          *)
+
+let test_exact_lambda_matches_closed_form () =
+  let p = pll_of spec_default in
+  let w0 = Pll_lib.Pll.omega0 p in
+  let ctx = Htm.ctx ~n_harm:20 ~omega0:w0 in
+  let plan = Pll_lib.Pll.closed_loop_plan ctx p in
+  List.iter
+    (fun frac ->
+      let s = Cx.jomega (frac *. w0) in
+      check_cx ~tol:1e-9
+        (Printf.sprintf "h00 at %g·ω₀" frac)
+        (Pll_lib.Pll.h00 p s) (Plan.baseband plan s))
+    [ 1e-3; 0.01; 0.07; 0.2; 0.45 ]
+
+let test_metrics_htm_matches_closed_form () =
+  let p = pll_of spec_default in
+  let m = Pll_lib.Analysis.closed_loop_metrics p in
+  let mh = Pll_lib.Analysis.closed_loop_metrics_htm ~n_harm:12 p in
+  check_close ~tol:1e-6 "dc_mag" m.Pll_lib.Analysis.dc_mag
+    mh.Pll_lib.Analysis.dc_mag;
+  check_close ~tol:1e-6 "peak_db" m.Pll_lib.Analysis.peak_db
+    mh.Pll_lib.Analysis.peak_db;
+  check_close ~tol:1e-6 "peak_freq" m.Pll_lib.Analysis.peak_freq
+    mh.Pll_lib.Analysis.peak_freq;
+  match (m.Pll_lib.Analysis.bandwidth_3db, mh.Pll_lib.Analysis.bandwidth_3db)
+  with
+  | Some a, Some b -> check_close ~tol:1e-6 "bandwidth_3db" a b
+  | None, None -> ()
+  | _ -> Alcotest.fail "bandwidth_3db presence disagrees"
+
+let test_noise_htm_matches_folded () =
+  let p = pll_of spec_default in
+  let w0 = Pll_lib.Pll.omega0 p in
+  let s_ref = Pll_lib.Noise.lorentzian ~level:1e-12 ~corner:(0.02 *. w0) in
+  let ws = [| 0.01 *. w0; 0.05 *. w0; 0.15 *. w0; 0.35 *. w0 |] in
+  let htm = Pll_lib.Noise.reference_noise_out_htm p ~n_harm:12 s_ref ws in
+  Array.iteri
+    (fun i w ->
+      let reference = Pll_lib.Noise.reference_noise_out p s_ref w in
+      (* n_harm = 12 truncates the folding sum that the reference path
+         carries to ±50 bands: agreement is up to the folding tail *)
+      check_close ~tol:3e-2
+        (Printf.sprintf "S_out at %g" w)
+        reference htm.(i))
+    ws
+
+let suite =
+  [
+    case "randomized planned = per-point = dense (1e-12)"
+      test_randomized_plan_vs_oracle;
+    case "run_grid matches the dense oracle" test_run_grid_matches_dense;
+    case "run_grid_ba bit-matches run_grid" test_run_grid_ba_matches_eval;
+    case "plan reuse over grids is bit-identical" test_plan_reuse_bit_identical;
+    case "planned sweeps pool-size independent (1 vs 4 domains)"
+      test_pool_size_bit_identical;
+    case "Rat.eval_into bit-identical to Rat.eval" test_rat_split_bit_identical;
+    case "grid-plan-nan degrades to the dense oracle"
+      test_injected_nan_falls_back;
+    case "grid-plan-nan refused under strict mode"
+      test_injected_nan_strict_refuses;
+    case "64-point planned grid vs snapshot (n=20)" test_planned_grid_golden;
+    case "exact-λ plan h00 = closed form" test_exact_lambda_matches_closed_form;
+    case "HTM-native metrics = closed-form metrics"
+      test_metrics_htm_matches_closed_form;
+    case "HTM-native noise folding = reference folding"
+      test_noise_htm_matches_folded;
+  ]

@@ -66,6 +66,37 @@ let generate () =
           pr (key "hm10_im") (Numeric.Cx.im (Numeric.Cmat.get m (c0 - 1) c0));
           pr (key "frobenius") (Numeric.Cmat.norm_frobenius m))
         [ 0.07; 0.2; 0.45 ];
+      (* Planned grid evaluation at n_harm = 20: one compiled plan
+         streamed over a 64-point log grid. Pins the plan/execute path
+         (Plan.run_grid) point by point; test_grid diffs a fresh planned
+         run against these rows, so any drift between the planned and
+         the per-point evaluator shows up as a golden failure. *)
+      let ss =
+        Array.map Numeric.Cx.jomega
+          (Numeric.Optimize.logspace (w0 *. 1e-3) (w0 *. 0.49) 64)
+      in
+      let plan = Pll_lib.Pll.closed_loop_plan ctx p in
+      let h00s =
+        Htm_core.Plan.run_grid_map plan
+          (fun _ sm -> Htm_core.Smat.get sm c0 c0)
+          ss
+      in
+      Array.iteri
+        (fun i h ->
+          pr (Printf.sprintf "grid_n20.p%d.re" i) (Numeric.Cx.re h);
+          pr (Printf.sprintf "grid_n20.p%d.im" i) (Numeric.Cx.im h))
+        h00s;
+      (* one full-matrix checkpoint mid-grid: first sideband rows and the
+         Frobenius norm of the realized HTM *)
+      let sm = Htm_core.Plan.eval plan ss.(31) in
+      pr "grid_n20.p31.h10_re" (Numeric.Cx.re (Htm_core.Smat.get sm (c0 + 1) c0));
+      pr "grid_n20.p31.h10_im" (Numeric.Cx.im (Htm_core.Smat.get sm (c0 + 1) c0));
+      pr "grid_n20.p31.hm10_re"
+        (Numeric.Cx.re (Htm_core.Smat.get sm (c0 - 1) c0));
+      pr "grid_n20.p31.hm10_im"
+        (Numeric.Cx.im (Htm_core.Smat.get sm (c0 - 1) c0));
+      pr "grid_n20.p31.frobenius"
+        (Numeric.Cmat.norm_frobenius (Htm_core.Smat.to_cmat sm));
       (* Fig. 4: pulse-vs-impulse equivalence rows *)
       List.iter
         (fun r ->

@@ -219,7 +219,9 @@ let check_float_eq ctx e =
 (* ------------------------------------------------------------------ *)
 (* pool-purity                                                         *)
 
-let pool_fns = [ "map"; "mapi"; "init"; "grid"; "map_list"; "sum"; "run_indices" ]
+let pool_fns =
+  [ "map"; "mapi"; "init"; "grid"; "grid_local"; "map_list"; "sum";
+    "run_indices" ]
 
 let is_pool_entry lid =
   match Longident.flatten lid with
