@@ -975,12 +975,15 @@ module Into = struct
               if proxy > !worst then worst := proxy
             end
           done;
-          if !exact then
-            guard_err :=
-              Some (Pllscope_error.Singular { cond_est = infinity; context })
-          else if !worst > max_cond then
-            guard_err :=
-              Some (Pllscope_error.Singular { cond_est = !worst; context })
+          (* allocates only when the guard is about to fail — the error
+             payload is the failure path, not per-point work *)
+          (if !exact then
+             guard_err :=
+               Some (Pllscope_error.Singular { cond_est = infinity; context })
+           else if !worst > max_cond then
+             guard_err :=
+               Some (Pllscope_error.Singular { cond_est = !worst; context }))
+          [@lint.allow "hot-alloc"]
         end;
         (match !guard_err with
         | Some e -> Error e
@@ -1004,11 +1007,10 @@ module Into = struct
           sr := !sr +. ((ar *. br) -. (ai *. bi));
           si := !si +. ((ar *. bi) +. (ai *. br))
         done;
-        let lr, li =
-          match denom_override with
-          | Some lam -> (Cx.re lam, Cx.im lam)
-          | None -> (!sr, !si)
-        in
+        (* two scalar matches, not one returning a pair: this path is in
+           the hot set and the intermediate tuple would allocate *)
+        let lr = match denom_override with Some l -> Cx.re l | None -> !sr in
+        let li = match denom_override with Some l -> Cx.im l | None -> !si in
         let er = 1.0 +. lr and ei = li in
         let dm = cnorm er ei in
         if Float.equal dm 0.0 then

@@ -75,7 +75,7 @@ let compute ?(spec = Pll_lib.Design.default_spec)
       in
       let all =
         List.sort
-          (fun a b -> compare a.omega_norm b.omega_norm)
+          (fun a b -> Float.compare a.omega_norm b.omega_norm)
           (analytic @ sim_rows)
       in
       let worst =

@@ -193,7 +193,11 @@ let lu_decompose_inplace a ws =
   for i = 0 to n - 1 do
     perm.(i) <- i
   done;
-  let fr = ref 0.0 and fi = ref 0.0 in
+  (* out-param cells for div_into, hoisted above the loops: two heap
+     cells per factorization, so no complex quotient is boxed per
+     element *)
+  let[@lint.allow "hot-alloc"] fr = ref 0.0
+  and[@lint.allow "hot-alloc"] fi = ref 0.0 in
   for k = 0 to n - 1 do
     (* pivot search down column k *)
     let best = ref k in
@@ -269,8 +273,10 @@ let lu_solve_inplace a ws b =
       end
     done
   done;
-  (* back substitution *)
-  let nr = ref 0.0 and ni = ref 0.0 in
+  (* back substitution; nr/ni are div_into out-param cells, two heap
+     cells per solve rather than a boxed quotient per element *)
+  let[@lint.allow "hot-alloc"] nr = ref 0.0
+  and[@lint.allow "hot-alloc"] ni = ref 0.0 in
   for i = n - 1 downto 0 do
     let irow = i * p and arow = i * n in
     for k = i + 1 to n - 1 do

@@ -48,7 +48,7 @@ let brent ?(tol = 1e-13) ?(max_iter = 200) f a b =
           && !iter < max_iter do
       incr iter;
       let s =
-        if !fa <> !fc && !fb <> !fc then
+        if not (Float.equal !fa !fc) && not (Float.equal !fb !fc) then
           (* inverse quadratic interpolation *)
           (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
           +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))

@@ -18,7 +18,7 @@ let simpson ?(tol = 1e-10) ?(max_depth = 50) f a b =
       adapt a m fa flm fm left (depth + 1)
       +. adapt m b fm frm fb right (depth + 1)
   in
-  if a = b then 0.0
+  if Float.equal a b then 0.0
   else begin
     let fa = f a and fb = f b and fm = f (0.5 *. (a +. b)) in
     adapt a b fa fm fb (simpson_rule fa fm fb (b -. a)) 0

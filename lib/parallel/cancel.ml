@@ -33,7 +33,7 @@ let create () = { cell = Atomic.make None }
    exit path reports what actually stopped the run. *)
 let cancel t r = ignore (Atomic.compare_and_set t.cell None (Some r))
 let get t = Atomic.get t.cell
-let is_cancelled t = Atomic.get t.cell <> None
+let is_cancelled t = Option.is_some (Atomic.get t.cell)
 
 let check t =
   match Atomic.get t.cell with None -> () | Some r -> raise (Cancelled r)

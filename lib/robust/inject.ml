@@ -158,7 +158,8 @@ let configure ?(seed = default_seed) spec =
   List.iter (fun (site, trig) -> specs.(index site) <- trig) entries;
   current_seed := (if seed = 0 then default_seed else seed);
   reset_counters ();
-  Atomic.set armed (Array.exists (fun t -> t <> Never) specs)
+  Atomic.set armed
+    (Array.exists (fun t -> match t with Never -> false | _ -> true) specs)
 
 let enabled () = Atomic.get armed
 let hits site = Atomic.get counters.(index site)

@@ -1,0 +1,7 @@
+(* bad-allow: an allow naming a rule the linter does not know is dead
+   weight that silently stops guarding — it is itself a finding. *)
+
+let f x = (x + 1) [@lint.allow "no-such-rule"]
+
+(* a valid rule name passes validation (and suppresses nothing here) *)
+let g x = (x + 2) [@lint.allow "float-eq"]

@@ -1,0 +1,4 @@
+(* The companion .mli carries [@@@lint.allow "float-eq"]; the visible
+   float comparison below must be suppressed by it. *)
+
+let check a b = a +. 0.0 = b

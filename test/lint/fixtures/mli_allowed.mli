@@ -1,0 +1,6 @@
+[@@@lint.allow "float-eq"]
+
+(* exact-sentinel comparisons are this module's contract; the allow in
+   the interface covers the whole implementation *)
+
+val check : float -> float -> bool

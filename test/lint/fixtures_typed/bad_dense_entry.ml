@@ -1,0 +1,8 @@
+(* oracle-only: the all-dense evaluator is the reference oracle; plans
+   and checked kernels are the production path. *)
+
+let bad ctx t s = Htm_core.Htm.to_matrix_dense ctx t s
+
+(* allowed: an explicitly sanctioned dense evaluation *)
+let allowed ctx t s =
+  (Htm_core.Htm.to_matrix_dense ctx t s [@lint.allow "oracle-only"])

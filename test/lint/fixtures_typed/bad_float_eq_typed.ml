@@ -1,0 +1,20 @@
+(* Typed float-eq: every comparison here is invisible to the syntactic
+   tier — the float flows through an alias, a record, or Cx.t. *)
+
+type gain = float
+
+let bad_alias (a : gain) (b : gain) = a = b
+
+type knob = { label : string; value : float }
+
+let bad_contains (a : knob) (b : knob) = a <> b
+
+let bad_complex (a : Numeric.Cx.t) (b : Numeric.Cx.t) = compare a b = 0
+
+(* near-miss: an int alias must stay clean *)
+type count = int
+
+let clean_alias (a : count) (b : count) = a = b
+
+(* allowed: comparing against an exactly-representable sentinel *)
+let allowed_alias (a : gain) (b : gain) = (a = b) [@lint.allow "float-eq"]

@@ -1,0 +1,26 @@
+(* hot-alloc: [@lint.hot] marks a kernel; heap allocation inside it is
+   a finding. clean_kernel pins the exemptions: eliminate_ref'd local
+   accumulators, literal tuple scrutinees, raise arguments and the
+   tail-position result never flag. *)
+
+let[@lint.hot] bad_kernel dst src =
+  let tmp = Array.copy src in
+  Array.blit tmp 0 dst 0 (Array.length tmp);
+  let f = fun i -> float_of_int i in
+  ignore f
+
+let[@lint.hot] clean_kernel a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. a.(i)
+  done;
+  (match (Array.length a, Array.length b) with
+  | 0, 0 -> invalid_arg ("clean_kernel: " ^ "empty")
+  | _ -> ());
+  !acc
+
+(* allowed: a sanctioned per-call scratch allocation *)
+let[@lint.hot] allowed_kernel n =
+  let[@lint.allow "hot-alloc"] scratch = Array.make n 0.0 in
+  Array.fill scratch 0 n 1.0;
+  scratch.(0)

@@ -1,0 +1,26 @@
+(* ignored-result: a result from a *_checked API may not be dropped —
+   its Error carries the degradation the caller must decide about. *)
+
+open Numeric
+
+let bad_ignore a ws = ignore (Cmatf.lu_decompose_checked ~context:"fx" a ws)
+
+let bad_wildcard a ws =
+  let _ = Cmatf.lu_decompose_checked ~context:"fx" a ws in
+  ()
+
+let bad_wildcard_named a ws b =
+  let _dropped = Cmatf.lu_solve_checked a ws b ~context:"fx" in
+  ()
+
+(* allowed: a probe that only cares about the side effect *)
+let allowed a ws =
+  ignore
+    (Cmatf.lu_decompose_checked ~context:"fx" a ws
+    [@lint.allow "ignored-result"])
+
+(* clean: the result is actually consulted *)
+let clean a ws =
+  match Cmatf.lu_decompose_checked ~context:"fx" a ws with
+  | Ok _ -> true
+  | Error _ -> false

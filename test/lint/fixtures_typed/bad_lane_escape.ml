@@ -1,0 +1,41 @@
+(* lane-escape: a grid_local lane workspace is owned by one task at a
+   time; storing it, returning it or capturing it leaks state across
+   tasks. *)
+
+let leak = ref [||]
+
+let bad_store points =
+  Parallel.Sweep.grid_local
+    ~local:(fun () -> Array.make 4 0.0)
+    (fun lane x ->
+      leak := lane;
+      lane.(0) <- x;
+      lane.(0))
+    points
+
+let bad_return points =
+  Parallel.Sweep.grid_local
+    ~local:(fun () -> Array.make 4 0.0)
+    (fun lane x ->
+      lane.(0) <- x;
+      lane)
+    points
+
+(* allowed: deliberately published lane state (a probe) *)
+let allowed_probe points =
+  Parallel.Sweep.grid_local
+    ~local:(fun () -> Array.make 4 0.0)
+    (fun lane x ->
+      (leak := lane) [@lint.allow "lane-escape"];
+      lane.(0) <- x;
+      lane.(0))
+    points
+
+(* clean: the result is copied out of the lane, which never escapes *)
+let clean points =
+  Parallel.Sweep.grid_local
+    ~local:(fun () -> Array.make 4 0.0)
+    (fun lane x ->
+      lane.(0) <- (x *. 2.0);
+      lane.(0))
+    points

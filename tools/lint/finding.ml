@@ -1,5 +1,10 @@
 (* A single lint diagnostic, printed GNU-style as
-   [file:line:col: [rule] message] so editors and CI annotate it. *)
+   [file:line:col: [rule] message] so editors and CI annotate it.
+   Findings also carry the analysis tier that produced them and an
+   optional per-rule fix-it hint; both ride along into the --json and
+   --sarif renderings (the plain-text line format stays stable). *)
+
+type tier = Untyped | Typed
 
 type t = {
   file : string;
@@ -7,9 +12,12 @@ type t = {
   col : int;
   rule : string;
   message : string;
+  tier : tier;
+  hint : string option;
 }
 
-let make ~file ~line ~col ~rule ~message = { file; line; col; rule; message }
+let make ~file ~line ~col ~rule ~message =
+  { file; line; col; rule; message; tier = Untyped; hint = None }
 
 let of_loc ~file ~rule ~message (loc : Location.t) =
   let p = loc.loc_start in
@@ -19,7 +27,14 @@ let of_loc ~file ~rule ~message (loc : Location.t) =
     col = p.pos_cnum - p.pos_bol;
     rule;
     message;
+    tier = Untyped;
+    hint = None;
   }
+
+let with_tier tier f = { f with tier }
+let with_hint hint f = { f with hint }
+
+let tier_name = function Untyped -> "untyped" | Typed -> "typed"
 
 let compare a b =
   let c = String.compare a.file b.file in
@@ -33,3 +48,31 @@ let compare a b =
 
 let to_string f =
   Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.message
+
+(* Minimal JSON string escaping — the subset our messages can contain. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json f =
+  let hint =
+    match f.hint with
+    | None -> ""
+    | Some h -> Printf.sprintf ",\"hint\":\"%s\"" (json_escape h)
+  in
+  Printf.sprintf
+    "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"tier\":\"%s\",\"message\":\"%s\"%s}"
+    (json_escape f.file) f.line f.col (json_escape f.rule)
+    (tier_name f.tier) (json_escape f.message) hint

@@ -41,18 +41,24 @@ let all_rules =
     ( rule_raw_write,
       "direct open_out/Out_channel writes to *.json or golden artifacts; \
        route them through Runner.Atomic_file" );
+    ( "bad-allow",
+      "[@lint.allow] attribute naming a rule that does not exist" );
   ]
+
+let rule_bad_allow = "bad-allow"
 
 type ctx = {
   file : string;
   in_lib : bool;
+  valid_rules : string list; (* catalog for [@lint.allow] validation *)
   mutable stack : string list list; (* [@lint.allow] scopes, innermost first *)
   mutable file_allowed : string list; (* [@@@lint.allow] for the whole file *)
   mutable findings : Finding.t list;
 }
 
-let make_ctx ~file ~in_lib =
-  { file; in_lib; stack = []; file_allowed = []; findings = [] }
+let make_ctx ?(extra_allowed = []) ?(valid_rules = []) ~file ~in_lib () =
+  { file; in_lib; valid_rules; stack = []; file_allowed = extra_allowed;
+    findings = [] }
 
 let suppressed ctx rule =
   let covers rules = List.mem rule rules || List.mem "all" rules in
@@ -90,6 +96,26 @@ let allow_rules_of_attrs attrs =
             |> List.filter (fun r -> not (String.equal r ""))
         | _ -> [ "all" ] (* a bare [@lint.allow] suppresses everything *))
     attrs
+
+(* A suppression naming a rule that does not exist silences nothing and
+   reads as if it did — flag it (untyped tier only, so the check runs
+   exactly once per file). The catalog is injected by the driver so this
+   module needs no knowledge of the typed tier's rules. *)
+let validate_allow ctx (attrs : attributes) =
+  if ctx.valid_rules <> [] then
+    List.iter
+      (fun (a : attribute) ->
+        if String.equal a.attr_name.txt "lint.allow" then
+          List.iter
+            (fun r ->
+              if not (String.equal r "all" || List.mem r ctx.valid_rules) then
+                report ctx rule_bad_allow a.attr_loc
+                  (Printf.sprintf
+                     "[@lint.allow %S] names no known rule and suppresses \
+                      nothing; see --list-rules"
+                     r))
+            (allow_rules_of_attrs [ a ]))
+      attrs
 
 (* ------------------------------------------------------------------ *)
 (* float-eq                                                            *)
@@ -682,6 +708,7 @@ let lint_structure ctx structure =
     (fun item ->
       match item.pstr_desc with
       | Pstr_attribute a ->
+          validate_allow ctx [ a ];
           ctx.file_allowed <- allow_rules_of_attrs [ a ] @ ctx.file_allowed
       | _ -> ())
     structure;
@@ -691,6 +718,7 @@ let lint_structure ctx structure =
       Ast_iterator.default_iterator with
       expr =
         (fun self e ->
+          validate_allow ctx e.pexp_attributes;
           let pushed = allow_rules_of_attrs e.pexp_attributes in
           ctx.stack <- pushed :: ctx.stack;
           check_float_eq ctx e;
@@ -703,6 +731,7 @@ let lint_structure ctx structure =
           ctx.stack <- List.tl ctx.stack);
       value_binding =
         (fun self vb ->
+          validate_allow ctx vb.pvb_attributes;
           let pushed = allow_rules_of_attrs vb.pvb_attributes in
           ctx.stack <- pushed :: ctx.stack;
           Ast_iterator.default_iterator.value_binding self vb;
@@ -711,3 +740,16 @@ let lint_structure ctx structure =
   in
   it.structure it structure;
   List.rev ctx.findings
+
+(* Floating [@@@lint.allow] attributes of an interface file: an .mli may
+   carry the suppression for its module pair (documented in DESIGN.md
+   §8), so the companion .ml inherits them. *)
+let interface_allows ctx (signature : signature) =
+  List.concat_map
+    (fun item ->
+      match item.psig_desc with
+      | Psig_attribute a ->
+          validate_allow ctx [ a ];
+          allow_rules_of_attrs [ a ]
+      | _ -> [])
+    signature

@@ -1,0 +1,62 @@
+(* Minimal SARIF 2.1.0 rendering of lint findings, for CI inline
+   annotation (github/codeql-action/upload-sarif). Hand-rolled JSON —
+   the tool stays dependency-free — with the same escaping rules as
+   Finding.to_json. Output is deterministic: findings arrive sorted and
+   the rule table is emitted in catalog order. *)
+
+let esc = Finding.json_escape
+
+let rule_json (name, desc, hint) =
+  let help =
+    match hint with
+    | None -> ""
+    | Some h ->
+        Printf.sprintf ",\"help\":{\"text\":\"%s\"}" (esc h)
+  in
+  Printf.sprintf
+    "{\"id\":\"%s\",\"shortDescription\":{\"text\":\"%s\"}%s}" (esc name)
+    (esc desc) help
+
+let result_json (f : Finding.t) =
+  (* SARIF columns/lines are 1-based; Finding cols are 0-based. *)
+  Printf.sprintf
+    "{\"ruleId\":\"%s\",\"level\":\"error\",\"message\":{\"text\":\"%s\"},\
+     \"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\"%s\"},\
+     \"region\":{\"startLine\":%d,\"startColumn\":%d}}}],\
+     \"properties\":{\"tier\":\"%s\"%s}}"
+    (esc f.Finding.rule) (esc f.Finding.message) (esc f.Finding.file)
+    f.Finding.line
+    (f.Finding.col + 1)
+    (Finding.tier_name f.Finding.tier)
+    (match f.Finding.hint with
+    | None -> ""
+    | Some h -> Printf.sprintf ",\"hint\":\"%s\"" (esc h))
+
+let to_string ~rules findings =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "{\"version\":\"2.1.0\",\
+     \"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+     \"runs\":[{\"tool\":{\"driver\":{\"name\":\"pllscope-lint\",\
+     \"informationUri\":\"https://example.invalid/pllscope\",\"rules\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (rule_json r))
+    rules;
+  Buffer.add_string buf "]}},\"results\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (result_json f))
+    findings;
+  Buffer.add_string buf "]}]}";
+  Buffer.contents buf
+
+(* The SARIF file is CI scratch output, not a result artifact — a torn
+   write only fails the upload step, so a plain channel is fine here. *)
+let write ~path ~rules findings =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~rules findings))
