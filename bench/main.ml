@@ -548,6 +548,170 @@ let run_runner_bench () =
   Runner.Atomic_file.write_string "BENCH_runner.json" (Buffer.contents b);
   Format.printf "wrote BENCH_runner.json@."
 
+(* Sharded multi-process sweep farm: the million-point Monte Carlo
+   tolerance study of Exp_nonideal distributed over worker subprocesses.
+   Times the farm at shard counts 1/2/4 against the raw in-process
+   kernel (no journal, no protocol), checks that every merged journal is
+   byte-identical across shard counts, and measures the cost of a full
+   resume (replay + merge, zero compute). Emitted as BENCH_farm.json for
+   CI tracking. The point count defaults to the 10^6 showcase; override
+   with PLLSCOPE_FARM_POINTS for quick runs. *)
+
+let farm_workload_blob =
+  lazy (Marshal.to_string (spec, Experiments.Exp_nonideal.default_mc) [])
+
+(* the bench binary is its own farm worker (argv "farm-worker") *)
+let run_farm_worker () =
+  Farm.Worker.serve
+    ~resolve:(fun _shard blob ->
+      let (wspec, cfg) :
+          Pll_lib.Design.spec * Experiments.Exp_nonideal.mc_config =
+        Marshal.from_string blob 0
+      in
+      let env = Experiments.Exp_nonideal.mc_env ~spec:wspec cfg in
+      fun i -> Marshal.to_string (Experiments.Exp_nonideal.mc_point env i) [])
+    ()
+
+let run_farm_bench () =
+  Format.printf "@.== Sharded sweep farm: multi-process Monte Carlo ==@.";
+  let points =
+    match
+      Option.bind (Sys.getenv_opt "PLLSCOPE_FARM_POINTS") int_of_string_opt
+    with
+    | Some n when n > 0 -> n
+    | _ -> 1_000_000
+  in
+  let env = Experiments.Exp_nonideal.mc_env ~spec Experiments.Exp_nonideal.default_mc in
+  let dir = Filename.temp_file "pllscope_farm_bench" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let farm_cfg ~resume base shards =
+    {
+      Farm.Coordinator.shards;
+      steal = true;
+      resume;
+      checkpoint = base;
+      blob = Lazy.force farm_workload_blob;
+      worker_argv = (fun _ -> [| Sys.executable_name; "farm-worker" |]);
+      slice = None;
+      chunk = None;
+      retries = None;
+      task_timeout = None;
+      progress = false;
+    }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  (* raw kernel baseline: same task, no journal, no subprocesses *)
+  let kernel_s, () =
+    time (fun () ->
+        for i = 0 to points - 1 do
+          ignore (Experiments.Exp_nonideal.mc_point env i)
+        done)
+  in
+  Format.printf
+    "  in-process kernel (no journal): %8.3f s  (%9.0f points/s)@." kernel_s
+    (float_of_int points /. kernel_s);
+  let shard_counts = [ 1; 2; 4 ] in
+  let runs =
+    List.map
+      (fun shards ->
+        let base = Filename.concat dir (Printf.sprintf "mc%d.ckpt" shards) in
+        let seconds, report =
+          time (fun () -> Farm.Coordinator.run (farm_cfg ~resume:false base shards) ~n:points)
+        in
+        let r = report.Farm.Coordinator.failures in
+        if r <> [] then
+          Format.printf "  WARNING: %d failed points at %d shards@."
+            (List.length r) shards;
+        Format.printf
+          "  %d shard(s): %8.3f s  (%9.0f points/s; %d steals, %d idle \
+           waits totalling %.3f s)@."
+          shards seconds
+          (float_of_int points /. seconds)
+          report.Farm.Coordinator.steals report.Farm.Coordinator.assign_waits
+          report.Farm.Coordinator.assign_wait_seconds;
+        (shards, base, seconds, report))
+      shard_counts
+  in
+  let read_file path = In_channel.with_open_bin path In_channel.input_all in
+  let _, base1, _, _ = List.hd runs in
+  let canon = read_file base1 in
+  let bit_identical =
+    List.for_all (fun (_, base, _, _) -> read_file base = canon) runs
+  in
+  Format.printf "bit-identical merged journals across shard counts: %b@."
+    bit_identical;
+  (* resume cost: re-running over a complete journal is pure replay +
+     merge — the fixed price of crash recovery at this grid size *)
+  let _, base4, _, _ = List.nth runs (List.length runs - 1) in
+  let resume_s, resume_report =
+    time (fun () -> Farm.Coordinator.run (farm_cfg ~resume:true base4 4) ~n:points)
+  in
+  Format.printf
+    "  full resume (replay + merge, no compute): %8.3f s  (%d points \
+     restored)@."
+    resume_s resume_report.Farm.Coordinator.resumed;
+  (* the tolerance-study showcase itself, from the merged payloads *)
+  let rows =
+    Array.map
+      (Option.map (fun s : Experiments.Exp_nonideal.mc_row ->
+           Marshal.from_string s 0))
+      resume_report.Farm.Coordinator.payloads
+  in
+  Experiments.Exp_nonideal.mc_print Format.std_formatter
+    (Experiments.Exp_nonideal.mc_summarize env rows);
+  let seq_s = match runs with (_, _, s, _) :: _ -> s | [] -> assert false in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    "  \"benchmark\": \"sharded farm: Monte Carlo tolerance sweep across \
+     worker subprocesses\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"points\": %d,\n" points);
+  Buffer.add_string b
+    (Printf.sprintf "  \"kernel_seconds\": %.6f,\n" kernel_s);
+  Buffer.add_string b
+    (Printf.sprintf "  \"kernel_points_per_s\": %.1f,\n"
+       (float_of_int points /. kernel_s));
+  Buffer.add_string b "  \"runs\": [\n";
+  List.iteri
+    (fun i (shards, _, seconds, (report : Farm.Coordinator.report)) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"shards\": %d, \"seconds\": %.6f, \"points_per_s\": %.1f, \
+            \"speedup_vs_1_shard\": %.4f, \"steals\": %d, \"worker_deaths\": \
+            %d, \"assign_waits\": %d, \"assign_wait_seconds\": %.6f, \
+            \"merged_frames\": %d}%s\n"
+           shards seconds
+           (float_of_int points /. seconds)
+           (seq_s /. seconds) report.Farm.Coordinator.steals
+           report.Farm.Coordinator.worker_deaths
+           report.Farm.Coordinator.assign_waits
+           report.Farm.Coordinator.assign_wait_seconds
+           report.Farm.Coordinator.merged_frames
+           (if i = List.length runs - 1 then "" else ",")))
+    runs;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"bit_identical\": %b,\n" bit_identical);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"resume\": {\"seconds\": %.6f, \"resumed_points\": %d, \
+        \"replay_points_per_s\": %.1f}\n"
+       resume_s resume_report.Farm.Coordinator.resumed
+       (float_of_int points /. resume_s));
+  Buffer.add_string b "}\n";
+  Runner.Atomic_file.write_string "BENCH_farm.json" (Buffer.contents b);
+  Format.printf "wrote BENCH_farm.json@.";
+  (* scratch journals can be large at 10^6 points: remove them *)
+  List.iter
+    (fun (_, base, _, _) -> try Sys.remove base with Sys_error _ -> ())
+    runs;
+  (try Sys.rmdir dir with Sys_error _ -> ())
+
 let bench_sim_period =
   Test.make ~name:"kernel: behavioral simulation (10 periods)"
     (Staged.stage
@@ -618,8 +782,10 @@ let run_figures which =
 
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  | "farm-worker" -> run_farm_worker ()
   | "bench" -> run_benchmarks ()
   | "parallel" -> run_parallel_bench ()
+  | "farm" -> run_farm_bench ()
   | "kernels" -> run_kernel_bench ()
   | "grid" -> run_grid_bench ()
   | "robust" -> run_robust_bench ()
@@ -633,9 +799,10 @@ let () =
       run_kernel_bench ();
       run_grid_bench ();
       run_robust_bench ();
-      run_runner_bench ()
+      run_runner_bench ();
+      run_farm_bench ()
   | other ->
       Format.printf
-        "unknown argument %s (want 2|4|5|6|7|perf|xchk|ablation|isf|nonideal|pfd|noise|fractional|grid|bench|parallel|kernels|grid|robust|runner|all)@."
+        "unknown argument %s (want 2|4|5|6|7|perf|xchk|ablation|isf|nonideal|pfd|noise|fractional|grid|bench|parallel|kernels|grid|robust|runner|farm|all)@."
         other;
       exit 1

@@ -1,12 +1,16 @@
 (* pllscope — command-line front end for the HTM-based PLL analyzer.
 
    Subcommands:
-     analyze   LTI vs time-varying loop reports for one design
-     bode      open-loop A(jw) and effective lambda(jw) sweeps
-     sweep     Fig. 7 ratio sweep
-     fig       regenerate a paper figure or extension experiment
-     sim       behavioral time-marching run (lock acquisition)
-     measure   simulator measurement of |H00| at one rational frequency *)
+     analyze      LTI vs time-varying loop reports for one design
+     bode         open-loop A(jw) and effective lambda(jw) sweeps
+     sweep        Fig. 7 ratio sweep (optionally sharded: --shards N)
+     mc           Monte Carlo component-tolerance study (farm showcase)
+     fig          regenerate a paper figure or extension experiment
+     sim          behavioral time-marching run (lock acquisition)
+     measure      simulator measurement of |H00| at one rational frequency
+     farm         sweep-farm utilities (status of a sharded checkpoint)
+     journal      checkpoint-journal utilities (inspect, compact)
+     farm-worker  internal: farm worker protocol on stdin/stdout *)
 
 open Cmdliner
 
@@ -66,6 +70,50 @@ let deadline_term =
      exit code is 124."
   in
   Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECS" ~doc)
+
+let shards_term =
+  let doc =
+    "Run the sweep as a farm of $(docv) worker subprocesses with per-shard \
+     checkpoint journals merged deterministically at the end (0 = run in \
+     this process). Sharded-and-merged results are bit-identical to an \
+     in-process run at any shard count."
+  in
+  Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N" ~doc)
+
+let no_steal_term =
+  let doc =
+    "Disable work stealing between farm shards; a shard that finishes \
+     early goes idle instead of taking ranges from slower shards."
+  in
+  Arg.(value & flag & info [ "no-steal" ] ~doc)
+
+(* Execute a workload on the farm. Without --checkpoint the base journal
+   lives in a temp path and is removed afterwards (the run is then
+   neither resumable nor resumed). *)
+let farm_run ~shards ~steal ~resume ~checkpoint ?task_timeout workload =
+  let base, temporary =
+    match checkpoint with
+    | Some p -> (p, false)
+    | None -> (Filename.temp_file "pllscope_farm" ".journal", true)
+  in
+  let cfg =
+    {
+      Farm.Coordinator.shards;
+      steal;
+      resume;
+      checkpoint = base;
+      blob = Workloads.to_blob workload;
+      worker_argv = (fun _ -> [| Sys.executable_name; "farm-worker" |]);
+      slice = None;
+      chunk = None;
+      retries = None;
+      task_timeout;
+      progress = true;
+    }
+  in
+  let report = Farm.Coordinator.run cfg ~n:(Workloads.size workload) in
+  if temporary then (try Sys.remove base with Sys_error _ -> ());
+  report
 
 let with_robust ?deadline strict f =
   Robust.Config.set_strict strict;
@@ -184,9 +232,14 @@ let sweep_cmd =
     in
     Arg.(value & opt (some float) None & info [ "task-timeout" ] ~docv:"SECS" ~doc)
   in
-  let run spec points checkpoint resume deadline task_timeout strict =
+  let run spec points checkpoint resume deadline task_timeout shards no_steal
+      strict =
     if resume && checkpoint = None then begin
       Format.fprintf pp "error: --resume requires --checkpoint@.";
+      exit 1
+    end;
+    if shards < 0 then begin
+      Format.fprintf pp "error: --shards must be >= 0@.";
       exit 1
     end;
     with_robust ?deadline strict @@ fun () ->
@@ -200,14 +253,20 @@ let sweep_cmd =
           Format.fprintf pp "error: --points must be >= 2@.";
           exit 1
     in
-    let task ratio =
-      match Pll_lib.Analysis.ratio_sweep spec [ ratio ] with
-      | [ row ] -> row
-      | _ -> assert false
-    in
     let partial =
-      Runner.Run.grid ?task_timeout ?checkpoint ~resume
-        ~codec:(Runner.Run.marshal_codec ()) task ratios
+      if shards > 0 then
+        let report =
+          farm_run ~shards ~steal:(not no_steal) ~resume ~checkpoint
+            ?task_timeout
+            (Workloads.Ratio { spec; ratios })
+        in
+        Workloads.partial_of_report report ~decode:(fun s ->
+            (Marshal.from_string s 0 : Pll_lib.Analysis.ratio_point))
+      else
+        Runner.Run.grid ?task_timeout ?checkpoint ~resume
+          ~codec:(Runner.Run.marshal_codec ())
+          (fun ratio -> Workloads.ratio_point spec ratio)
+          ratios
     in
     let rows =
       Array.to_list partial.Parallel.Sweep.values |> List.filter_map Fun.id
@@ -216,11 +275,187 @@ let sweep_cmd =
     if partial.Parallel.Sweep.failures <> [] then
       Format.fprintf pp "%a@." Parallel.Sweep.pp_partial partial
   in
-  let doc = "Ratio sweep (Fig. 7 quantities), checkpointable and resumable" in
+  let doc =
+    "Ratio sweep (Fig. 7 quantities), checkpointable, resumable and \
+     shardable across worker processes"
+  in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const run $ spec_term $ points $ checkpoint $ resume $ deadline_term
-      $ task_timeout $ strict_term)
+      $ task_timeout $ shards_term $ no_steal_term $ strict_term)
+
+let mc_cmd =
+  let points =
+    let doc = "Number of Monte Carlo points." in
+    Arg.(value & opt int 10_000 & info [ "points" ] ~docv:"N" ~doc)
+  in
+  let seed =
+    let doc = "Base seed; point $(i)'s draws depend only on (seed, i)." in
+    Arg.(value & opt int Experiments.Exp_nonideal.default_mc.mc_seed
+         & info [ "seed" ] ~docv:"S" ~doc)
+  in
+  let checkpoint =
+    let doc = "Crash-safe journal base path (shards use $(docv).shardK)." in
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"PATH" ~doc)
+  in
+  let resume =
+    let doc = "Resume an interrupted run from the --checkpoint journals." in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let task_timeout =
+    let doc = "Per-point watchdog timeout in seconds." in
+    Arg.(value & opt (some float) None & info [ "task-timeout" ] ~docv:"SECS" ~doc)
+  in
+  let run spec points seed checkpoint resume deadline task_timeout shards
+      no_steal strict =
+    if points < 1 then begin
+      Format.fprintf pp "error: --points must be >= 1@.";
+      exit 1
+    end;
+    if resume && checkpoint = None then begin
+      Format.fprintf pp "error: --resume requires --checkpoint@.";
+      exit 1
+    end;
+    if shards < 0 then begin
+      Format.fprintf pp "error: --shards must be >= 0@.";
+      exit 1
+    end;
+    with_robust ?deadline strict @@ fun () ->
+    let cfg = { Experiments.Exp_nonideal.default_mc with mc_seed = seed } in
+    let env = Experiments.Exp_nonideal.mc_env ~spec cfg in
+    let partial =
+      if shards > 0 then
+        let report =
+          farm_run ~shards ~steal:(not no_steal) ~resume ~checkpoint
+            ?task_timeout
+            (Workloads.Mc { spec; cfg; points })
+        in
+        Workloads.partial_of_report report ~decode:(fun s ->
+            (Marshal.from_string s 0 : Experiments.Exp_nonideal.mc_row))
+      else
+        Runner.Run.grid ?task_timeout ?checkpoint ~resume
+          ~codec:(Runner.Run.marshal_codec ())
+          (fun i -> Experiments.Exp_nonideal.mc_point env i)
+          (Array.init points Fun.id)
+    in
+    let summary =
+      Experiments.Exp_nonideal.mc_summarize env partial.Parallel.Sweep.values
+    in
+    Experiments.Exp_nonideal.mc_print pp summary;
+    if partial.Parallel.Sweep.failures <> [] then
+      Format.fprintf pp "%a@." Parallel.Sweep.pp_partial partial
+  in
+  let doc =
+    "Monte Carlo component-tolerance study of the charge-pump loop \
+     (first-order signatures over process spread); the sweep-farm \
+     showcase workload"
+  in
+  Cmd.v (Cmd.info "mc" ~doc)
+    Term.(
+      const run $ spec_term $ points $ seed $ checkpoint $ resume
+      $ deadline_term $ task_timeout $ shards_term $ no_steal_term
+      $ strict_term)
+
+let journal_path_arg =
+  let doc = "Checkpoint journal file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH" ~doc)
+
+let print_journal_info path =
+  let i = Runner.Journal.inspect path in
+  Experiments.Report.kv pp "journal" "%s" path;
+  Experiments.Report.kv pp "frames" "%d (%d distinct, %d duplicate)"
+    i.Runner.Journal.frames i.Runner.Journal.distinct
+    i.Runner.Journal.duplicates;
+  Experiments.Report.kv pp "bytes" "%d (%d valid, %d torn)"
+    i.Runner.Journal.bytes i.Runner.Journal.valid_bytes
+    i.Runner.Journal.torn_bytes;
+  match i.Runner.Journal.max_index with
+  | Some m -> Experiments.Report.kv pp "max index" "%d" m
+  | None -> ()
+
+let journal_cmd =
+  let inspect =
+    let run path =
+      if not (Sys.file_exists path) then begin
+        Format.fprintf pp "error: no journal at %s@." path;
+        exit 1
+      end;
+      with_robust false @@ fun () -> print_journal_info path
+    in
+    let doc = "Frame counts, CRC status and torn-tail size of a journal" in
+    Cmd.v (Cmd.info "inspect" ~doc) Term.(const run $ journal_path_arg)
+  in
+  let compact =
+    let run path =
+      if not (Sys.file_exists path) then begin
+        Format.fprintf pp "error: no journal at %s@." path;
+        exit 1
+      end;
+      with_robust false @@ fun () ->
+      let kept, dropped = Runner.Journal.compact path in
+      Experiments.Report.kv pp "compacted" "%s: kept %d frame(s), dropped %d"
+        path kept dropped
+    in
+    let doc =
+      "Atomically rewrite a journal keeping only the first frame per point \
+       (drops superseded duplicates and any torn tail); bounds the replay \
+       cost of long-lived resumed journals"
+    in
+    Cmd.v (Cmd.info "compact" ~doc) Term.(const run $ journal_path_arg)
+  in
+  let doc = "Checkpoint-journal utilities" in
+  Cmd.group (Cmd.info "journal" ~doc) [ inspect; compact ]
+
+let farm_cmd =
+  let status =
+    let checkpoint =
+      let doc = "Base journal path of the (running or interrupted) farm." in
+      Arg.(required & opt (some string) None
+           & info [ "checkpoint" ] ~docv:"PATH" ~doc)
+    in
+    let run checkpoint =
+      with_robust false @@ fun () ->
+      let paths =
+        (if Sys.file_exists checkpoint then [ checkpoint ] else [])
+        @ Farm.Coordinator.existing_shards checkpoint
+      in
+      if paths = [] then
+        Format.fprintf pp "no journals at %s@." checkpoint
+      else
+        Experiments.Report.table pp ~title:"farm journals"
+          ~header:[ "journal"; "frames"; "distinct"; "dup"; "torn B"; "max idx" ]
+          (List.map
+             (fun path ->
+               let i = Runner.Journal.inspect path in
+               [
+                 Filename.basename path;
+                 string_of_int i.Runner.Journal.frames;
+                 string_of_int i.Runner.Journal.distinct;
+                 string_of_int i.Runner.Journal.duplicates;
+                 string_of_int i.Runner.Journal.torn_bytes;
+                 (match i.Runner.Journal.max_index with
+                 | Some m -> string_of_int m
+                 | None -> "-");
+               ])
+             paths)
+    in
+    let doc = "Show base and per-shard journal state of a sharded sweep" in
+    Cmd.v (Cmd.info "status" ~doc) Term.(const run $ checkpoint)
+  in
+  let doc = "Sweep-farm utilities" in
+  Cmd.group (Cmd.info "farm" ~doc) [ status ]
+
+let farm_worker_cmd =
+  let run () =
+    Farm.Worker.serve
+      ~resolve:(fun _shard blob -> Workloads.task (Workloads.of_blob blob))
+      ()
+  in
+  let doc =
+    "Internal: sweep-farm worker; speaks the CRC-framed farm protocol on \
+     stdin/stdout. Spawned by --shards runs."
+  in
+  Cmd.v (Cmd.info "farm-worker" ~doc) Term.(const run $ const ())
 
 let fig_cmd =
   let which =
@@ -376,4 +611,5 @@ let () =
   let doc = "time-varying frequency-domain PLL analysis (HTM formalism)" in
   let info = Cmd.info "pllscope" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-    [ analyze_cmd; bode_cmd; sweep_cmd; fig_cmd; sim_cmd; measure_cmd; netlist_cmd ]))
+    [ analyze_cmd; bode_cmd; sweep_cmd; mc_cmd; fig_cmd; sim_cmd; measure_cmd;
+      netlist_cmd; farm_cmd; journal_cmd; farm_worker_cmd ]))

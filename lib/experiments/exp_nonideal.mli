@@ -33,3 +33,71 @@ type row = {
 val compute : ?spec:Pll_lib.Design.spec -> unit -> row list
 val print : Format.formatter -> row list -> unit
 val run : unit -> unit
+
+(** {1 Monte Carlo component-tolerance study}
+
+    The farm-scale showcase workload: per-point, perturb the charge
+    pump (current, mismatch, leakage, reset delay), VCO gain and
+    loop-filter impedance, and evaluate the {b analytic} first-order
+    signatures validated by {!compute} — no time-marching simulation,
+    so a point costs microseconds and 10⁶-point studies are practical.
+
+    Determinism: {!mc_point}'s value depends only on the environment
+    and the point index — its Prng is seeded from
+    [(config seed, index)] alone — so any execution order, sharding or
+    process split produces bit-identical rows. *)
+
+type mc_config = {
+  mc_seed : int;  (** base seed mixed into every point's stream *)
+  tol_icp : float;  (** relative 1σ of the pump current *)
+  tol_kvco : float;  (** relative 1σ of the VCO gain *)
+  tol_mismatch : float;  (** 1σ of the UP/DOWN current gain around 1 *)
+  tol_filter : float;  (** relative 1σ of the filter impedance *)
+  max_reset_delay : float;  (** reset delay uniform in [0, max]·T *)
+  max_leakage : float;  (** leakage uniform in [0, max]·I_cp *)
+}
+
+val default_mc : mc_config
+
+(** Precomputed nominal operating point (period, ω₀, |Z_LF(jω₀)|, …);
+    build once, share across points. *)
+type mc_env
+
+(** [mc_env ?spec cfg] — synthesize the nominal loop for [spec] and
+    freeze the quantities every Monte Carlo point needs. *)
+val mc_env : ?spec:Pll_lib.Design.spec -> mc_config -> mc_env
+
+(** One sampled outcome. Plain floats — Marshal-safe, so rows can ride
+    checkpoint journals and farm pipes. *)
+type mc_row = {
+  mc_offset : float;  (** first-order static phase offset, s *)
+  mc_spur_dbc : float;  (** narrowband-FM reference spur, clamped ≥ −200 *)
+  mc_gain_err_pct : float;  (** loop-gain error vs nominal, percent *)
+}
+
+(** [mc_point_seed cfg i] — the 64-bit Prng seed of point [i]
+    (SplitMix64 golden-ratio mix), exposed for tests. *)
+val mc_point_seed : mc_config -> int -> int64
+
+(** [mc_point env i] — the deterministic outcome of point [i]. Raises
+    [Invalid_argument] on a negative index. *)
+val mc_point : mc_env -> int -> mc_row
+
+type mc_summary = {
+  mc_points : int;
+  mc_failed : int;  (** points lost to worker failure / cancellation *)
+  offset_mean : float;
+  offset_std : float;
+  offset_worst : float;  (** max |offset| *)
+  spur_mean_dbc : float;
+  spur_worst_dbc : float;
+  gain_err_std_pct : float;
+  yield_pct : float;
+      (** share with |offset| < T/100 and spur < −40 dBc *)
+}
+
+(** [mc_summarize env rows] — reduce per-point rows ([None] = failed
+    point) to the summary statistics. *)
+val mc_summarize : mc_env -> mc_row option array -> mc_summary
+
+val mc_print : Format.formatter -> mc_summary -> unit

@@ -1,0 +1,121 @@
+(* Coordinator <-> worker wire protocol for the sweep farm.
+
+   Messages travel over pipes as Journal CRC-32 frames: the frame's
+   index field carries the message tag, the payload is a [Marshal] of a
+   plain record (no closures, no custom blocks), so both sides validate
+   integrity with the same codec the checkpoint journals use and a
+   worker that dies mid-message reads as a clean EOF on the
+   coordinator's side.
+
+   Conversation:
+
+     coordinator                      worker
+         | -- Hello {shard; blob; ...} ->|      (once, at spawn)
+         |<------------ Ready ----------- |
+         | ------ Assign {lo; hi} ------->|
+         |<------ Done {lo; hi; failed} --|      (doubles as a pull)
+         | ------ Assign {lo; hi} ------->|      (own range or stolen)
+         |            ...                 |
+         | ------------ Fin ------------->|      (no work left)
+         |<------ Exit {stats; ...} ------|
+         |            EOF                 |
+
+   Ranges are half-open [lo, hi) in global grid indices. A worker that
+   has sent Done and received nothing is parked ("hungry") by the
+   coordinator until a range frees up (work stealing) or Fin. *)
+
+type hello = {
+  shard : int;  (* this worker's shard number, 0-based *)
+  journal : string;  (* its private checkpoint journal path *)
+  blob : string;  (* workload description, resolved by the worker *)
+  chunk : int option;
+  retries : int option;
+  task_timeout : float option;
+}
+
+type range = { lo : int; hi : int }
+
+type done_ = {
+  d_lo : int;
+  d_hi : int;
+  failed : (int * Robust.Pllscope_error.t) list;
+      (* global indices + typed errors; payloads already remapped *)
+}
+
+type exit_ = {
+  stats : Robust.Stats.t;
+  waits : int;  (* Assign round-trips that found the worker idle *)
+  wait_seconds : float;  (* total time spent idle waiting for Assign *)
+}
+
+type msg =
+  | Hello of hello
+  | Ready
+  | Assign of range
+  | Done of done_
+  | Fin
+  | Exit of exit_
+
+let tag_hello = 1
+let tag_ready = 2
+let tag_assign = 3
+let tag_done = 4
+let tag_fin = 5
+let tag_exit = 6
+
+let marshal v = Marshal.to_string v []
+
+let unmarshal (s : string) : 'a =
+  if String.length s < Marshal.header_size then
+    Robust.Pllscope_error.raise_
+      (Robust.Pllscope_error.Parse
+         {
+           file = "<pipe>";
+           line = 0;
+           col = 0;
+           msg = "Protocol.unmarshal: short payload";
+         });
+  Marshal.from_string s 0
+
+let send fd msg =
+  let tag, payload =
+    match msg with
+    | Hello h -> (tag_hello, marshal h)
+    | Ready -> (tag_ready, "")
+    | Assign r -> (tag_assign, marshal r)
+    | Done d -> (tag_done, marshal d)
+    | Fin -> (tag_fin, "")
+    | Exit e -> (tag_exit, marshal e)
+  in
+  Runner.Journal.Frame.write fd ~tag payload
+
+let recv fd =
+  match Runner.Journal.Frame.read fd with
+  | None -> None
+  | Some (tag, payload) ->
+      let msg =
+        if tag = tag_hello then Hello (unmarshal payload : hello)
+        else if tag = tag_ready then Ready
+        else if tag = tag_assign then Assign (unmarshal payload : range)
+        else if tag = tag_done then Done (unmarshal payload : done_)
+        else if tag = tag_fin then Fin
+        else if tag = tag_exit then Exit (unmarshal payload : exit_)
+        else
+          Robust.Pllscope_error.raise_
+            (Robust.Pllscope_error.Parse
+               {
+                 file = "<pipe>";
+                 line = 0;
+                 col = 0;
+                 msg = "Protocol.recv: unknown message tag " ^ string_of_int tag;
+               })
+      in
+      Some msg
+
+let msg_name = function
+  | Hello _ -> "hello"
+  | Ready -> "ready"
+  | Assign _ -> "assign"
+  | Done _ -> "done"
+  | Fin -> "fin"
+  | Exit _ -> "exit"

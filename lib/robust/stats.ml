@@ -81,6 +81,21 @@ let record_cancelled () = Atomic.incr cancelled_points
 let record_resumed n =
   if n > 0 then ignore (Atomic.fetch_and_add resumed_points n)
 
+(* Fold a snapshot from another process (a farm worker's exit frame)
+   into the live counters, so the coordinator's end-of-run summary
+   covers the whole farm rather than being per-process-local. *)
+let absorb s =
+  let add a n = if n > 0 then ignore (Atomic.fetch_and_add a n) in
+  add dense_fallbacks s.dense_fallbacks;
+  add singular_guards s.singular_guards;
+  add nonfinite_guards s.nonfinite_guards;
+  add non_convergences s.non_convergences;
+  add pool_retries s.pool_retries;
+  add worker_failures s.worker_failures;
+  add task_timeouts s.task_timeouts;
+  add cancelled_points s.cancelled_points;
+  add resumed_points s.resumed_points
+
 let pp ppf s =
   Format.fprintf ppf
     "robust: %d dense fallback(s) (%d singular, %d non-finite, %d \

@@ -54,4 +54,10 @@ val record_cancelled : unit -> unit
     journal (no-op for [n <= 0]). *)
 val record_resumed : int -> unit
 
+(** [absorb s] — add every counter of [s] (a snapshot marshalled from
+    another process, e.g. a sweep-farm worker's exit frame) into the
+    live counters, so a coordinator's end-of-run summary aggregates the
+    whole farm. *)
+val absorb : t -> unit
+
 val pp : Format.formatter -> t -> unit

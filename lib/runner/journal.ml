@@ -62,6 +62,17 @@ let frame_crc index payload =
   let crc = Crc32.string (Buffer.contents b) in
   Crc32.update crc payload 0 (String.length payload)
 
+let add_frame b ~index payload =
+  put_u32 b (String.length payload);
+  put_u32 b index;
+  put_u32 b (Int32.to_int (frame_crc index payload) land 0xffffffff);
+  Buffer.add_string b payload
+
+let encode_frame ~index payload =
+  let b = Buffer.create (frame_header_len + String.length payload) in
+  add_frame b ~index payload;
+  Buffer.contents b
+
 (* Scan raw journal bytes; return the complete frames and the byte
    length of the valid prefix (header + whole frames). Anything past
    [valid_len] is a torn tail. *)
@@ -140,12 +151,7 @@ let check_open t fn =
 
 let append t ~index payload =
   if index < 0 then invalid_arg "Journal.append: negative index";
-  let b = Buffer.create (frame_header_len + String.length payload) in
-  put_u32 b (String.length payload);
-  put_u32 b index;
-  put_u32 b (Int32.to_int (frame_crc index payload) land 0xffffffff);
-  Buffer.add_string b payload;
-  let frame = Buffer.contents b in
+  let frame = encode_frame ~index payload in
   Mutex.lock t.m;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.m)
@@ -178,3 +184,168 @@ let close t =
         (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
         Unix.close t.fd
       end)
+
+(* ------------------------------------------------------------------ *)
+(* inspection, compaction and merge                                    *)
+
+type info = {
+  frames : int;
+  distinct : int;
+  duplicates : int;
+  bytes : int;
+  valid_bytes : int;
+  torn_bytes : int;
+  max_index : int option;
+}
+
+let distinct_count frames =
+  let seen = Hashtbl.create 256 in
+  List.iter
+    (fun (i, _) -> if not (Hashtbl.mem seen i) then Hashtbl.add seen i ())
+    frames;
+  Hashtbl.length seen
+
+let inspect path =
+  match read_raw path with
+  | None ->
+      {
+        frames = 0;
+        distinct = 0;
+        duplicates = 0;
+        bytes = 0;
+        valid_bytes = 0;
+        torn_bytes = 0;
+        max_index = None;
+      }
+  | Some raw ->
+      let frames, valid_len = scan path raw in
+      let n_frames = List.length frames in
+      let distinct = distinct_count frames in
+      {
+        frames = n_frames;
+        distinct;
+        duplicates = n_frames - distinct;
+        bytes = String.length raw;
+        valid_bytes = valid_len;
+        torn_bytes = String.length raw - valid_len;
+        max_index =
+          List.fold_left
+            (fun acc (i, _) ->
+              match acc with Some m when m >= i -> acc | _ -> Some i)
+            None frames;
+      }
+
+(* Keep the first frame of each index — exactly the one a resumed
+   [Run.grid] would use — drop later duplicates and any torn tail, and
+   rewrite the journal atomically. *)
+let dedup_first frames =
+  let seen = Hashtbl.create 256 in
+  List.filter
+    (fun (i, _) ->
+      if Hashtbl.mem seen i then false
+      else begin
+        Hashtbl.add seen i ();
+        true
+      end)
+    frames
+
+let write_frames path frames =
+  Atomic_file.write path (fun oc ->
+      output_string oc magic;
+      let b = Buffer.create 4096 in
+      List.iter
+        (fun (index, payload) ->
+          Buffer.clear b;
+          add_frame b ~index payload;
+          Buffer.output_buffer oc b)
+        frames)
+
+let compact path =
+  let frames = replay path in
+  let kept = dedup_first frames in
+  write_frames path kept;
+  (List.length kept, List.length frames - List.length kept)
+
+let merge ~into sources =
+  (* Replay every source (missing files are empty journals), keep the
+     first frame seen for each index in source-list order, then write
+     the frames sorted by index: the merged journal depends only on the
+     decoded content of the sources, never on interleaving or append
+     order, which is what makes sharded-and-merged runs canonical. *)
+  let frames = List.concat_map replay sources in
+  let kept = dedup_first frames in
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> Stdlib.compare (a : int) b) kept
+  in
+  write_frames into sorted;
+  List.length sorted
+
+(* ------------------------------------------------------------------ *)
+(* pipe framing                                                        *)
+
+module Frame = struct
+  (* The journal's frame layout reused as a message codec over
+     pipes/sockets: [tag] rides in the index field, the CRC covers tag
+     and payload. A torn frame (peer died mid-write) reads as a clean
+     EOF; a CRC mismatch on a complete frame is real corruption and
+     raises. *)
+
+  let rec retry_read fd buf off len =
+    match Unix.read fd buf off len with
+    | n -> n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        retry_read fd buf off len
+
+  (* false iff EOF struck before [len] bytes arrived *)
+  let read_exact fd buf off len =
+    let off = ref off and left = ref len in
+    let eof = ref false in
+    while !left > 0 && not !eof do
+      let n = retry_read fd buf !off !left in
+      if n = 0 then eof := true
+      else begin
+        off := !off + n;
+        left := !left - n
+      end
+    done;
+    not !eof
+
+  let write fd ~tag payload =
+    if tag < 0 then invalid_arg "Journal.Frame.write: negative tag";
+    let frame = encode_frame ~index:tag payload in
+    write_all fd frame
+
+  let read fd =
+    let header = Bytes.create frame_header_len in
+    if not (read_exact fd header 0 frame_header_len) then None
+    else begin
+      let header = Bytes.to_string header in
+      let len = get_u32 header 0 in
+      let tag = get_u32 header 4 in
+      let crc = Int32.of_int (get_u32 header 8) in
+      if len < 0 || len > 1 lsl 30 then
+        Robust.Pllscope_error.raise_
+          (Robust.Pllscope_error.Parse
+             {
+               file = "<pipe>";
+               line = 0;
+               col = 0;
+               msg = "Journal.Frame.read: implausible frame length";
+             });
+      let body = Bytes.create len in
+      if not (read_exact fd body 0 len) then None
+      else begin
+        let payload = Bytes.to_string body in
+        if frame_crc tag payload <> crc then
+          Robust.Pllscope_error.raise_
+            (Robust.Pllscope_error.Parse
+               {
+                 file = "<pipe>";
+                 line = 0;
+                 col = 0;
+                 msg = "Journal.Frame.read: CRC mismatch on pipe frame";
+               });
+        Some (tag, payload)
+      end
+    end
+end

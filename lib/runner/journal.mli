@@ -41,3 +41,55 @@ val sync : t -> unit
 
 (** [close t] — fsync and close. Idempotent; later appends raise. *)
 val close : t -> unit
+
+(** What {!inspect} reports about a journal file on disk. *)
+type info = {
+  frames : int;  (** complete, checksummed frames *)
+  distinct : int;  (** distinct point indices among them *)
+  duplicates : int;  (** frames superseded by an earlier frame *)
+  bytes : int;  (** file size *)
+  valid_bytes : int;  (** header + complete frames *)
+  torn_bytes : int;  (** trailing bytes past the last valid frame *)
+  max_index : int option;  (** highest point index seen, if any *)
+}
+
+(** [inspect path] — frame counts, CRC/torn-tail status and index range
+    of [path] without modifying it. A missing file reports all zeros.
+    Raises like {!open_append} on a bad magic. *)
+val inspect : string -> info
+
+(** [compact path] — atomically rewrite [path] keeping only the first
+    frame of each index (the one {!replay}-driven resume would use),
+    dropping duplicate frames and any torn tail. Returns
+    [(kept, dropped)] frame counts. Bounds the replay cost of
+    long-lived, repeatedly resumed journals. *)
+val compact : string -> int * int
+
+(** [merge ~into sources] — combine the frames of [sources] (missing
+    files are empty journals) into a single journal at [into], written
+    atomically via {!Atomic_file}. For each index the first frame in
+    source-list order wins; the output is sorted by index, so the merged
+    bytes depend only on the decoded content of the sources — never on
+    append interleaving — making sharded-and-merged runs canonical.
+    Returns the number of distinct frames written. [into] may itself
+    appear in [sources]; it is fully read before being replaced. *)
+val merge : into:string -> string list -> int
+
+(** The journal's CRC-32 frame layout reused as a message codec over
+    pipes: the frame's index field carries a small message [tag] and the
+    CRC covers tag + payload. Used by the sweep farm's
+    coordinator/worker protocol. *)
+module Frame : sig
+  (** [write fd ~tag payload] — write one framed message with a single
+      [write(2)] (retrying on short writes). Raises [Invalid_argument]
+      on a negative [tag]; [Unix.Unix_error EPIPE] if the peer is gone
+      (callers treat that as peer death). *)
+  val write : Unix.file_descr -> tag:int -> string -> unit
+
+  (** [read fd] — block for the next complete frame. [None] on EOF,
+      including EOF mid-frame (a peer that died while writing). Raises
+      {!Robust.Pllscope_error.Error} with a [Parse] payload if a
+      complete frame fails its CRC — that is corruption, not a clean
+      shutdown. Retries [EINTR] internally. *)
+  val read : Unix.file_descr -> (int * string) option
+end

@@ -22,8 +22,22 @@ let check_int msg a b = Alcotest.(check int) msg a b
 let case name f = Alcotest.test_case name `Quick f
 let slow_case name f = Alcotest.test_case name `Slow f
 
+(* Pass an explicit random state: the library default lazily prints a
+   "qcheck random seed" banner to stdout at module-init time, which
+   corrupts the farm protocol stream when the test binary re-execs
+   itself as a farm worker (stdout is the protocol pipe). Fixed seed
+   also makes the property suite reproducible; override via
+   QCHECK_SEED. *)
+let qcheck_rand () =
+  let seed =
+    match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+    | Some s -> s
+    | None -> 421_337
+  in
+  Random.State.make [| seed |]
+
 let qcheck ?(count = 100) name gen prop =
-  QCheck_alcotest.to_alcotest
+  QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ())
     (QCheck2.Test.make ~count ~name gen prop)
 
 (* generators *)

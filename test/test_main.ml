@@ -1,3 +1,11 @@
+(* The farm tests spawn this binary as their worker subprocess: dispatch
+   the protocol server before Alcotest ever sees argv. *)
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "farm-worker" then begin
+    Test_farm.worker_main ();
+    exit 0
+  end
+
 let () =
   Alcotest.run "pllscope"
     [
@@ -48,5 +56,6 @@ let () =
       ("parallel.pool", Test_parallel.suite);
       ("robust", Test_robust.suite);
       ("runner", Test_runner.suite);
+      ("farm", Test_farm.suite);
       ("golden.figures", Test_golden.suite);
     ]
