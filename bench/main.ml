@@ -712,6 +712,211 @@ let run_farm_bench () =
     runs;
   (try Sys.rmdir dir with Sys_error _ -> ())
 
+(* Analysis daemon under concurrent load: an in-process daemon on a
+   scratch Unix socket, hammered by concurrent client threads. A cold
+   phase (every request a distinct design, so every request computes)
+   and a warm phase (a small cycled design pool, so almost every
+   request is a cache replay) report throughput and p50/p99 request
+   latency; an overload phase against a one-slot, zero-queue daemon
+   reports the shed rate and proves a retried request still lands.
+   Emitted as BENCH_serve.json for CI tracking. Override the load with
+   PLLSCOPE_SERVE_CLIENTS / PLLSCOPE_SERVE_REQS. *)
+let run_serve_bench () =
+  Format.printf "@.== Analysis daemon: concurrent serving ==@.";
+  Runner.Shutdown.ignore_sigpipe ();
+  let env_int name default =
+    match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+    | Some n when n > 0 -> n
+    | _ -> default
+  in
+  let clients = env_int "PLLSCOPE_SERVE_CLIENTS" 8 in
+  let reqs = env_int "PLLSCOPE_SERVE_REQS" 40 in
+  let sock_path suffix =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pllscope_bench_%d_%s.sock" (Unix.getpid ()) suffix)
+  in
+  let with_daemon cfg suffix f =
+    let path = sock_path suffix in
+    let cfg = { cfg with Serve.Daemon.socket_path = Some path } in
+    let d = Serve.Daemon.create cfg in
+    let final = ref None in
+    let th =
+      Thread.create (fun () -> final := Some (Serve.Daemon.serve d)) ()
+    in
+    let out =
+      Fun.protect
+        ~finally:(fun () ->
+          Serve.Daemon.stop d;
+          Thread.join th;
+          if Sys.file_exists path then Sys.remove path)
+        (fun () -> f path)
+    in
+    match !final with
+    | Some stats -> (out, stats)
+    | None -> failwith "Main.run_serve_bench: daemon returned no stats"
+  in
+  let request path body =
+    let c = Serve.Client.connect (Serve.Client.Unix_path path) in
+    Fun.protect
+      ~finally:(fun () -> Serve.Client.close c)
+      (fun () -> Serve.Client.request c { Serve.Wire.deadline = None; body })
+  in
+  let spec_variant i =
+    {
+      spec with
+      Pll_lib.Design.fref =
+        spec.Pll_lib.Design.fref *. (1.0 +. (1e-4 *. float_of_int i));
+    }
+  in
+  (* all-threads hammer; per-request wall times merged and sorted after *)
+  let hammer path ~distinct =
+    let lat = Array.make (clients * reqs) 0.0 in
+    let errors = Atomic.make 0 in
+    let t0 = Unix.gettimeofday () in
+    let threads =
+      Array.init clients (fun c ->
+          Thread.create
+            (fun () ->
+              for j = 0 to reqs - 1 do
+                let i = (c * reqs) + j in
+                let body =
+                  Serve.Wire.Analyze
+                    (spec_variant (if distinct then i else i mod 8))
+                in
+                let r0 = Unix.gettimeofday () in
+                (match request path body with
+                | Ok _ -> ()
+                | Error _ -> Atomic.incr errors);
+                lat.(i) <- Unix.gettimeofday () -. r0
+              done)
+            ())
+    in
+    Array.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    Array.sort Float.compare lat;
+    let n = Array.length lat in
+    let pct p = lat.(min (n - 1) (int_of_float (p *. float_of_int n))) in
+    (wall, pct 0.5, pct 0.99, Atomic.get errors)
+  in
+  let total = clients * reqs in
+  let serving_cfg =
+    {
+      Serve.Daemon.default_config with
+      Serve.Daemon.workers = 4;
+      queue_depth = clients * 2;
+      max_clients = clients * 4;
+    }
+  in
+  let (cold, warm), stats =
+    with_daemon serving_cfg "serving" (fun path ->
+        let cold = hammer path ~distinct:true in
+        let warm = hammer path ~distinct:false in
+        (cold, warm))
+  in
+  let report label (wall, p50, p99, errors) =
+    Format.printf
+      "  %-24s %8.3f s  %8.0f req/s   p50 %7.3f ms   p99 %7.3f ms%s@." label
+      wall
+      (float_of_int total /. wall)
+      (p50 *. 1e3) (p99 *. 1e3)
+      (if errors = 0 then "" else Printf.sprintf "   (%d errors!)" errors)
+  in
+  report "cold (every req computes)" cold;
+  report "warm (cache replays)" warm;
+  Format.printf "  cache: %d hits / %d misses; served %d@."
+    stats.Serve.Wire.cache_hits stats.Serve.Wire.cache_misses
+    stats.Serve.Wire.served;
+  (* overload: one slot, no queue, every client fires distinct designs
+     with no retries — the shed rate is the admission control working *)
+  let overload_cfg =
+    {
+      Serve.Daemon.default_config with
+      Serve.Daemon.workers = 1;
+      queue_depth = 0;
+      max_clients = clients * 4;
+      retry_after = 0.002;
+    }
+  in
+  let (shed_seen, ok_seen, retry_ok), overload_stats =
+    with_daemon overload_cfg "overload" (fun path ->
+        let shed = Atomic.make 0 and okc = Atomic.make 0 in
+        let threads =
+          Array.init clients (fun c ->
+              Thread.create
+                (fun () ->
+                  for j = 0 to reqs - 1 do
+                    let body =
+                      Serve.Wire.Analyze
+                        (spec_variant (10_000 + (c * reqs) + j))
+                    in
+                    match request path body with
+                    | Ok _ -> Atomic.incr okc
+                    | Error (Robust.Pllscope_error.Overloaded _) ->
+                        Atomic.incr shed
+                    | Error _ -> ()
+                  done)
+                ())
+        in
+        Array.iter Thread.join threads;
+        (* a patient client retries through the stampede and lands *)
+        let retry_ok =
+          match
+            Serve.Client.with_retries ~attempts:20 ~base_delay:0.002
+              ~max_delay:0.05
+              ~connect:(fun () ->
+                Serve.Client.connect (Serve.Client.Unix_path path))
+              (fun conn ->
+                Serve.Client.request conn
+                  {
+                    Serve.Wire.deadline = None;
+                    body = Serve.Wire.Analyze (spec_variant 99_999);
+                  })
+          with
+          | Ok _ -> true
+          | Error _ -> false
+        in
+        (Atomic.get shed, Atomic.get okc, retry_ok))
+  in
+  let shed_rate = float_of_int shed_seen /. float_of_int total in
+  Format.printf
+    "  overload (1 slot, queue 0): %d served, %d shed of %d  (shed rate \
+     %.2f); retry round-trip %s@."
+    ok_seen shed_seen total shed_rate
+    (if retry_ok then "ok" else "FAILED");
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    "  \"benchmark\": \"analysis daemon: concurrent clients over a Unix \
+     socket\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"clients\": %d,\n" clients);
+  Buffer.add_string b
+    (Printf.sprintf "  \"requests_per_client\": %d,\n" reqs);
+  let phase name (wall, p50, p99, errors) =
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"%s\": {\"seconds\": %.6f, \"req_per_s\": %.1f, \"p50_ms\": \
+          %.4f, \"p99_ms\": %.4f, \"errors\": %d},\n"
+         name wall
+         (float_of_int total /. wall)
+         (p50 *. 1e3) (p99 *. 1e3) errors)
+  in
+  phase "cold" cold;
+  phase "warm" warm;
+  Buffer.add_string b
+    (Printf.sprintf "  \"cache\": {\"hits\": %d, \"misses\": %d},\n"
+       stats.Serve.Wire.cache_hits stats.Serve.Wire.cache_misses);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"overload\": {\"served\": %d, \"shed\": %d, \"total\": %d, \
+        \"shed_rate\": %.4f, \"daemon_shed_counter\": %d, \
+        \"retry_roundtrip_ok\": %b}\n"
+       ok_seen shed_seen total shed_rate overload_stats.Serve.Wire.shed
+       retry_ok);
+  Buffer.add_string b "}\n";
+  Runner.Atomic_file.write_string "BENCH_serve.json" (Buffer.contents b);
+  Format.printf "wrote BENCH_serve.json@."
+
 let bench_sim_period =
   Test.make ~name:"kernel: behavioral simulation (10 periods)"
     (Staged.stage
@@ -790,6 +995,7 @@ let () =
   | "grid" -> run_grid_bench ()
   | "robust" -> run_robust_bench ()
   | "runner" -> run_runner_bench ()
+  | "serve" -> run_serve_bench ()
   | ("2" | "4" | "5" | "6" | "7" | "perf" | "xchk" | "ablation" | "isf" | "nonideal" | "pfd" | "noise" | "fractional") as f ->
       run_figures f
   | "all" ->
@@ -800,9 +1006,10 @@ let () =
       run_grid_bench ();
       run_robust_bench ();
       run_runner_bench ();
-      run_farm_bench ()
+      run_farm_bench ();
+      run_serve_bench ()
   | other ->
       Format.printf
-        "unknown argument %s (want 2|4|5|6|7|perf|xchk|ablation|isf|nonideal|pfd|noise|fractional|grid|bench|parallel|kernels|grid|robust|runner|farm|all)@."
+        "unknown argument %s (want 2|4|5|6|7|perf|xchk|ablation|isf|nonideal|pfd|noise|fractional|grid|bench|parallel|kernels|grid|robust|runner|farm|serve|all)@."
         other;
       exit 1

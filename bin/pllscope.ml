@@ -457,6 +457,276 @@ let farm_worker_cmd =
   in
   Cmd.v (Cmd.info "farm-worker" ~doc) Term.(const run $ const ())
 
+(* --------------------------------------------------------------- *)
+(* analysis daemon                                                  *)
+
+let socket_term =
+  let doc = "Unix-domain socket path to listen/connect on." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_term =
+  let doc = "Loopback TCP port to listen/connect on (0 = ephemeral)." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let client_addr socket port =
+  match (socket, port) with
+  | Some path, _ -> Serve.Client.Unix_path path
+  | None, Some p -> Serve.Client.Tcp ("127.0.0.1", p)
+  | None, None ->
+      Format.fprintf pp "error: need --socket or --port@.";
+      exit 1
+
+let print_wire_error err =
+  Format.fprintf pp "error: %s@." (Robust.Pllscope_error.to_string err)
+
+let fetch_stats addr =
+  Serve.Client.with_retries
+    ~connect:(fun () -> Serve.Client.connect addr)
+    (fun conn ->
+      Serve.Client.request conn
+        { Serve.Wire.deadline = None; body = Serve.Wire.Stats })
+
+let serve_cmd =
+  let workers =
+    let doc = "Concurrent compute slots." in
+    Arg.(value & opt int Serve.Daemon.default_config.Serve.Daemon.workers
+         & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let queue =
+    let doc =
+      "Requests queued past the compute slots before shedding with a typed \
+       overloaded frame."
+    in
+    Arg.(value & opt int Serve.Daemon.default_config.Serve.Daemon.queue_depth
+         & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let max_clients =
+    let doc = "Open connections before accept-time shedding." in
+    Arg.(value & opt int Serve.Daemon.default_config.Serve.Daemon.max_clients
+         & info [ "max-clients" ] ~docv:"N" ~doc)
+  in
+  let cache =
+    let doc = "Response-cache capacity in entries (0 disables)." in
+    Arg.(value & opt int Serve.Daemon.default_config.Serve.Daemon.cache_entries
+         & info [ "cache" ] ~docv:"N" ~doc)
+  in
+  let read_timeout =
+    let doc = "Whole-frame read deadline in seconds (idle/slow clients)." in
+    Arg.(value & opt float Serve.Daemon.default_config.Serve.Daemon.read_timeout
+         & info [ "read-timeout" ] ~docv:"SECS" ~doc)
+  in
+  let write_timeout =
+    let doc = "Whole-frame write deadline in seconds (slow readers)." in
+    Arg.(value & opt float Serve.Daemon.default_config.Serve.Daemon.write_timeout
+         & info [ "write-timeout" ] ~docv:"SECS" ~doc)
+  in
+  let default_deadline =
+    let doc = "Deadline applied to requests that carry none, in seconds." in
+    Arg.(value & opt (some float) None
+         & info [ "default-deadline" ] ~docv:"SECS" ~doc)
+  in
+  let drain_grace =
+    let doc = "Seconds in-flight requests get to deliver on shutdown." in
+    Arg.(value & opt float Serve.Daemon.default_config.Serve.Daemon.drain_grace
+         & info [ "drain-grace" ] ~docv:"SECS" ~doc)
+  in
+  let retry_after =
+    let doc = "Retry hint carried by overloaded frames, in seconds." in
+    Arg.(value & opt float Serve.Daemon.default_config.Serve.Daemon.retry_after
+         & info [ "retry-after" ] ~docv:"SECS" ~doc)
+  in
+  let status =
+    let doc =
+      "Query a running daemon's counters (server and robust-layer) as JSON \
+       instead of starting one."
+    in
+    Arg.(value & flag & info [ "status" ] ~doc)
+  in
+  let run socket port workers queue max_clients cache read_timeout
+      write_timeout default_deadline drain_grace retry_after status strict =
+    if status then begin
+      match fetch_stats (client_addr socket port) with
+      | Ok (Serve.Wire.R_stats s) ->
+          Format.fprintf pp "%s@." (Serve.Metrics.json_of_stats s)
+      | Ok (Serve.Wire.R_analyze _ | R_bode _ | R_sweep _ | R_healthy) ->
+          Format.fprintf pp "error: unexpected reply to a stats request@.";
+          exit 1
+      | Error err ->
+          print_wire_error err;
+          exit 1
+    end
+    else begin
+      if socket = None && port = None then begin
+        Format.fprintf pp "error: need --socket and/or --port to listen on@.";
+        exit 1
+      end;
+      Robust.Stats.reset ();
+      Parallel.Cancel.reset_global ();
+      let cfg =
+        {
+          Serve.Daemon.socket_path = socket;
+          tcp_port = port;
+          workers;
+          queue_depth = queue;
+          max_clients;
+          cache_entries = cache;
+          read_timeout;
+          write_timeout;
+          default_deadline;
+          drain_grace;
+          retry_after;
+          strict;
+        }
+      in
+      let d = Serve.Daemon.create cfg in
+      (match socket with
+      | Some path -> Experiments.Report.kv pp "listening" "unix:%s" path
+      | None -> ());
+      (match Serve.Daemon.tcp_port d with
+      | Some p -> Experiments.Report.kv pp "listening" "tcp:127.0.0.1:%d" p
+      | None -> ());
+      let final = Serve.Daemon.serve d in
+      (* a drained daemon exits 0: shutdown-by-signal is its success
+         path, unlike a cancelled sweep *)
+      Experiments.Report.kv pp "drained" "served %d, shed %d, cache %d/%d, \
+                                          errors %d, io timeouts %d"
+        final.Serve.Wire.served final.Serve.Wire.shed
+        final.Serve.Wire.cache_hits
+        (final.Serve.Wire.cache_hits + final.Serve.Wire.cache_misses)
+        final.Serve.Wire.request_errors final.Serve.Wire.io_timeouts;
+      let s = final.Serve.Wire.robust in
+      if Robust.Stats.total s > 0 then
+        Format.fprintf pp "%a@." Robust.Stats.pp s
+    end
+  in
+  let doc =
+    "Analysis daemon: concurrent clients over unix/tcp sockets, CRC-framed \
+     protocol, admission control with typed overload shedding, per-request \
+     deadlines, response cache, graceful drain on SIGTERM"
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_term $ port_term $ workers $ queue $ max_clients
+      $ cache $ read_timeout $ write_timeout $ default_deadline $ drain_grace
+      $ retry_after $ status $ strict_term)
+
+let client_cmd =
+  let what =
+    let doc = "Request: analyze, bode, sweep, stats or health." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"REQUEST" ~doc)
+  in
+  let points =
+    let doc = "Grid points (bode) or linearly spaced ratios (sweep)." in
+    Arg.(value & opt (some int) None & info [ "points" ] ~docv:"N" ~doc)
+  in
+  let req_deadline =
+    let doc = "Per-request compute budget on the server, in seconds." in
+    Arg.(value & opt (some float) None
+         & info [ "request-deadline" ] ~docv:"SECS" ~doc)
+  in
+  let timeout =
+    let doc = "Seconds to wait for the complete reply frame." in
+    Arg.(value & opt float 60.0 & info [ "timeout" ] ~docv:"SECS" ~doc)
+  in
+  let attempts =
+    let doc = "Retry attempts on overload or connection loss." in
+    Arg.(value & opt int 5 & info [ "attempts" ] ~docv:"N" ~doc)
+  in
+  let seed =
+    let doc = "Seed of the deterministic retry-jitter stream." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc)
+  in
+  let print_loop_reports lti eff =
+    Format.fprintf pp "LTI  open loop A(jw):      %a@."
+      Pll_lib.Analysis.pp_loop_report lti;
+    Format.fprintf pp "TV   open loop lambda(jw): %a@."
+      Pll_lib.Analysis.pp_loop_report eff
+  in
+  let run spec what socket port points req_deadline timeout attempts seed =
+    let addr = client_addr socket port in
+    let body =
+      match what with
+      | "analyze" -> Serve.Wire.Analyze spec
+      | "bode" ->
+          Serve.Wire.Bode { spec; points = Option.value points ~default:25 }
+      | "sweep" ->
+          let ratios =
+            match points with
+            | None -> Array.of_list Experiments.Exp_fig7.default_ratios
+            | Some n when n >= 2 ->
+                Array.init n (fun i ->
+                    0.02
+                    +. ((0.5 -. 0.02) *. float_of_int i /. float_of_int (n - 1)))
+            | Some _ ->
+                Format.fprintf pp "error: --points must be >= 2@.";
+                exit 1
+          in
+          Serve.Wire.Sweep { spec; ratios }
+      | "stats" -> Serve.Wire.Stats
+      | "health" -> Serve.Wire.Health
+      | other ->
+          Format.fprintf pp "error: unknown request %s@." other;
+          exit 1
+    in
+    let reply =
+      Serve.Client.with_retries ~attempts ~seed
+        ~connect:(fun () -> Serve.Client.connect addr)
+        (fun conn ->
+          Serve.Client.request ~timeout conn
+            { Serve.Wire.deadline = req_deadline; body })
+    in
+    match reply with
+    | Error err ->
+        print_wire_error err;
+        exit 1
+    | Ok (Serve.Wire.R_analyze r) ->
+        print_loop_reports r.Serve.Wire.lti r.Serve.Wire.eff;
+        let m = r.Serve.Wire.metrics in
+        Experiments.Report.kv pp "closed-loop peaking" "%.2f dB at %g rad/s"
+          m.Pll_lib.Analysis.peak_db m.Pll_lib.Analysis.peak_freq;
+        Experiments.Report.kv pp "time-varying stable" "%s"
+          (if r.Serve.Wire.stable then "yes" else "NO")
+    | Ok (Serve.Wire.R_bode b) ->
+        Experiments.Report.table pp ~title:"open-loop responses"
+          ~header:[ "w"; "|A| dB"; "arg A"; "|lambda| dB"; "arg lambda" ]
+          (List.map2
+             (fun (pa : Serve.Wire.bode_point) (pl : Serve.Wire.bode_point) ->
+               [
+                 Experiments.Report.g pa.Serve.Wire.omega;
+                 Experiments.Report.f3 pa.Serve.Wire.mag_db;
+                 Experiments.Report.f3 pa.Serve.Wire.phase_deg;
+                 Experiments.Report.f3 pl.Serve.Wire.mag_db;
+                 Experiments.Report.f3 pl.Serve.Wire.phase_deg;
+               ])
+             (Array.to_list b.Serve.Wire.a)
+             (Array.to_list b.Serve.Wire.lambda))
+    | Ok (Serve.Wire.R_sweep s) ->
+        let rows =
+          Array.to_list s.Serve.Wire.rows |> List.filter_map Fun.id
+        in
+        Experiments.Exp_fig7.print pp rows;
+        if s.Serve.Wire.failures <> [] then
+          Format.fprintf pp "%d of %d point(s) failed:@."
+            (List.length s.Serve.Wire.failures)
+            s.Serve.Wire.total;
+        List.iter
+          (fun (i, err) ->
+            Format.fprintf pp "  point %d: %s@." i
+              (Robust.Pllscope_error.to_string err))
+          s.Serve.Wire.failures
+    | Ok (Serve.Wire.R_stats s) ->
+        Format.fprintf pp "%s@." (Serve.Metrics.json_of_stats s)
+    | Ok Serve.Wire.R_healthy -> Format.fprintf pp "healthy@."
+  in
+  let doc =
+    "Query a running analysis daemon (retries overload/connection loss with \
+     deterministic exponential backoff)"
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(
+      const run $ spec_term $ what $ socket_term $ port_term $ points
+      $ req_deadline $ timeout $ attempts $ seed)
+
 let fig_cmd =
   let which =
     let doc =
@@ -612,4 +882,5 @@ let () =
   let info = Cmd.info "pllscope" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
     [ analyze_cmd; bode_cmd; sweep_cmd; mc_cmd; fig_cmd; sim_cmd; measure_cmd;
-      netlist_cmd; farm_cmd; journal_cmd; farm_worker_cmd ]))
+      netlist_cmd; farm_cmd; journal_cmd; farm_worker_cmd; serve_cmd;
+      client_cmd ]))

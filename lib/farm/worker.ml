@@ -24,7 +24,8 @@ let globalize_error ~lo (err : Robust.Pllscope_error.t) =
   match err with
   | Worker_failure w -> Robust.Pllscope_error.Worker_failure { w with task = lo + w.task }
   | Timed_out t -> Robust.Pllscope_error.Timed_out { t with task = lo + t.task }
-  | Singular _ | Non_convergence _ | Non_finite _ | Parse _ | Cancelled _ ->
+  | Singular _ | Non_convergence _ | Non_finite _ | Parse _ | Cancelled _
+  | Overloaded _ | Io_timeout _ ->
       err
 
 let run_range ?chunk ?retries ?task_timeout journal task { Protocol.lo; hi } =

@@ -25,6 +25,9 @@ type site =
   | Journal_torn
   | Crash_at_point
   | Grid_plan_nan
+  | Net_torn
+  | Net_drop
+  | Net_slow
 
 (* Raised by crash-simulation sites (journal-torn, crash-at-point) to
    model abrupt process death. Defined here — not in Runner — so that
@@ -32,7 +35,7 @@ type site =
    without depending on the runner library. *)
 exception Simulated_crash
 
-let n_sites = 8
+let n_sites = 11
 
 let index = function
   | Lu_pivot -> 0
@@ -43,6 +46,9 @@ let index = function
   | Journal_torn -> 5
   | Crash_at_point -> 6
   | Grid_plan_nan -> 7
+  | Net_torn -> 8
+  | Net_drop -> 9
+  | Net_slow -> 10
 
 let site_name = function
   | Lu_pivot -> "lu-pivot"
@@ -53,6 +59,9 @@ let site_name = function
   | Journal_torn -> "journal-torn"
   | Crash_at_point -> "crash-at-point"
   | Grid_plan_nan -> "grid-plan-nan"
+  | Net_torn -> "net-torn"
+  | Net_drop -> "net-drop"
+  | Net_slow -> "net-slow"
 
 let site_of_name = function
   | "lu-pivot" -> Lu_pivot
@@ -63,6 +72,9 @@ let site_of_name = function
   | "journal-torn" -> Journal_torn
   | "crash-at-point" -> Crash_at_point
   | "grid-plan-nan" -> Grid_plan_nan
+  | "net-torn" -> Net_torn
+  | "net-drop" -> Net_drop
+  | "net-slow" -> Net_slow
   | s -> invalid_arg (Printf.sprintf "Inject.site_of_name: unknown site %S" s)
 
 type trigger = Never | Always | Nth of int | From of int | Prob of float

@@ -15,7 +15,7 @@
 
     Site names: ["lu-pivot"], ["smat-nan"], ["power-stall"],
     ["pool-task"], ["task-hang"], ["journal-torn"], ["crash-at-point"],
-    ["grid-plan-nan"].
+    ["grid-plan-nan"], ["net-torn"], ["net-drop"], ["net-slow"].
     Example: ["lu-pivot:2,smat-nan:*"]. *)
 
 type site =
@@ -37,6 +37,17 @@ type site =
       (** poison the root of a planned grid evaluation ([Htm_core.Plan])
           with a NaN after one point's in-place execution, exercising
           the per-point dense-oracle fallback of the plan layer. *)
+  | Net_torn
+      (** tear a [Serve.Client] request frame mid-write and close the
+          connection, so the daemon reads a half-written frame followed
+          by EOF. *)
+  | Net_drop
+      (** drop a [Serve.Client] connection right before the request
+          frame is written (models a client killed between connect and
+          send). *)
+  | Net_slow
+      (** stall a [Serve.Client] request write mid-frame (slow-loris
+          behaviour), exercising the daemon's per-frame read deadline. *)
 
 (** Raised by the crash-simulation sites ([Journal_torn],
     [Crash_at_point]) to model abrupt process death. [Parallel.Pool]

@@ -18,6 +18,8 @@ type t =
   | Worker_failure of { task : int; attempts : int; last : string }
   | Timed_out of { task : int; seconds : float }
   | Cancelled of { reason : string }
+  | Overloaded of { retry_after : float }
+  | Io_timeout of { seconds : float; what : string }
 
 exception Error of t
 
@@ -42,6 +44,10 @@ let to_string = function
   | Timed_out { task; seconds } ->
       Printf.sprintf "task %d exceeded its %g s watchdog timeout" task seconds
   | Cancelled { reason } -> Printf.sprintf "cancelled (%s) before execution" reason
+  | Overloaded { retry_after } ->
+      Printf.sprintf "server overloaded; retry after %.3f s" retry_after
+  | Io_timeout { seconds; what } ->
+      Printf.sprintf "%s timed out after %g s" what seconds
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 

@@ -28,6 +28,14 @@ type t =
       (** A sweep point was skipped because the run was cancelled
           (deadline, signal, or explicit token) before its chunk was
           claimed. *)
+  | Overloaded of { retry_after : float }
+      (** The analysis daemon shed this request under load (admission
+          queue full or too many clients). [retry_after] is a hint, in
+          seconds, for when a retry is likely to be admitted. *)
+  | Io_timeout of { seconds : float; what : string }
+      (** A framed I/O operation ([what], e.g. ["frame read"]) exceeded
+          its deadline — a stalled peer or a half-written frame followed
+          by silence. [seconds] is the configured bound. *)
 
 exception Error of t
 

@@ -63,14 +63,18 @@ let record_fallback err =
   | Singular _ -> Atomic.incr singular_guards
   | Non_finite _ -> Atomic.incr nonfinite_guards
   | Non_convergence _ -> Atomic.incr non_convergences
-  | Parse _ | Worker_failure _ | Timed_out _ | Cancelled _ -> ()
+  | Parse _ | Worker_failure _ | Timed_out _ | Cancelled _ | Overloaded _
+  | Io_timeout _ ->
+      ()
 
 let record_guard err =
   match (err : Pllscope_error.t) with
   | Singular _ -> Atomic.incr singular_guards
   | Non_finite _ -> Atomic.incr nonfinite_guards
   | Non_convergence _ -> Atomic.incr non_convergences
-  | Parse _ | Worker_failure _ | Timed_out _ | Cancelled _ -> ()
+  | Parse _ | Worker_failure _ | Timed_out _ | Cancelled _ | Overloaded _
+  | Io_timeout _ ->
+      ()
 
 let record_non_convergence () = Atomic.incr non_convergences
 let record_retry () = Atomic.incr pool_retries

@@ -310,42 +310,129 @@ module Frame = struct
     done;
     not !eof
 
+  let now () = (Unix.gettimeofday () [@lint.allow "nondeterminism"])
+
+  (* Deadline waits: select with the remaining budget, retrying EINTR
+     and spurious early wakeups. false iff the deadline passed first. *)
+  let rec wait_io fd ~until ~dir =
+    let remaining = until -. now () in
+    if remaining <= 0. then false
+    else
+      let rs, ws = match dir with `R -> ([ fd ], []) | `W -> ([], [ fd ]) in
+      match Unix.select rs ws [] remaining with
+      | [], [], _ -> wait_io fd ~until ~dir
+      | _ -> true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+          wait_io fd ~until ~dir
+
+  (* Fill [len] bytes by the absolute deadline [until]. The select-first
+     loop also tolerates EAGAIN so it works on nonblocking descriptors. *)
+  let read_exact_deadline fd buf off len ~until =
+    let off = ref off and left = ref len in
+    let verdict = ref `Ok in
+    while !left > 0 && !verdict = `Ok do
+      if not (wait_io fd ~until ~dir:`R) then verdict := `Timeout
+      else
+        match retry_read fd buf !off !left with
+        | 0 -> verdict := `Eof
+        | n ->
+            off := !off + n;
+            left := !left - n
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            ()
+    done;
+    !verdict
+
+  let parse_error msg =
+    Robust.Pllscope_error.Parse { file = "<pipe>"; line = 0; col = 0; msg }
+
+  let encode ~tag payload =
+    if tag < 0 then invalid_arg "Journal.Frame.encode: negative tag";
+    encode_frame ~index:tag payload
+
   let write fd ~tag payload =
     if tag < 0 then invalid_arg "Journal.Frame.write: negative tag";
     let frame = encode_frame ~index:tag payload in
     write_all fd frame
 
-  let read fd =
+  let write_result ?timeout fd ~tag payload =
+    if tag < 0 then invalid_arg "Journal.Frame.write_result: negative tag";
+    let frame = encode_frame ~index:tag payload in
+    match timeout with
+    | None ->
+        write_all fd frame;
+        Ok ()
+    | Some seconds ->
+        (* A blocking write(2) larger than the kernel buffer can stall
+           past any select verdict, so toggle O_NONBLOCK for the loop:
+           select bounds the wait, the nonblocking write never sticks. *)
+        let until = now () +. seconds in
+        let b = Bytes.of_string frame in
+        let n = Bytes.length b in
+        Unix.set_nonblock fd;
+        Fun.protect
+          ~finally:(fun () -> Unix.clear_nonblock fd)
+          (fun () ->
+            let off = ref 0 in
+            let timed_out = ref false in
+            while !off < n && not !timed_out do
+              if not (wait_io fd ~until ~dir:`W) then timed_out := true
+              else
+                match Unix.write fd b !off (n - !off) with
+                | k -> off := !off + k
+                | exception
+                    Unix.Unix_error
+                      ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+                  ->
+                    ()
+            done;
+            if !timed_out then
+              Error
+                (Robust.Pllscope_error.Io_timeout
+                   { seconds; what = "frame write" })
+            else Ok ())
+
+  let read_result ?timeout fd =
+    let fill =
+      match timeout with
+      | None ->
+          fun buf len -> if read_exact fd buf 0 len then `Ok else `Eof
+      | Some seconds ->
+          let until = now () +. seconds in
+          fun buf len -> read_exact_deadline fd buf 0 len ~until
+    in
+    let timed_out () =
+      let seconds = Option.value timeout ~default:0. in
+      Error
+        (Robust.Pllscope_error.Io_timeout { seconds; what = "frame read" })
+    in
     let header = Bytes.create frame_header_len in
-    if not (read_exact fd header 0 frame_header_len) then None
-    else begin
-      let header = Bytes.to_string header in
-      let len = get_u32 header 0 in
-      let tag = get_u32 header 4 in
-      let crc = Int32.of_int (get_u32 header 8) in
-      if len < 0 || len > 1 lsl 30 then
-        Robust.Pllscope_error.raise_
-          (Robust.Pllscope_error.Parse
-             {
-               file = "<pipe>";
-               line = 0;
-               col = 0;
-               msg = "Journal.Frame.read: implausible frame length";
-             });
-      let body = Bytes.create len in
-      if not (read_exact fd body 0 len) then None
-      else begin
-        let payload = Bytes.to_string body in
-        if frame_crc tag payload <> crc then
-          Robust.Pllscope_error.raise_
-            (Robust.Pllscope_error.Parse
-               {
-                 file = "<pipe>";
-                 line = 0;
-                 col = 0;
-                 msg = "Journal.Frame.read: CRC mismatch on pipe frame";
-               });
-        Some (tag, payload)
-      end
-    end
+    match fill header frame_header_len with
+    | `Timeout -> timed_out ()
+    | `Eof -> Ok None
+    | `Ok -> (
+        let header = Bytes.to_string header in
+        let len = get_u32 header 0 in
+        let tag = get_u32 header 4 in
+        let crc = Int32.of_int (get_u32 header 8) in
+        if len < 0 || len > 1 lsl 30 then
+          Error (parse_error "Journal.Frame.read: implausible frame length")
+        else
+          let body = Bytes.create len in
+          match fill body len with
+          | `Timeout -> timed_out ()
+          | `Eof -> Ok None
+          | `Ok ->
+              let payload = Bytes.to_string body in
+              if frame_crc tag payload <> crc then
+                Error
+                  (parse_error
+                     "Journal.Frame.read: CRC mismatch on pipe frame")
+              else Ok (Some (tag, payload)))
+
+  let read fd =
+    match read_result fd with
+    | Ok v -> v
+    | Error err -> Robust.Pllscope_error.raise_ err
 end

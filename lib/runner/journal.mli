@@ -80,11 +80,31 @@ val merge : into:string -> string list -> int
     CRC covers tag + payload. Used by the sweep farm's
     coordinator/worker protocol. *)
 module Frame : sig
+  (** [encode ~tag payload] — the exact bytes {!write} would put on the
+      wire. Exposed so fault harnesses can write deliberately torn or
+      stalled partial frames. Raises [Invalid_argument] on a negative
+      tag. *)
+  val encode : tag:int -> string -> string
+
   (** [write fd ~tag payload] — write one framed message with a single
       [write(2)] (retrying on short writes). Raises [Invalid_argument]
       on a negative [tag]; [Unix.Unix_error EPIPE] if the peer is gone
       (callers treat that as peer death). *)
   val write : Unix.file_descr -> tag:int -> string -> unit
+
+  (** [write_result ?timeout fd ~tag payload] — like {!write}, but with
+      [~timeout] the whole frame must drain within that many seconds or
+      the call returns [Error (Io_timeout _)] (the descriptor's
+      [O_NONBLOCK] flag is toggled for the duration, so a slow or
+      stalled reader cannot wedge the writer). Without [~timeout] it is
+      {!write} returning [Ok ()]. Raises like {!write} on a negative
+      tag or a dead peer ([EPIPE]). *)
+  val write_result :
+    ?timeout:float ->
+    Unix.file_descr ->
+    tag:int ->
+    string ->
+    (unit, Robust.Pllscope_error.t) result
 
   (** [read fd] — block for the next complete frame. [None] on EOF,
       including EOF mid-frame (a peer that died while writing). Raises
@@ -92,4 +112,17 @@ module Frame : sig
       complete frame fails its CRC — that is corruption, not a clean
       shutdown. Retries [EINTR] internally. *)
   val read : Unix.file_descr -> (int * string) option
+
+  (** [read_result ?timeout fd] — non-raising {!read}: [Ok None] on EOF
+      (including mid-frame), [Error] with a [Parse] payload on a CRC
+      mismatch or implausible length prefix. With [~timeout] the whole
+      frame — header and body — must arrive within that many seconds of
+      the call, else [Error (Io_timeout _)]: a peer trickling bytes
+      (slow-loris) cannot hold the reader hostage. The wait is
+      [select]-based and EINTR-safe, and tolerates nonblocking
+      descriptors. *)
+  val read_result :
+    ?timeout:float ->
+    Unix.file_descr ->
+    ((int * string) option, Robust.Pllscope_error.t) result
 end

@@ -10,6 +10,7 @@
    mid-write with a signal. *)
 
 let exit_interrupted = 130 (* 128 + SIGINT, the shell convention *)
+let exit_terminated = 143 (* 128 + SIGTERM *)
 let exit_deadline = 124 (* timeout(1)'s exit code *)
 
 let set_signal n behaviour =
@@ -18,9 +19,20 @@ let set_signal n behaviour =
   try Sys.set_signal n behaviour with Invalid_argument _ | Sys_error _ -> ()
 
 let install_handlers () =
+  let strikes = Atomic.make 0 in
   let handle n =
-    Parallel.Cancel.cancel (Parallel.Cancel.global ())
-      (Parallel.Cancel.Signal n)
+    if Atomic.fetch_and_add strikes 1 = 0 then
+      Parallel.Cancel.cancel (Parallel.Cancel.global ())
+        (Parallel.Cancel.Signal n)
+    else
+      (* Second signal: the first one asked for a cooperative drain; if
+         the operator is hitting ^C again the drain is stuck (or too
+         slow) and the process must die *now*, without needing kill -9.
+         [_exit] skips at_exit/flushes on purpose — every durable write
+         path (journals, Atomic_file) already tolerates exactly this
+         kind of death. OCaml's [Sys.sig*] values are internal negative
+         codes, so map to the shell-convention exit explicitly. *)
+      Unix._exit (if n = Sys.sigterm then exit_terminated else exit_interrupted)
   in
   set_signal Sys.sigint (Sys.Signal_handle handle);
   set_signal Sys.sigterm (Sys.Signal_handle handle)

@@ -5,14 +5,20 @@
     shell convention). *)
 val exit_interrupted : int
 
+(** Exit code after a forced (second-signal) SIGTERM exit: 143
+    (128 + SIGTERM). *)
+val exit_terminated : int
+
 (** Exit code after a [--deadline] expiry: 124, matching [timeout(1)]. *)
 val exit_deadline : int
 
-(** Install SIGINT/SIGTERM handlers that cancel
+(** Install SIGINT/SIGTERM handlers. The {e first} signal cancels
     {!Parallel.Cancel.global} instead of killing the process, so
     in-flight chunks drain, journals stay consistent and the CLI can
-    report a typed partial summary. Platforms without these signals are
-    tolerated silently. *)
+    report a typed partial summary. A {e second} signal (either kind)
+    forces an immediate [_exit] — {!exit_interrupted} for SIGINT,
+    {!exit_terminated} for SIGTERM — so a stuck drain never needs
+    [kill -9]. Platforms without these signals are tolerated silently. *)
 val install_handlers : unit -> unit
 
 (** Ignore SIGPIPE so writes to a closed pipe raise [EPIPE] (which

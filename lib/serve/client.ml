@@ -1,0 +1,179 @@
+(* Client side of the analysis daemon protocol.
+
+   [request] sends one framed request and decodes one reply;
+   [with_retries] wraps connect-request-close in exponential backoff
+   with deterministic jitter, honouring the server's [retry_after] hint
+   on [Overloaded] and treating connection-level failures (refused,
+   reset, EOF-before-reply) as retryable.
+
+   The jitter stream is splitmix64 seeded by the caller — wall-clock
+   and OS randomness stay out of the retry schedule, so a test that
+   fixes the seed replays the exact same backoff sequence.
+
+   This module also hosts the client-side fault-injection sites of the
+   Robust.Inject harness (net-torn, net-drop, net-slow): each attacks
+   the request *send* path the way a dying or misbehaving client
+   would, which is precisely what the daemon's robustness tests need a
+   controllable supply of. *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+type t = { fd : Unix.file_descr }
+
+let addr_to_string = function
+  | Unix_path p -> p
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | a -> a
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } ->
+          failwith ("Client.resolve: no address for host " ^ host)
+      | h -> h.Unix.h_addr_list.(0)
+      | exception Not_found ->
+          failwith ("Client.resolve: unknown host " ^ host))
+
+let connect addr =
+  let domain, sockaddr =
+    match addr with
+    | Unix_path p -> (Unix.PF_UNIX, Unix.ADDR_UNIX p)
+    | Tcp (host, port) -> (Unix.PF_INET, Unix.ADDR_INET (resolve host, port))
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  match Unix.connect fd sockaddr with
+  | () -> { fd }
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error (_, "close", _) -> ());
+      raise e
+
+let close t =
+  try Unix.close t.fd with Unix.Unix_error (_, "close", _) -> ()
+
+let fd t = t.fd
+
+(* ------------------------------------------------------------------ *)
+(* fault-injected send path                                            *)
+
+let write_exact fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write fd b !off (n - !off) with
+    | k -> off := !off + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let socket_err msg =
+  Robust.Pllscope_error.Parse { file = "<socket>"; line = 0; col = 0; msg }
+
+let send_request t ~stall (req : Wire.request) =
+  let payload = Wire.marshal_request req in
+  if Robust.Inject.fire Robust.Inject.Net_drop then begin
+    (* die between connect and send: the daemon sees an immediate EOF *)
+    (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error (_, "shutdown", _) -> ());
+    Error (socket_err "Client.send_request: injected connection drop")
+  end
+  else if Robust.Inject.fire Robust.Inject.Net_torn then begin
+    (* die mid-write: the daemon reads a half frame, then EOF *)
+    let frame = Runner.Journal.Frame.encode ~tag:Wire.tag_request payload in
+    write_exact t.fd (String.sub frame 0 (String.length frame / 2));
+    (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error (_, "shutdown", _) -> ());
+    Error (socket_err "Client.send_request: injected torn frame")
+  end
+  else if Robust.Inject.fire Robust.Inject.Net_slow then begin
+    (* slow-loris: half the header, a stall, then the rest — if the
+       stall exceeds the daemon's read timeout the reply is a typed
+       Io_timeout error frame *)
+    let frame = Runner.Journal.Frame.encode ~tag:Wire.tag_request payload in
+    write_exact t.fd (String.sub frame 0 6);
+    Thread.delay stall;
+    write_exact t.fd
+      (String.sub frame 6 (String.length frame - 6));
+    Ok ()
+  end
+  else Wire.send_request t.fd req
+
+let request ?(timeout = 60.0) ?(stall = 0.75) t (req : Wire.request) =
+  match send_request t ~stall req with
+  | Error _ as e -> e
+  | Ok () -> Wire.recv_reply ~timeout t.fd
+
+(* ------------------------------------------------------------------ *)
+(* retries                                                             *)
+
+(* splitmix64, same generator Robust.Inject uses; local copy keeps the
+   jitter stream independent of the injection stream. *)
+let splitmix64 state =
+  let open Int64 in
+  let z = add state 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  (z, logxor z (shift_right_logical z 31))
+
+let retryable (err : Robust.Pllscope_error.t) =
+  match err with
+  | Overloaded _ -> true
+  | Parse { file = "<socket>"; _ } -> true (* connection-level failure *)
+  | Io_timeout _ -> true (* reply outran its budget; server may recover *)
+  | Singular _ | Non_convergence _ | Non_finite _ | Parse _
+  | Worker_failure _ | Timed_out _ | Cancelled _ ->
+      false
+
+let with_retries ?(attempts = 5) ?(base_delay = 0.05) ?(max_delay = 2.0)
+    ?(seed = 1) ~connect f =
+  if attempts < 1 then invalid_arg "Client.with_retries: attempts must be >= 1";
+  let state = ref (Int64.of_int (if seed = 0 then 0x5eed else seed)) in
+  let jitter () =
+    let state', out = splitmix64 !state in
+    state := state';
+    Int64.to_float (Int64.shift_right_logical out 11) /. 9007199254740992.0
+  in
+  let backoff k (last : Robust.Pllscope_error.t) =
+    let hint =
+      match last with
+      | Robust.Pllscope_error.Overloaded { retry_after } -> retry_after
+      | Singular _ | Non_convergence _ | Non_finite _ | Parse _
+      | Worker_failure _ | Timed_out _ | Cancelled _ | Io_timeout _ ->
+          0.0
+    in
+    let exp_ = base_delay *. (2.0 ** float_of_int (k - 1)) in
+    let d = Float.min max_delay (Float.max hint exp_) in
+    (* jitter in [0.5, 1.5): desynchronises retry herds without ever
+       collapsing the delay to zero *)
+    d *. (0.5 +. jitter ())
+  in
+  let rec go k last =
+    if k >= attempts then Error last
+    else begin
+      if k > 0 then Thread.delay (backoff k last);
+      match connect () with
+      | exception
+          Unix.Unix_error
+            (( Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ENOENT
+             | Unix.EPIPE | Unix.ETIMEDOUT ),
+              _,
+              _ ) ->
+          go (k + 1) (socket_err "Client.with_retries: connect failed")
+      | conn -> (
+          let outcome =
+            match f conn with
+            | res -> res
+            | exception
+                Unix.Unix_error
+                  ((Unix.EPIPE | Unix.ECONNRESET | Unix.ENOTCONN), _, _) ->
+                Error
+                  (socket_err "Client.with_retries: connection lost mid-call")
+          in
+          close conn;
+          match outcome with
+          | Ok _ as ok -> ok
+          | Error err when retryable err -> go (k + 1) err
+          | Error _ as fatal -> fatal)
+    end
+  in
+  go 0 (socket_err "Client.with_retries: no attempt made")

@@ -1,0 +1,53 @@
+(** Client for the analysis daemon, with deterministic retry/backoff
+    and the client-side fault-injection sites ([net-torn], [net-drop],
+    [net-slow]) of {!Robust.Inject}. *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+type t
+
+val addr_to_string : addr -> string
+
+(** [connect addr] — open a connection. Raises [Unix.Unix_error] when
+    the daemon is unreachable (wrap in {!with_retries} for backoff). *)
+val connect : addr -> t
+
+val close : t -> unit
+
+(** The raw descriptor — for harnesses that want to speak frames
+    directly (half-written requests, raw reply-byte comparisons). *)
+val fd : t -> Unix.file_descr
+
+(** [request ?timeout ?stall t req] — send one request, decode one
+    reply. [timeout] bounds the wait for the complete reply frame
+    (default 60 s). Connection loss, corrupt frames, server error
+    frames and shed requests all come back as typed [Error]s.
+
+    [stall] (default 0.75 s) is the mid-frame pause used when the
+    [net-slow] injection site fires; the [net-torn]/[net-drop] sites
+    instead kill the send and return a retryable [<socket>] parse
+    error, exactly as the harnessed fault would. *)
+val request :
+  ?timeout:float ->
+  ?stall:float ->
+  t ->
+  Wire.request ->
+  (Wire.response, Robust.Pllscope_error.t) result
+
+(** [with_retries ?attempts ?base_delay ?max_delay ?seed ~connect f] —
+    run [f] on a fresh connection, retrying on [Overloaded] (honouring
+    its [retry_after] hint), connection-level failures (refused, reset,
+    EOF before reply) and reply timeouts, with exponential backoff
+    [base_delay * 2^k] capped at [max_delay] and multiplicative jitter
+    in [0.5, 1.5) drawn from a splitmix64 stream seeded by [seed] — the
+    schedule is deterministic per seed. The connection is closed after
+    every attempt. Non-retryable typed errors and exhaustion return the
+    last [Error]. *)
+val with_retries :
+  ?attempts:int ->
+  ?base_delay:float ->
+  ?max_delay:float ->
+  ?seed:int ->
+  connect:(unit -> t) ->
+  (t -> ('a, Robust.Pllscope_error.t) result) ->
+  ('a, Robust.Pllscope_error.t) result

@@ -1,0 +1,547 @@
+(* The analysis daemon.
+
+   Architecture: one accept loop (the calling thread), one ticker
+   thread, and one sys-thread per connection. All shared state — the
+   admission gate, the response cache, single-flight bookkeeping, the
+   deadline watch list and the connection table — lives behind a single
+   mutex [t.m] with a single condition [t.c] that every state change
+   (and every ticker tick) broadcasts. Sys-threads all share domain 0,
+   so the per-request compute runs on the caller's thread and the
+   watchdog machinery of Parallel.Pool (whose control block is
+   domain-local) is deliberately not used here; per-request deadlines
+   are enforced by cancellation tokens instead.
+
+   Robustness decisions, in the order a request meets them:
+
+   - Admission at accept: past [max_clients] open connections the
+     daemon answers a typed [Overloaded] frame and closes — before
+     reading a byte, so a connection flood cannot consume read
+     timeouts' worth of daemon attention.
+   - Framed reads carry a whole-frame deadline ([read_timeout]): an
+     idle client is closed quietly after that long, and a slow-loris
+     client trickling a frame gets a typed [Io_timeout] error frame
+     back. Torn frames (client died mid-write) read as clean EOF by
+     frame-codec construction.
+   - The compute gate admits [workers] concurrent requests and queues
+     [queue_depth] more; past that the request is shed with
+     [Overloaded { retry_after }]. Queued requests still honour their
+     deadline (the ticker's broadcast wakes them to re-check).
+   - Every compute request owns a fresh Cancel token registered with
+     its absolute deadline; the ticker cancels expired tokens and the
+     engine polls them between points, so an overrun burns at most one
+     point's work beyond its budget.
+   - Responses are cached as marshalled payload bytes keyed by the
+     digest of the request body (deadline excluded), with single-flight
+     dedup: concurrent identical requests compute once, waiters replay
+     the leader's bytes. A cached reply is byte-identical to the cold
+     one. Leader failure wakes waiters, one of which becomes the new
+     leader.
+   - The compute slot is released *before* the response is written, so
+     a slow-reading client can never hold a worker slot; the write
+     itself carries [write_timeout].
+   - Drain: when the global cancel token fires (first SIGINT/SIGTERM)
+     or [stop] is called, listeners close, idle connections are nudged
+     out of their reads, in-flight requests get [drain_grace] seconds
+     to finish and deliver, then leftover tokens are cancelled and
+     sockets shut down. [serve] then returns normally — exit 0 — with
+     the final stats. A second signal force-exits via
+     Runner.Shutdown. *)
+
+let now () = (Unix.gettimeofday () [@lint.allow "nondeterminism"])
+
+type config = {
+  socket_path : string option;
+  tcp_port : int option;
+  workers : int;
+  queue_depth : int;
+  max_clients : int;
+  cache_entries : int;
+  read_timeout : float;
+  write_timeout : float;
+  default_deadline : float option;
+  drain_grace : float;
+  retry_after : float;
+  strict : bool;
+}
+
+let default_config =
+  {
+    socket_path = None;
+    tcp_port = None;
+    workers = 2;
+    queue_depth = 8;
+    max_clients = 32;
+    cache_entries = 128;
+    read_timeout = 10.0;
+    write_timeout = 10.0;
+    default_deadline = None;
+    drain_grace = 5.0;
+    retry_after = 0.1;
+    strict = false;
+  }
+
+type conn = { fd : Unix.file_descr; mutable busy : bool }
+
+type t = {
+  cfg : config;
+  metrics : Metrics.t;
+  cache : Lru.t;
+  m : Mutex.t;
+  c : Condition.t;
+  mutable active : int;
+  mutable waiting : int;
+  inflight : (string, unit) Hashtbl.t;
+  mutable watched : (Parallel.Cancel.t * float * float) list;
+      (* token, absolute deadline, configured seconds *)
+  mutable conns : conn list;
+  mutable threads : Thread.t list;
+  mutable stopping : bool;
+  mutable finished : bool;
+  stop_requested : bool Atomic.t;
+  listeners : Unix.file_descr list;
+  bound_port : int option;
+}
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let quiet_close fd =
+  try Unix.close fd with Unix.Unix_error (_, "close", _) -> ()
+
+let quiet_shutdown fd mode =
+  try Unix.shutdown fd mode with Unix.Unix_error (_, "shutdown", _) -> ()
+
+let listen_unix path =
+  (try Unix.unlink path with Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.bind fd (Unix.ADDR_UNIX path) with
+  | () -> ()
+  | exception e ->
+      quiet_close fd;
+      raise e);
+  Unix.listen fd 64;
+  fd
+
+let listen_tcp port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  (match Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
+  | () -> ()
+  | exception e ->
+      quiet_close fd;
+      raise e);
+  Unix.listen fd 64;
+  let bound =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  (fd, bound)
+
+let create cfg =
+  if cfg.workers < 1 then invalid_arg "Daemon.create: workers must be >= 1";
+  if cfg.queue_depth < 0 then
+    invalid_arg "Daemon.create: queue_depth must be >= 0";
+  if cfg.max_clients < 1 then
+    invalid_arg "Daemon.create: max_clients must be >= 1";
+  if cfg.socket_path = None && cfg.tcp_port = None then
+    invalid_arg "Daemon.create: no listener configured (socket or port)";
+  let unix_listener = Option.map listen_unix cfg.socket_path in
+  let tcp_listener = Option.map listen_tcp cfg.tcp_port in
+  let listeners =
+    Option.to_list unix_listener
+    @ List.map fst (Option.to_list tcp_listener)
+  in
+  {
+    cfg;
+    metrics = Metrics.create ();
+    cache = Lru.create ~cap:cfg.cache_entries;
+    m = Mutex.create ();
+    c = Condition.create ();
+    active = 0;
+    waiting = 0;
+    inflight = Hashtbl.create 16;
+    watched = [];
+    conns = [];
+    threads = [];
+    stopping = false;
+    finished = false;
+    stop_requested = Atomic.make false;
+    listeners;
+    bound_port = Option.map snd tcp_listener;
+  }
+
+let tcp_port t = t.bound_port
+let stop t = Atomic.set t.stop_requested true
+
+let should_stop t =
+  Atomic.get t.stop_requested
+  || Parallel.Cancel.is_cancelled (Parallel.Cancel.global ())
+
+(* ------------------------------------------------------------------ *)
+(* deadline watch + ticker                                             *)
+
+let error_of_reason r =
+  Robust.Pllscope_error.Cancelled
+    { reason = Parallel.Cancel.reason_to_string r }
+
+let cancel_error token =
+  match Parallel.Cancel.get token with
+  | Some r -> error_of_reason r
+  | None -> Robust.Pllscope_error.Cancelled { reason = "cancelled" }
+
+let with_watch t token deadline f =
+  match deadline with
+  | None -> f ()
+  | Some s when s <= 0.0 ->
+      (* already expired on arrival: cancel deterministically, no
+         ticker race *)
+      Parallel.Cancel.cancel token (Parallel.Cancel.Deadline s);
+      f ()
+  | Some s ->
+      let until = now () +. s in
+      locked t (fun () -> t.watched <- (token, until, s) :: t.watched);
+      Fun.protect
+        ~finally:(fun () ->
+          locked t (fun () ->
+              t.watched <-
+                List.filter (fun (tok, _, _) -> tok != token) t.watched))
+        f
+
+let ticker t =
+  let rec loop () =
+    let done_ = locked t (fun () -> t.finished) in
+    if not done_ then begin
+      Thread.delay 0.05;
+      let t_now = now () in
+      locked t (fun () ->
+          List.iter
+            (fun (tok, until, s) ->
+              if t_now > until then
+                Parallel.Cancel.cancel tok (Parallel.Cancel.Deadline s))
+            t.watched;
+          (* wake gate and single-flight waiters so deadline expiry and
+             drain are noticed without their own timed waits *)
+          Condition.broadcast t.c);
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* admission gate                                                      *)
+
+let acquire t token =
+  locked t (fun () ->
+      if t.stopping then `Shed
+      else if t.active < t.cfg.workers then begin
+        t.active <- t.active + 1;
+        `Go
+      end
+      else if t.waiting >= t.cfg.queue_depth then `Shed
+      else begin
+        t.waiting <- t.waiting + 1;
+        let rec wait () =
+          if Parallel.Cancel.is_cancelled token then begin
+            t.waiting <- t.waiting - 1;
+            `Cancelled
+          end
+          else if t.stopping then begin
+            t.waiting <- t.waiting - 1;
+            `Shed
+          end
+          else if t.active < t.cfg.workers then begin
+            t.waiting <- t.waiting - 1;
+            t.active <- t.active + 1;
+            `Go
+          end
+          else begin
+            Condition.wait t.c t.m;
+            wait ()
+          end
+        in
+        wait ()
+      end)
+
+let release t =
+  locked t (fun () ->
+      t.active <- t.active - 1;
+      Condition.broadcast t.c)
+
+(* ------------------------------------------------------------------ *)
+(* compute with cache + single-flight                                  *)
+
+let run_body ~token (body : Wire.request_body) =
+  match body with
+  | Wire.Analyze spec -> Wire.R_analyze (Engine.analyze ~cancel:token spec)
+  | Wire.Bode { spec; points } ->
+      Wire.R_bode (Engine.bode ~cancel:token spec ~points)
+  | Wire.Sweep { spec; ratios } ->
+      Wire.R_sweep (Engine.sweep ~cancel:token spec ratios)
+  | Wire.Stats | Wire.Health ->
+      invalid_arg "Daemon.run_body: stats/health are not compute requests"
+
+(* Returns the marshalled response payload. The leader computes and
+   caches; concurrent identical requests wait on [t.c] and replay the
+   cached bytes. If the leader fails, its typed error is its own
+   answer; one woken waiter finds neither cache entry nor inflight
+   mark and becomes the new leader. *)
+let compute t ~key ~token body =
+  let rec obtain () =
+    let verdict =
+      locked t (fun () ->
+          match Lru.find t.cache key with
+          | Some payload -> `Cached payload
+          | None ->
+              if Hashtbl.mem t.inflight key then
+                if Parallel.Cancel.is_cancelled token then `Cancelled
+                else begin
+                  Condition.wait t.c t.m;
+                  `Retry
+                end
+              else begin
+                Hashtbl.add t.inflight key ();
+                `Lead
+              end)
+    in
+    match verdict with
+    | `Cached payload ->
+        Metrics.incr_cache_hit t.metrics;
+        Ok payload
+    | `Cancelled -> Error (cancel_error token)
+    | `Retry -> obtain ()
+    | `Lead ->
+        Metrics.incr_cache_miss t.metrics;
+        let outcome =
+          match run_body ~token body with
+          | resp -> Ok (Wire.marshal_response resp)
+          | exception Robust.Pllscope_error.Error err -> Error err
+          | exception Parallel.Cancel.Cancelled r -> Error (error_of_reason r)
+        in
+        locked t (fun () ->
+            Hashtbl.remove t.inflight key;
+            (match outcome with
+            | Ok payload -> Lru.add t.cache key payload
+            | Error _ -> ());
+            Condition.broadcast t.c);
+        outcome
+  in
+  obtain ()
+
+(* ------------------------------------------------------------------ *)
+(* per-connection protocol                                             *)
+
+(* false => the connection is no longer usable *)
+let send_payload t fd payload =
+  match
+    Wire.send_response_payload ~timeout:t.cfg.write_timeout fd payload
+  with
+  | Ok () -> true
+  | Error _ ->
+      Metrics.incr_io_timeout t.metrics;
+      false
+  | exception
+      Unix.Unix_error
+        ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF | Unix.ENOTCONN), _, _) ->
+      false
+
+let send_error_frame t fd err =
+  match Wire.send_error ~timeout:t.cfg.write_timeout fd err with
+  | Ok () -> true
+  | Error _ ->
+      Metrics.incr_io_timeout t.metrics;
+      false
+  | exception
+      Unix.Unix_error
+        ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF | Unix.ENOTCONN), _, _) ->
+      false
+
+let stats_snapshot t =
+  let active = locked t (fun () -> t.active) in
+  Metrics.snapshot t.metrics ~active
+
+(* Handle one decoded request; true iff the connection survives. *)
+let handle_request t fd (req : Wire.request) =
+  match req.Wire.body with
+  | Wire.Health ->
+      let ok = send_payload t fd (Wire.marshal_response Wire.R_healthy) in
+      if ok then Metrics.incr_served t.metrics;
+      ok
+  | Wire.Stats ->
+      let ok =
+        send_payload t fd
+          (Wire.marshal_response (Wire.R_stats (stats_snapshot t)))
+      in
+      if ok then Metrics.incr_served t.metrics;
+      ok
+  | Wire.Analyze _ | Wire.Bode _ | Wire.Sweep _ -> (
+      let key = Wire.cache_key req.Wire.body in
+      let cached = locked t (fun () -> Lru.find t.cache key) in
+      match cached with
+      | Some payload ->
+          Metrics.incr_cache_hit t.metrics;
+          let ok = send_payload t fd payload in
+          if ok then Metrics.incr_served t.metrics;
+          ok
+      | None -> (
+          let deadline =
+            match req.Wire.deadline with
+            | Some _ as d -> d
+            | None -> t.cfg.default_deadline
+          in
+          let token = Parallel.Cancel.create () in
+          with_watch t token deadline @@ fun () ->
+          match acquire t token with
+          | `Shed ->
+              Metrics.incr_shed t.metrics;
+              send_error_frame t fd
+                (Robust.Pllscope_error.Overloaded
+                   { retry_after = t.cfg.retry_after })
+          | `Cancelled ->
+              Metrics.incr_request_error t.metrics;
+              send_error_frame t fd (cancel_error token)
+          | `Go -> (
+              let outcome =
+                Fun.protect
+                  ~finally:(fun () -> release t)
+                  (fun () -> compute t ~key ~token req.Wire.body)
+              in
+              match outcome with
+              | Ok payload ->
+                  let ok = send_payload t fd payload in
+                  if ok then Metrics.incr_served t.metrics;
+                  ok
+              | Error err ->
+                  Metrics.incr_request_error t.metrics;
+                  send_error_frame t fd err)))
+
+let draining t = locked t (fun () -> t.stopping)
+
+let handle_conn t conn =
+  let fd = conn.fd in
+  let rec loop () =
+    match Wire.recv_request ~timeout:t.cfg.read_timeout fd with
+    | Ok None -> () (* clean EOF: client done (or died mid-frame) *)
+    | Error err ->
+        (* corrupt or stalled stream: answer if the pipe still works,
+           then drop the connection — the framing can't be trusted *)
+        (match err with
+        | Robust.Pllscope_error.Io_timeout _ ->
+            Metrics.incr_io_timeout t.metrics
+        | Robust.Pllscope_error.Singular _ | Non_convergence _ | Non_finite _
+        | Parse _ | Worker_failure _ | Timed_out _ | Cancelled _
+        | Overloaded _ ->
+            Metrics.incr_request_error t.metrics);
+        let (_ : bool) = send_error_frame t fd err in
+        ()
+    | Ok (Some req) ->
+        conn.busy <- true;
+        let keep = handle_request t fd req in
+        conn.busy <- false;
+        if keep && not (draining t) then loop ()
+  in
+  loop ()
+
+let conn_main t conn =
+  Fun.protect
+    ~finally:(fun () ->
+      locked t (fun () ->
+          t.conns <- List.filter (fun c -> c != conn) t.conns;
+          Condition.broadcast t.c);
+      quiet_close conn.fd)
+    (fun () ->
+      match handle_conn t conn with
+      | () -> ()
+      | exception
+          Unix.Unix_error
+            ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF | Unix.ENOTCONN), _, _)
+        ->
+          (* peer vanished mid-conversation; nothing left to say *)
+          ())
+
+(* ------------------------------------------------------------------ *)
+(* accept loop + drain                                                 *)
+
+let accept_one t lfd =
+  match Unix.accept lfd with
+  | exception
+      Unix.Unix_error
+        ( ( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED
+          | Unix.EBADF ),
+          _,
+          _ ) ->
+      ()
+  | fd, _addr ->
+      let n = locked t (fun () -> List.length t.conns) in
+      if n >= t.cfg.max_clients then begin
+        (* connection-level load shedding: refuse before reading *)
+        Metrics.incr_shed t.metrics;
+        let (_ : bool) =
+          send_error_frame t fd
+            (Robust.Pllscope_error.Overloaded
+               { retry_after = t.cfg.retry_after })
+        in
+        quiet_close fd
+      end
+      else begin
+        let conn = { fd; busy = false } in
+        locked t (fun () ->
+            t.conns <- conn :: t.conns;
+            t.threads <- Thread.create (conn_main t) conn :: t.threads)
+      end
+
+let rec accept_loop t =
+  if not (should_stop t) then begin
+    (match Unix.select t.listeners [] [] 0.1 with
+    | ready, _, _ -> List.iter (accept_one t) ready
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    accept_loop t
+  end
+
+let drain t =
+  locked t (fun () ->
+      t.stopping <- true;
+      Condition.broadcast t.c);
+  (* nudge idle connections out of their blocking reads *)
+  let conns = locked t (fun () -> t.conns) in
+  List.iter
+    (fun conn ->
+      if not conn.busy then quiet_shutdown conn.fd Unix.SHUTDOWN_RECEIVE)
+    conns;
+  (* let in-flight requests finish and deliver *)
+  let grace_until = now () +. t.cfg.drain_grace in
+  let rec wait_empty () =
+    let empty = locked t (fun () -> t.conns = []) in
+    if (not empty) && now () < grace_until then begin
+      Thread.delay 0.02;
+      wait_empty ()
+    end
+  in
+  wait_empty ();
+  (* grace over: cancel whatever is still computing and cut the wires *)
+  let leftover =
+    locked t (fun () ->
+        List.iter
+          (fun (tok, _, _) ->
+            Parallel.Cancel.cancel tok (Parallel.Cancel.User "daemon shutdown"))
+          t.watched;
+        Condition.broadcast t.c;
+        t.conns)
+  in
+  List.iter (fun conn -> quiet_shutdown conn.fd Unix.SHUTDOWN_ALL) leftover;
+  let threads = locked t (fun () -> t.threads) in
+  List.iter Thread.join threads
+
+let serve t =
+  Robust.Config.set_strict t.cfg.strict;
+  let tick = Thread.create ticker t in
+  accept_loop t;
+  List.iter quiet_close t.listeners;
+  (match t.cfg.socket_path with
+  | Some path -> ( try Unix.unlink path with Unix.Unix_error (_, "unlink", _) -> ())
+  | None -> ());
+  drain t;
+  locked t (fun () -> t.finished <- true);
+  Thread.join tick;
+  stats_snapshot t

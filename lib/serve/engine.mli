@@ -1,0 +1,32 @@
+(** Request execution for the daemon.
+
+    Every entry point polls the request's cancellation token at a fine
+    grain (between stages / grid points / ratios), raising
+    {!Parallel.Cancel.Cancelled} — or, for [sweep], returning typed
+    per-point failures — when the deadline monitor fires. Results are
+    bit-identical to the matching CLI subcommand run locally. *)
+
+val analyze :
+  cancel:Parallel.Cancel.t -> Pll_lib.Design.spec -> Wire.analyze_result
+
+(** Raises {!Robust.Pllscope_error.Error} with a [Parse] payload when
+    [points < 2] (malformed request, answered as a typed error frame). *)
+val bode :
+  cancel:Parallel.Cancel.t ->
+  Pll_lib.Design.spec ->
+  points:int ->
+  Wire.bode_result
+
+(** The single-ratio Fig. 7 task ({!Pll_lib.Analysis.ratio_sweep} on a
+    one-element list) — the same closure the CLI and farm use. *)
+val ratio_point : Pll_lib.Design.spec -> float -> Pll_lib.Analysis.ratio_point
+
+(** Checked sweep at chunk size 1: an expired deadline cancels between
+    ratios and the already-computed rows still come back, with typed
+    [Cancelled] failures for the rest. Raises like {!bode} on an empty
+    grid. *)
+val sweep :
+  cancel:Parallel.Cancel.t ->
+  Pll_lib.Design.spec ->
+  float array ->
+  Wire.sweep_result

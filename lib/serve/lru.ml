@@ -1,0 +1,59 @@
+(* Bounded LRU for marshalled response payloads.
+
+   Deliberately unsynchronized: the daemon serialises every cache
+   access under its own state mutex (the cache participates in
+   single-flight bookkeeping that must be atomic with respect to the
+   inflight table, so an internal lock would only invite lock-order
+   bugs).
+
+   Recency is a monotonic stamp per entry; eviction scans for the
+   minimum stamp. That makes eviction O(capacity), which is the right
+   trade at daemon scale (tens to hundreds of entries, each worth
+   milliseconds-to-seconds of HTM work): the constant factor beats a
+   doubly-linked list until capacities far past anything a config
+   would set. *)
+
+type entry = { value : string; mutable stamp : int }
+
+type t = {
+  cap : int;
+  tbl : (string, entry) Hashtbl.t;
+  mutable tick : int;
+}
+
+let create ~cap =
+  if cap < 0 then invalid_arg "Lru.create: negative capacity";
+  { cap; tbl = Hashtbl.create (max 16 cap); tick = 0 }
+
+let length t = Hashtbl.length t.tbl
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.stamp <- t.tick
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+      touch t e;
+      Some e.value
+  | None -> None
+
+let evict_one t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, stamp) when stamp <= e.stamp -> acc
+        | Some _ | None -> Some (key, e.stamp))
+      t.tbl None
+  in
+  match victim with Some (key, _) -> Hashtbl.remove t.tbl key | None -> ()
+
+let add t key value =
+  if t.cap > 0 then begin
+    (match Hashtbl.find_opt t.tbl key with
+    | Some _ -> Hashtbl.remove t.tbl key
+    | None -> if Hashtbl.length t.tbl >= t.cap then evict_one t);
+    t.tick <- t.tick + 1;
+    Hashtbl.replace t.tbl key { value; stamp = t.tick }
+  end

@@ -1,0 +1,77 @@
+(* Daemon counters. Atomics: connection threads bump them without
+   holding the daemon state mutex (responses are written after the
+   compute slot is released, so no lock is live at count time). *)
+
+let now () = (Unix.gettimeofday () [@lint.allow "nondeterminism"])
+
+type t = {
+  served : int Atomic.t;
+  shed : int Atomic.t;
+  cache_hits : int Atomic.t;
+  cache_misses : int Atomic.t;
+  request_errors : int Atomic.t;
+  io_timeouts : int Atomic.t;
+  started : float;
+}
+
+let create () =
+  {
+    served = Atomic.make 0;
+    shed = Atomic.make 0;
+    cache_hits = Atomic.make 0;
+    cache_misses = Atomic.make 0;
+    request_errors = Atomic.make 0;
+    io_timeouts = Atomic.make 0;
+    started = now ();
+  }
+
+let incr_served t = Atomic.incr t.served
+let incr_shed t = Atomic.incr t.shed
+let incr_cache_hit t = Atomic.incr t.cache_hits
+let incr_cache_miss t = Atomic.incr t.cache_misses
+let incr_request_error t = Atomic.incr t.request_errors
+let incr_io_timeout t = Atomic.incr t.io_timeouts
+
+let snapshot t ~active : Wire.server_stats =
+  {
+    Wire.served = Atomic.get t.served;
+    shed = Atomic.get t.shed;
+    cache_hits = Atomic.get t.cache_hits;
+    cache_misses = Atomic.get t.cache_misses;
+    request_errors = Atomic.get t.request_errors;
+    io_timeouts = Atomic.get t.io_timeouts;
+    active;
+    uptime_s = now () -. t.started;
+    robust = Robust.Stats.snapshot ();
+  }
+
+(* Hand-rolled JSON: the repo has no JSON dependency and the object is
+   flat integers plus one float. *)
+let json_of_stats (s : Wire.server_stats) =
+  let r = s.Wire.robust in
+  let b = Buffer.create 512 in
+  let field ?(last = false) name v =
+    Buffer.add_string b (Printf.sprintf "  %S: %s%s\n" name v
+                           (if last then "" else ","))
+  in
+  Buffer.add_string b "{\n";
+  field "served" (string_of_int s.Wire.served);
+  field "shed" (string_of_int s.Wire.shed);
+  field "cache_hits" (string_of_int s.Wire.cache_hits);
+  field "cache_misses" (string_of_int s.Wire.cache_misses);
+  field "request_errors" (string_of_int s.Wire.request_errors);
+  field "io_timeouts" (string_of_int s.Wire.io_timeouts);
+  field "active" (string_of_int s.Wire.active);
+  field "uptime_s" (Printf.sprintf "%.3f" s.Wire.uptime_s);
+  field "dense_fallbacks" (string_of_int r.Robust.Stats.dense_fallbacks);
+  field "singular_guards" (string_of_int r.Robust.Stats.singular_guards);
+  field "nonfinite_guards" (string_of_int r.Robust.Stats.nonfinite_guards);
+  field "non_convergences" (string_of_int r.Robust.Stats.non_convergences);
+  field "pool_retries" (string_of_int r.Robust.Stats.pool_retries);
+  field "worker_failures" (string_of_int r.Robust.Stats.worker_failures);
+  field "task_timeouts" (string_of_int r.Robust.Stats.task_timeouts);
+  field "cancelled_points" (string_of_int r.Robust.Stats.cancelled_points);
+  field ~last:true "resumed_points"
+    (string_of_int r.Robust.Stats.resumed_points);
+  Buffer.add_string b "}";
+  Buffer.contents b

@@ -1,0 +1,20 @@
+(** Daemon request counters (atomics; bumped from connection threads)
+    and their JSON rendering for [pllscope serve --status]. *)
+
+type t
+
+val create : unit -> t
+val incr_served : t -> unit
+val incr_shed : t -> unit
+val incr_cache_hit : t -> unit
+val incr_cache_miss : t -> unit
+val incr_request_error : t -> unit
+val incr_io_timeout : t -> unit
+
+(** [snapshot t ~active] — current counters plus the process-wide
+    {!Robust.Stats} snapshot, as the wire record the [Stats] request
+    returns. *)
+val snapshot : t -> active:int -> Wire.server_stats
+
+(** Flat JSON object of every counter (server and robust-layer). *)
+val json_of_stats : Wire.server_stats -> string

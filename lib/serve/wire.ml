@@ -1,0 +1,162 @@
+(* Request/response protocol of the analysis daemon.
+
+   Messages ride the same CRC-32 frame codec the checkpoint journals
+   and the sweep farm use (Runner.Journal.Frame): the frame's index
+   field carries a message tag, the payload is a [Marshal] of a plain
+   record — floats, options, lists, no closures — so both sides
+   validate integrity identically and a peer that dies mid-write reads
+   as a clean EOF, never as garbage.
+
+   Tags:
+     1  request     client -> daemon   Marshal of [request]
+     2  result      daemon -> client   Marshal of [response]
+     3  error       daemon -> client   Marshal of [Pllscope_error.t]
+     4  overloaded  daemon -> client   Marshal of [Pllscope_error.t]
+                                       (always [Overloaded _])
+
+   Shedding gets its own tag so a minimal client can recognise
+   "retry later" without decoding the payload; full clients decode the
+   typed error either way.
+
+   Cache identity: [cache_key] digests the Marshal bytes of the request
+   {e body} — deliberately excluding the deadline envelope — so two
+   requests for the same analysis hit the same cache slot regardless of
+   how patient their callers are, and a cached reply is byte-identical
+   to the cold one (the daemon caches the marshalled response payload,
+   not the value). *)
+
+type request_body =
+  | Analyze of Pll_lib.Design.spec
+  | Bode of { spec : Pll_lib.Design.spec; points : int }
+  | Sweep of { spec : Pll_lib.Design.spec; ratios : float array }
+  | Stats
+  | Health
+
+type request = { deadline : float option; body : request_body }
+
+type analyze_result = {
+  lti : Pll_lib.Analysis.loop_report;
+  eff : Pll_lib.Analysis.loop_report;
+  metrics : Pll_lib.Analysis.closed_loop_metrics;
+  stable : bool;
+}
+
+type bode_point = { omega : float; mag_db : float; phase_deg : float }
+
+type bode_result = { a : bode_point array; lambda : bode_point array }
+
+type sweep_result = {
+  rows : Pll_lib.Analysis.ratio_point option array;
+  failures : (int * Robust.Pllscope_error.t) list;
+  total : int;
+}
+
+type server_stats = {
+  served : int;
+  shed : int;
+  cache_hits : int;
+  cache_misses : int;
+  request_errors : int;
+  io_timeouts : int;
+  active : int;
+  uptime_s : float;
+  robust : Robust.Stats.t;
+}
+
+type response =
+  | R_analyze of analyze_result
+  | R_bode of bode_result
+  | R_sweep of sweep_result
+  | R_stats of server_stats
+  | R_healthy
+
+let tag_request = 1
+let tag_result = 2
+let tag_error = 3
+let tag_overloaded = 4
+
+let marshal v = Marshal.to_string v []
+
+let parse_err msg =
+  Robust.Pllscope_error.Parse { file = "<socket>"; line = 0; col = 0; msg }
+
+let closed_err what =
+  parse_err (Printf.sprintf "Wire: connection closed %s" what)
+
+let unmarshal (s : string) : ('a, Robust.Pllscope_error.t) result =
+  if String.length s < Marshal.header_size then
+    Error (parse_err "Wire.unmarshal: short payload")
+  else Ok (Marshal.from_string s 0)
+
+let cache_key (body : request_body) = Digest.string (marshal body)
+
+let cacheable = function
+  | Analyze _ | Bode _ | Sweep _ -> true
+  | Stats | Health -> false
+
+let body_name = function
+  | Analyze _ -> "analyze"
+  | Bode _ -> "bode"
+  | Sweep _ -> "sweep"
+  | Stats -> "stats"
+  | Health -> "health"
+
+let marshal_request (r : request) = marshal r
+let marshal_response (r : response) = marshal r
+
+(* ------------------------------------------------------------------ *)
+(* framed sends/receives                                               *)
+
+let send_request ?timeout fd (r : request) =
+  Runner.Journal.Frame.write_result ?timeout fd ~tag:tag_request
+    (marshal_request r)
+
+let send_response_payload ?timeout fd payload =
+  Runner.Journal.Frame.write_result ?timeout fd ~tag:tag_result payload
+
+let send_error ?timeout fd (err : Robust.Pllscope_error.t) =
+  let tag =
+    match err with
+    | Robust.Pllscope_error.Overloaded _ -> tag_overloaded
+    | Robust.Pllscope_error.Singular _ | Non_convergence _ | Non_finite _
+    | Parse _ | Worker_failure _ | Timed_out _ | Cancelled _ | Io_timeout _ ->
+        tag_error
+  in
+  Runner.Journal.Frame.write_result ?timeout fd ~tag (marshal err)
+
+(* Daemon side: [Ok None] is a clean EOF (client went away between
+   requests or died mid-frame); [Error _] is corruption or a stalled
+   peer, both of which the caller answers with a typed error frame. *)
+let recv_request ?timeout fd :
+    (request option, Robust.Pllscope_error.t) result =
+  match Runner.Journal.Frame.read_result ?timeout fd with
+  | Error _ as e -> e
+  | Ok None -> Ok None
+  | Ok (Some (tag, payload)) ->
+      if tag <> tag_request then
+        Error
+          (parse_err
+             (Printf.sprintf "Wire.recv_request: unexpected tag %d" tag))
+      else begin
+        match unmarshal payload with
+        | Ok (r : request) -> Ok (Some r)
+        | Error _ as e -> e
+      end
+
+(* Client side: every failure mode is a typed error — a server-sent
+   error frame, a dropped connection (EOF where a reply was due), a
+   corrupt frame, or a reply that outran [timeout]. *)
+let recv_reply ?timeout fd : (response, Robust.Pllscope_error.t) result =
+  match Runner.Journal.Frame.read_result ?timeout fd with
+  | Error _ as e -> e
+  | Ok None -> Error (closed_err "before a reply arrived")
+  | Ok (Some (tag, payload)) ->
+      if tag = tag_result then (unmarshal payload : (response, _) result)
+      else if tag = tag_error || tag = tag_overloaded then begin
+        match unmarshal payload with
+        | Ok (err : Robust.Pllscope_error.t) -> Error err
+        | Error _ as e -> e
+      end
+      else
+        Error
+          (parse_err (Printf.sprintf "Wire.recv_reply: unexpected tag %d" tag))

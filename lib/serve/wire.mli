@@ -1,0 +1,131 @@
+(** Request/response protocol of the analysis daemon.
+
+    Messages are {!Runner.Journal.Frame} CRC-32 frames whose index
+    field carries a message tag and whose payload is a [Marshal] of a
+    plain record. Grammar (tags):
+
+    {v
+    1 request     client -> daemon   Marshal of request
+    2 result      daemon -> client   Marshal of response
+    3 error       daemon -> client   Marshal of Pllscope_error.t
+    4 overloaded  daemon -> client   Marshal of Pllscope_error.t
+    v}
+
+    The [overloaded] tag is an [error] frame whose payload is always
+    [Overloaded _]; it is distinguished at the tag level so trivial
+    clients can implement retry-after without decoding payloads. *)
+
+type request_body =
+  | Analyze of Pll_lib.Design.spec
+      (** LTI vs time-varying loop reports for one design. *)
+  | Bode of { spec : Pll_lib.Design.spec; points : int }
+      (** Open-loop [A(jω)] and effective [λ(jω)] sweeps. *)
+  | Sweep of { spec : Pll_lib.Design.spec; ratios : float array }
+      (** Fig. 7 ratio sweep over explicit ratios. *)
+  | Stats  (** Server counters; never cached, never queued. *)
+  | Health  (** Liveness probe; never cached, never queued. *)
+
+(** [deadline] is a per-request budget in seconds (from daemon receipt);
+    the daemon substitutes its configured default when [None]. *)
+type request = { deadline : float option; body : request_body }
+
+type analyze_result = {
+  lti : Pll_lib.Analysis.loop_report;
+  eff : Pll_lib.Analysis.loop_report;
+  metrics : Pll_lib.Analysis.closed_loop_metrics;
+  stable : bool;
+}
+
+type bode_point = { omega : float; mag_db : float; phase_deg : float }
+
+(** Log-grid sweeps of the classical and effective open loops on the
+    same grid. *)
+type bode_result = { a : bode_point array; lambda : bode_point array }
+
+(** Mirror of {!Parallel.Sweep.partial}: [rows.(i)] is [None] exactly
+    when ratio [i] failed (or was cancelled by the request deadline),
+    with the typed reason in [failures]. *)
+type sweep_result = {
+  rows : Pll_lib.Analysis.ratio_point option array;
+  failures : (int * Robust.Pllscope_error.t) list;
+  total : int;
+}
+
+type server_stats = {
+  served : int;  (** successful replies written *)
+  shed : int;  (** requests refused with [Overloaded] *)
+  cache_hits : int;
+  cache_misses : int;
+  request_errors : int;  (** typed error replies (excluding sheds) *)
+  io_timeouts : int;  (** reads/writes that hit their frame deadline *)
+  active : int;  (** compute slots in use at snapshot time *)
+  uptime_s : float;
+  robust : Robust.Stats.t;
+}
+
+type response =
+  | R_analyze of analyze_result
+  | R_bode of bode_result
+  | R_sweep of sweep_result
+  | R_stats of server_stats
+  | R_healthy
+
+val tag_request : int
+val tag_result : int
+val tag_error : int
+val tag_overloaded : int
+
+(** Digest of the Marshal bytes of the request {e body} — the deadline
+    envelope is deliberately excluded, so identical analyses share a
+    cache slot regardless of caller patience. *)
+val cache_key : request_body -> string
+
+(** Compute requests are cacheable; [Stats]/[Health] are not. *)
+val cacheable : request_body -> bool
+
+val body_name : request_body -> string
+val marshal_request : request -> string
+val marshal_response : response -> string
+
+(** All sends take an optional whole-frame [timeout] (see
+    {!Runner.Journal.Frame.write_result}); a stalled peer surfaces as
+    [Error (Io_timeout _)], never as a wedged daemon thread. *)
+
+val send_request :
+  ?timeout:float ->
+  Unix.file_descr ->
+  request ->
+  (unit, Robust.Pllscope_error.t) result
+
+(** Send a pre-marshalled [response] payload (tag [result]). The daemon
+    caches and replays these bytes verbatim, which is what makes cached
+    replies byte-identical to cold ones. *)
+val send_response_payload :
+  ?timeout:float ->
+  Unix.file_descr ->
+  string ->
+  (unit, Robust.Pllscope_error.t) result
+
+(** Send a typed error frame; [Overloaded _] goes out under the
+    [overloaded] tag, everything else under [error]. *)
+val send_error :
+  ?timeout:float ->
+  Unix.file_descr ->
+  Robust.Pllscope_error.t ->
+  (unit, Robust.Pllscope_error.t) result
+
+(** Daemon side. [Ok None] — clean EOF (including a client that died
+    mid-frame: torn frames read as EOF by construction). [Error _] —
+    corruption ([Parse]) or a stalled client ([Io_timeout]). *)
+val recv_request :
+  ?timeout:float ->
+  Unix.file_descr ->
+  (request option, Robust.Pllscope_error.t) result
+
+(** Client side. Decodes a [result] frame to [Ok]; [error]/[overloaded]
+    frames, EOF-before-reply, corruption and reply timeouts all come
+    back as typed [Error]s. *)
+val recv_reply :
+  ?timeout:float ->
+  Unix.file_descr ->
+  (response, Robust.Pllscope_error.t) result

@@ -6,6 +6,14 @@ let () =
     exit 0
   end
 
+(* The serve shutdown test re-execs this binary as a process stuck in
+   its drain, to prove the second signal force-exits it. *)
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "serve-stuck" then begin
+    Test_serve.stuck_main ();
+    exit 0
+  end
+
 let () =
   Alcotest.run "pllscope"
     [
@@ -57,5 +65,6 @@ let () =
       ("robust", Test_robust.suite);
       ("runner", Test_runner.suite);
       ("farm", Test_farm.suite);
+      ("serve", Test_serve.suite);
       ("golden.figures", Test_golden.suite);
     ]
