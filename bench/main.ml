@@ -760,7 +760,7 @@ let run_serve_bench () =
     let c = Serve.Client.connect (Serve.Client.Unix_path path) in
     Fun.protect
       ~finally:(fun () -> Serve.Client.close c)
-      (fun () -> Serve.Client.request c { Serve.Wire.deadline = None; body })
+      (fun () -> Serve.Client.request c (Serve.Wire.oneshot body))
   in
   let spec_variant i =
     {
@@ -827,6 +827,80 @@ let run_serve_bench () =
   Format.printf "  cache: %d hits / %d misses; served %d@."
     stats.Serve.Wire.cache_hits stats.Serve.Wire.cache_misses
     stats.Serve.Wire.served;
+  (* streamed sweeps: chunked delivery vs the one-shot reply on the same
+     grid (the <10% chunking-overhead budget), plus a resume after an
+     injected mid-stream disconnect — the replayed cells are journal
+     reads, not recomputes *)
+  let sweep_points = env_int "PLLSCOPE_SERVE_SWEEP" 192 in
+  let state_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pllscope_bench_state_%d" (Unix.getpid ()))
+  in
+  let stream_cfg =
+    {
+      Serve.Daemon.default_config with
+      Serve.Daemon.workers = 4;
+      max_clients = 8;
+      state_dir = Some state_dir;
+      chunk_points = 16;
+    }
+  in
+  let ratios =
+    Array.init sweep_points (fun i ->
+        0.02 +. (0.4 *. float_of_int i /. float_of_int (sweep_points - 1)))
+  in
+  let (oneshot_s, streamed_s, resume_s, resume_stats), stream_daemon_stats =
+    with_daemon stream_cfg "stream" (fun path ->
+        let connect () = Serve.Client.connect (Serve.Client.Unix_path path) in
+        let time f =
+          let t0 = Unix.gettimeofday () in
+          let v = f () in
+          (Unix.gettimeofday () -. t0, v)
+        in
+        (* distinct specs per phase so every measurement is a cold compute *)
+        let oneshot_s, _ =
+          time (fun () ->
+              match
+                request path
+                  (Serve.Wire.Sweep { spec = spec_variant 50_001; ratios })
+              with
+              | Ok _ -> ()
+              | Error err ->
+                  failwith (Robust.Pllscope_error.to_string err))
+        in
+        let streamed spec =
+          match
+            Serve.Client.sweep_streamed ~timeout:60.0 ~connect ~spec ~ratios ()
+          with
+          | Ok (_, st) -> st
+          | Error err -> failwith (Robust.Pllscope_error.to_string err)
+        in
+        let streamed_s, _ = time (fun () -> streamed (spec_variant 50_002)) in
+        Robust.Inject.configure ~seed:11 "stream-disconnect:1";
+        let resume_s, resume_stats =
+          time (fun () -> streamed (spec_variant 50_003))
+        in
+        Robust.Inject.disarm ();
+        (oneshot_s, streamed_s, resume_s, resume_stats))
+  in
+  if Sys.file_exists state_dir then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat state_dir f))
+      (Sys.readdir state_dir);
+    Unix.rmdir state_dir
+  end;
+  let overhead_pct = 100.0 *. ((streamed_s /. oneshot_s) -. 1.0) in
+  Format.printf
+    "  streamed sweep (%d pts):   one-shot %.3f s, streamed %.3f s  \
+     (chunking overhead %+.1f%%, %.0f pts/s)@."
+    sweep_points oneshot_s streamed_s overhead_pct
+    (float_of_int sweep_points /. streamed_s);
+  Format.printf
+    "  resume after disconnect:   %.3f s total, %d replayed + %d recomputed \
+     (%d resume round-trip(s))@."
+    resume_s resume_stats.Serve.Client.replayed
+    resume_stats.Serve.Client.computed resume_stats.Serve.Client.resumes;
   (* overload: one slot, no queue, every client fires distinct designs
      with no retries — the shed rate is the admission control working *)
   let overload_cfg =
@@ -868,10 +942,7 @@ let run_serve_bench () =
                 Serve.Client.connect (Serve.Client.Unix_path path))
               (fun conn ->
                 Serve.Client.request conn
-                  {
-                    Serve.Wire.deadline = None;
-                    body = Serve.Wire.Analyze (spec_variant 99_999);
-                  })
+                  (Serve.Wire.oneshot (Serve.Wire.Analyze (spec_variant 99_999))))
           with
           | Ok _ -> true
           | Error _ -> false
@@ -906,6 +977,22 @@ let run_serve_bench () =
   Buffer.add_string b
     (Printf.sprintf "  \"cache\": {\"hits\": %d, \"misses\": %d},\n"
        stats.Serve.Wire.cache_hits stats.Serve.Wire.cache_misses);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"streamed\": {\"sweep_points\": %d, \"oneshot_s\": %.6f, \
+        \"streamed_s\": %.6f, \"overhead_pct\": %.2f, \"points_per_s\": \
+        %.1f},\n"
+       sweep_points oneshot_s streamed_s overhead_pct
+       (float_of_int sweep_points /. streamed_s));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"resume\": {\"seconds\": %.6f, \"replayed\": %d, \"recomputed\": \
+        %d, \"resumes\": %d, \"daemon_points_computed\": %d, \
+        \"daemon_points_replayed\": %d},\n"
+       resume_s resume_stats.Serve.Client.replayed
+       resume_stats.Serve.Client.computed resume_stats.Serve.Client.resumes
+       stream_daemon_stats.Serve.Wire.points_computed
+       stream_daemon_stats.Serve.Wire.points_replayed);
   Buffer.add_string b
     (Printf.sprintf
        "  \"overload\": {\"served\": %d, \"shed\": %d, \"total\": %d, \

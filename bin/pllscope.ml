@@ -373,17 +373,34 @@ let print_journal_info path =
   | Some m -> Experiments.Report.kv pp "max index" "%d" m
   | None -> ()
 
+let print_journal_json path =
+  let i = Runner.Journal.inspect path in
+  Format.fprintf pp
+    "{\"path\": %S, \"frames\": %d, \"distinct\": %d, \"duplicates\": %d, \
+     \"bytes\": %d, \"valid_bytes\": %d, \"torn_bytes\": %d, \"max_index\": %s}@."
+    path i.Runner.Journal.frames i.Runner.Journal.distinct
+    i.Runner.Journal.duplicates i.Runner.Journal.bytes
+    i.Runner.Journal.valid_bytes i.Runner.Journal.torn_bytes
+    (match i.Runner.Journal.max_index with
+    | Some m -> string_of_int m
+    | None -> "null")
+
 let journal_cmd =
   let inspect =
-    let run path =
+    let json =
+      let doc = "Emit the inspection as one JSON object (machine-readable)." in
+      Arg.(value & flag & info [ "json" ] ~doc)
+    in
+    let run path json =
       if not (Sys.file_exists path) then begin
         Format.fprintf pp "error: no journal at %s@." path;
         exit 1
       end;
-      with_robust false @@ fun () -> print_journal_info path
+      with_robust false @@ fun () ->
+      if json then print_journal_json path else print_journal_info path
     in
     let doc = "Frame counts, CRC status and torn-tail size of a journal" in
-    Cmd.v (Cmd.info "inspect" ~doc) Term.(const run $ journal_path_arg)
+    Cmd.v (Cmd.info "inspect" ~doc) Term.(const run $ journal_path_arg $ json)
   in
   let compact =
     let run path =
@@ -484,7 +501,7 @@ let fetch_stats addr =
     ~connect:(fun () -> Serve.Client.connect addr)
     (fun conn ->
       Serve.Client.request conn
-        { Serve.Wire.deadline = None; body = Serve.Wire.Stats })
+        (Serve.Wire.oneshot Serve.Wire.Stats))
 
 let serve_cmd =
   let workers =
@@ -542,8 +559,34 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "status" ] ~doc)
   in
+  let state_dir =
+    let doc =
+      "Directory for streamed-request journals (created if missing); without \
+       it resumes save network replay but recompute cells."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "state-dir" ] ~docv:"DIR" ~doc)
+  in
+  let chunk_points =
+    let doc = "Sweep cells per streamed chunk frame." in
+    Arg.(value & opt int Serve.Daemon.default_config.Serve.Daemon.chunk_points
+         & info [ "chunk-points" ] ~docv:"N" ~doc)
+  in
+  let heartbeat =
+    let doc =
+      "Seconds of stream silence before the ticker writes a progress frame."
+    in
+    Arg.(value & opt float Serve.Daemon.default_config.Serve.Daemon.heartbeat
+         & info [ "heartbeat" ] ~docv:"SECS" ~doc)
+  in
+  let memo =
+    let doc = "Plan/grid memo capacity in entries (0 disables)." in
+    Arg.(value & opt int Serve.Daemon.default_config.Serve.Daemon.memo_entries
+         & info [ "memo" ] ~docv:"N" ~doc)
+  in
   let run socket port workers queue max_clients cache read_timeout
-      write_timeout default_deadline drain_grace retry_after status strict =
+      write_timeout default_deadline drain_grace retry_after status state_dir
+      chunk_points heartbeat memo strict =
     if status then begin
       match fetch_stats (client_addr socket port) with
       | Ok (Serve.Wire.R_stats s) ->
@@ -576,6 +619,10 @@ let serve_cmd =
           drain_grace;
           retry_after;
           strict;
+          state_dir;
+          chunk_points;
+          heartbeat;
+          memo_entries = memo;
         }
       in
       let d = Serve.Daemon.create cfg in
@@ -608,7 +655,8 @@ let serve_cmd =
     Term.(
       const run $ socket_term $ port_term $ workers $ queue $ max_clients
       $ cache $ read_timeout $ write_timeout $ default_deadline $ drain_grace
-      $ retry_after $ status $ strict_term)
+      $ retry_after $ status $ state_dir $ chunk_points $ heartbeat $ memo
+      $ strict_term)
 
 let client_cmd =
   let what =
@@ -636,14 +684,42 @@ let client_cmd =
     let doc = "Seed of the deterministic retry-jitter stream." in
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc)
   in
+  let budget =
+    let doc =
+      "Wall-clock retry budget in seconds: fail with a typed error rather \
+       than back off past it."
+    in
+    Arg.(value & opt (some float) None & info [ "budget" ] ~docv:"SECS" ~doc)
+  in
+  let stream =
+    let doc =
+      "Stream a sweep in resumable chunks (reconnects resume by idempotency \
+       key instead of restarting)."
+    in
+    Arg.(value & flag & info [ "stream" ] ~doc)
+  in
   let print_loop_reports lti eff =
     Format.fprintf pp "LTI  open loop A(jw):      %a@."
       Pll_lib.Analysis.pp_loop_report lti;
     Format.fprintf pp "TV   open loop lambda(jw): %a@."
       Pll_lib.Analysis.pp_loop_report eff
   in
-  let run spec what socket port points req_deadline timeout attempts seed =
+  let run spec what socket port points req_deadline timeout attempts seed
+      budget stream =
     let addr = client_addr socket port in
+    let print_sweep (s : Serve.Wire.sweep_result) =
+      let rows = Array.to_list s.Serve.Wire.rows |> List.filter_map Fun.id in
+      Experiments.Exp_fig7.print pp rows;
+      if s.Serve.Wire.failures <> [] then
+        Format.fprintf pp "%d of %d point(s) failed:@."
+          (List.length s.Serve.Wire.failures)
+          s.Serve.Wire.total;
+      List.iter
+        (fun (i, err) ->
+          Format.fprintf pp "  point %d: %s@." i
+            (Robust.Pllscope_error.to_string err))
+        s.Serve.Wire.failures
+    in
     let body =
       match what with
       | "analyze" -> Serve.Wire.Analyze spec
@@ -668,12 +744,35 @@ let client_cmd =
           Format.fprintf pp "error: unknown request %s@." other;
           exit 1
     in
+    if stream then begin
+      match body with
+      | Serve.Wire.Sweep { spec; ratios } -> (
+          match
+            Serve.Client.sweep_streamed ~timeout ?deadline:req_deadline
+              ~attempts ~seed ?budget
+              ~connect:(fun () -> Serve.Client.connect addr)
+              ~spec ~ratios ()
+          with
+          | Error err ->
+              print_wire_error err;
+              exit 1
+          | Ok (s, st) ->
+              print_sweep s;
+              Experiments.Report.kv pp "stream"
+                "%d chunk(s), %d computed, %d replayed, %d resume(s)"
+                st.Serve.Client.chunks st.Serve.Client.computed
+                st.Serve.Client.replayed st.Serve.Client.resumes)
+      | Serve.Wire.Analyze _ | Bode _ | Stats | Health ->
+          Format.fprintf pp "error: --stream applies to sweep requests@.";
+          exit 1
+    end
+    else
     let reply =
-      Serve.Client.with_retries ~attempts ~seed
+      Serve.Client.with_retries ~attempts ~seed ?budget
         ~connect:(fun () -> Serve.Client.connect addr)
         (fun conn ->
           Serve.Client.request ~timeout conn
-            { Serve.Wire.deadline = req_deadline; body })
+            (Serve.Wire.oneshot ?deadline:req_deadline body))
     in
     match reply with
     | Error err ->
@@ -700,20 +799,7 @@ let client_cmd =
                ])
              (Array.to_list b.Serve.Wire.a)
              (Array.to_list b.Serve.Wire.lambda))
-    | Ok (Serve.Wire.R_sweep s) ->
-        let rows =
-          Array.to_list s.Serve.Wire.rows |> List.filter_map Fun.id
-        in
-        Experiments.Exp_fig7.print pp rows;
-        if s.Serve.Wire.failures <> [] then
-          Format.fprintf pp "%d of %d point(s) failed:@."
-            (List.length s.Serve.Wire.failures)
-            s.Serve.Wire.total;
-        List.iter
-          (fun (i, err) ->
-            Format.fprintf pp "  point %d: %s@." i
-              (Robust.Pllscope_error.to_string err))
-          s.Serve.Wire.failures
+    | Ok (Serve.Wire.R_sweep s) -> print_sweep s
     | Ok (Serve.Wire.R_stats s) ->
         Format.fprintf pp "%s@." (Serve.Metrics.json_of_stats s)
     | Ok Serve.Wire.R_healthy -> Format.fprintf pp "healthy@."
@@ -725,7 +811,7 @@ let client_cmd =
   Cmd.v (Cmd.info "client" ~doc)
     Term.(
       const run $ spec_term $ what $ socket_term $ port_term $ points
-      $ req_deadline $ timeout $ attempts $ seed)
+      $ req_deadline $ timeout $ attempts $ seed $ budget $ stream)
 
 let fig_cmd =
   let which =

@@ -486,7 +486,8 @@ let run cfg ~n =
       match (err : Robust.Pllscope_error.t) with
       | Cancelled _ -> Robust.Stats.record_cancelled ()
       | Worker_failure _ | Singular _ | Non_convergence _ | Non_finite _
-      | Parse _ | Timed_out _ | Overloaded _ | Io_timeout _ ->
+      | Parse _ | Timed_out _ | Overloaded _ | Io_timeout _
+      | Budget_exhausted _ | Circuit_open _ ->
           ())
     !final_failures;
   {

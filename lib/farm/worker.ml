@@ -25,7 +25,7 @@ let globalize_error ~lo (err : Robust.Pllscope_error.t) =
   | Worker_failure w -> Robust.Pllscope_error.Worker_failure { w with task = lo + w.task }
   | Timed_out t -> Robust.Pllscope_error.Timed_out { t with task = lo + t.task }
   | Singular _ | Non_convergence _ | Non_finite _ | Parse _ | Cancelled _
-  | Overloaded _ | Io_timeout _ ->
+  | Overloaded _ | Io_timeout _ | Budget_exhausted _ | Circuit_open _ ->
       err
 
 let run_range ?chunk ?retries ?task_timeout journal task { Protocol.lo; hi } =

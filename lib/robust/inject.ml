@@ -28,6 +28,9 @@ type site =
   | Net_torn
   | Net_drop
   | Net_slow
+  | Stream_disconnect
+  | Chunk_torn
+  | Stale_key
 
 (* Raised by crash-simulation sites (journal-torn, crash-at-point) to
    model abrupt process death. Defined here — not in Runner — so that
@@ -35,7 +38,7 @@ type site =
    without depending on the runner library. *)
 exception Simulated_crash
 
-let n_sites = 11
+let n_sites = 14
 
 let index = function
   | Lu_pivot -> 0
@@ -49,6 +52,9 @@ let index = function
   | Net_torn -> 8
   | Net_drop -> 9
   | Net_slow -> 10
+  | Stream_disconnect -> 11
+  | Chunk_torn -> 12
+  | Stale_key -> 13
 
 let site_name = function
   | Lu_pivot -> "lu-pivot"
@@ -62,6 +68,9 @@ let site_name = function
   | Net_torn -> "net-torn"
   | Net_drop -> "net-drop"
   | Net_slow -> "net-slow"
+  | Stream_disconnect -> "stream-disconnect"
+  | Chunk_torn -> "chunk-torn"
+  | Stale_key -> "stale-key"
 
 let site_of_name = function
   | "lu-pivot" -> Lu_pivot
@@ -75,6 +84,9 @@ let site_of_name = function
   | "net-torn" -> Net_torn
   | "net-drop" -> Net_drop
   | "net-slow" -> Net_slow
+  | "stream-disconnect" -> Stream_disconnect
+  | "chunk-torn" -> Chunk_torn
+  | "stale-key" -> Stale_key
   | s -> invalid_arg (Printf.sprintf "Inject.site_of_name: unknown site %S" s)
 
 type trigger = Never | Always | Nth of int | From of int | Prob of float

@@ -15,7 +15,8 @@
 
     Site names: ["lu-pivot"], ["smat-nan"], ["power-stall"],
     ["pool-task"], ["task-hang"], ["journal-torn"], ["crash-at-point"],
-    ["grid-plan-nan"], ["net-torn"], ["net-drop"], ["net-slow"].
+    ["grid-plan-nan"], ["net-torn"], ["net-drop"], ["net-slow"],
+    ["stream-disconnect"], ["chunk-torn"], ["stale-key"].
     Example: ["lu-pivot:2,smat-nan:*"]. *)
 
 type site =
@@ -48,6 +49,18 @@ type site =
   | Net_slow
       (** stall a [Serve.Client] request write mid-frame (slow-loris
           behaviour), exercising the daemon's per-frame read deadline. *)
+  | Stream_disconnect
+      (** cut a [Serve.Daemon] streaming connection right after a chunk
+          frame has been delivered (models a mid-stream connection
+          loss; the client must reconnect and resume by key). *)
+  | Chunk_torn
+      (** tear a [Serve.Daemon] chunk frame mid-write and close the
+          connection, so the client reads a half-written frame followed
+          by EOF (torn frames decode as clean EOF by construction). *)
+  | Stale_key
+      (** make a [Serve.Daemon] request-journal header validation fail,
+          modelling an idempotency-key collision: the daemon must
+          discard the stale journal and recompute from scratch. *)
 
 (** Raised by the crash-simulation sites ([Journal_torn],
     [Crash_at_point]) to model abrupt process death. [Parallel.Pool]

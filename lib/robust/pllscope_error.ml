@@ -20,6 +20,8 @@ type t =
   | Cancelled of { reason : string }
   | Overloaded of { retry_after : float }
   | Io_timeout of { seconds : float; what : string }
+  | Budget_exhausted of { budget_s : float; attempts : int }
+  | Circuit_open of { cooldown_s : float }
 
 exception Error of t
 
@@ -48,6 +50,12 @@ let to_string = function
       Printf.sprintf "server overloaded; retry after %.3f s" retry_after
   | Io_timeout { seconds; what } ->
       Printf.sprintf "%s timed out after %g s" what seconds
+  | Budget_exhausted { budget_s; attempts } ->
+      Printf.sprintf "retry budget of %g s exhausted after %d attempt(s)"
+        budget_s attempts
+  | Circuit_open { cooldown_s } ->
+      Printf.sprintf
+        "circuit breaker open; next probe allowed in %.3f s" cooldown_s
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 

@@ -36,6 +36,15 @@ type t =
       (** A framed I/O operation ([what], e.g. ["frame read"]) exceeded
           its deadline — a stalled peer or a half-written frame followed
           by silence. [seconds] is the configured bound. *)
+  | Budget_exhausted of { budget_s : float; attempts : int }
+      (** A client retry loop hit its total wall-clock budget
+          ([budget_s] seconds across all [attempts]) without a
+          success — a permanently dead daemon fails in bounded time. *)
+  | Circuit_open of { cooldown_s : float }
+      (** The client-side circuit breaker is open after too many
+          consecutive failures: the call failed fast without touching
+          the network. [cooldown_s] is the time until the next probe is
+          allowed. *)
 
 exception Error of t
 

@@ -64,7 +64,7 @@ let record_fallback err =
   | Non_finite _ -> Atomic.incr nonfinite_guards
   | Non_convergence _ -> Atomic.incr non_convergences
   | Parse _ | Worker_failure _ | Timed_out _ | Cancelled _ | Overloaded _
-  | Io_timeout _ ->
+  | Io_timeout _ | Budget_exhausted _ | Circuit_open _ ->
       ()
 
 let record_guard err =
@@ -73,7 +73,7 @@ let record_guard err =
   | Non_finite _ -> Atomic.incr nonfinite_guards
   | Non_convergence _ -> Atomic.incr non_convergences
   | Parse _ | Worker_failure _ | Timed_out _ | Cancelled _ | Overloaded _
-  | Io_timeout _ ->
+  | Io_timeout _ | Budget_exhausted _ | Circuit_open _ ->
       ()
 
 let record_non_convergence () = Atomic.incr non_convergences

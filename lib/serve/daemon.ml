@@ -38,14 +38,41 @@
      leader.
    - The compute slot is released *before* the response is written, so
      a slow-reading client can never hold a worker slot; the write
-     itself carries [write_timeout].
+     itself carries [write_timeout]. (Streamed replies are the one
+     exception: compute and delivery interleave, so the slot is held
+     across chunk writes — each bounded by [write_timeout] — and
+     released at stream end.)
    - Drain: when the global cancel token fires (first SIGINT/SIGTERM)
      or [stop] is called, listeners close, idle connections are nudged
      out of their reads, in-flight requests get [drain_grace] seconds
      to finish and deliver, then leftover tokens are cancelled and
      sockets shut down. [serve] then returns normally — exit 0 — with
      the final stats. A second signal force-exits via
-     Runner.Shutdown. *)
+     Runner.Shutdown.
+
+   Streamed sweeps ([request.stream], Sweep bodies only) add a
+   resumable delivery layer on top:
+
+   - Cells (one per ratio, Marshal of the point-or-typed-failure) are
+     computed window by window and journaled to
+     [state_dir/<key>.stream] through Runner.Journal the moment they
+     exist, with frame index 0 pinning the request's canonical
+     fingerprint. A client reconnecting with the same idempotency key
+     — after connection loss, client kill -9, or a daemon restart —
+     replays journaled cells and recomputes only the missing ones.
+     A fingerprint mismatch (or the [stale-key] injection) discards
+     the journal and heals by recomputing from scratch.
+   - Schedule-dependent failures (Cancelled, Timed_out) are never
+     journaled and never streamed: they abort the stream with a typed
+     error frame, and the journal keeps every deterministic cell for
+     the resume.
+   - The final summary frame carries the digest of the canonical
+     one-shot reply payload, which is also seeded into the response
+     LRU — so the client can prove its reassembly byte-identical, and
+     a later one-shot request for the same sweep is a cache hit.
+   - While a stream computes, the ticker writes progress heartbeats on
+     the connection (serialised with chunk writes by a per-connection
+     write mutex) so the client can tell slow-compute from dead-peer. *)
 
 let now () = (Unix.gettimeofday () [@lint.allow "nondeterminism"])
 
@@ -62,6 +89,10 @@ type config = {
   drain_grace : float;
   retry_after : float;
   strict : bool;
+  state_dir : string option;
+  chunk_points : int;
+  heartbeat : float;
+  memo_entries : int;
 }
 
 let default_config =
@@ -78,19 +109,35 @@ let default_config =
     drain_grace = 5.0;
     retry_after = 0.1;
     strict = false;
+    state_dir = None;
+    chunk_points = 16;
+    heartbeat = 1.0;
+    memo_entries = 64;
   }
 
-type conn = { fd : Unix.file_descr; mutable busy : bool }
+type conn = {
+  fd : Unix.file_descr;
+  mutable busy : bool;
+  wm : Mutex.t;
+      (* serialises every frame write on [fd] once a stream is live:
+         chunk/summary/error writes from the handler thread and
+         progress heartbeats from the ticker *)
+  mutable streaming : (int * int) option;  (* done points, total *)
+  mutable last_frame : float;
+  mutable closed : bool;
+}
 
 type t = {
   cfg : config;
   metrics : Metrics.t;
   cache : Lru.t;
+  memo : Engine.memo;
   m : Mutex.t;
   c : Condition.t;
   mutable active : int;
   mutable waiting : int;
   inflight : (string, unit) Hashtbl.t;
+  stream_inflight : (string, unit) Hashtbl.t;
   mutable watched : (Parallel.Cancel.t * float * float) list;
       (* token, absolute deadline, configured seconds *)
   mutable conns : conn list;
@@ -139,14 +186,27 @@ let listen_tcp port =
   in
   (fd, bound)
 
+let rec mkdir_p path =
+  if path = "" || path = "." || path = "/" then ()
+  else if Sys.file_exists path then ()
+  else begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
 let create cfg =
   if cfg.workers < 1 then invalid_arg "Daemon.create: workers must be >= 1";
   if cfg.queue_depth < 0 then
     invalid_arg "Daemon.create: queue_depth must be >= 0";
   if cfg.max_clients < 1 then
     invalid_arg "Daemon.create: max_clients must be >= 1";
+  if cfg.chunk_points < 1 then
+    invalid_arg "Daemon.create: chunk_points must be >= 1";
+  if cfg.heartbeat <= 0.0 then
+    invalid_arg "Daemon.create: heartbeat must be > 0";
   if cfg.socket_path = None && cfg.tcp_port = None then
     invalid_arg "Daemon.create: no listener configured (socket or port)";
+  Option.iter mkdir_p cfg.state_dir;
   let unix_listener = Option.map listen_unix cfg.socket_path in
   let tcp_listener = Option.map listen_tcp cfg.tcp_port in
   let listeners =
@@ -157,11 +217,13 @@ let create cfg =
     cfg;
     metrics = Metrics.create ();
     cache = Lru.create ~cap:cfg.cache_entries;
+    memo = Engine.create_memo ~cap:cfg.memo_entries;
     m = Mutex.create ();
     c = Condition.create ();
     active = 0;
     waiting = 0;
     inflight = Hashtbl.create 16;
+    stream_inflight = Hashtbl.create 16;
     watched = [];
     conns = [];
     threads = [];
@@ -209,6 +271,32 @@ let with_watch t token deadline f =
                 List.filter (fun (tok, _, _) -> tok != token) t.watched))
         f
 
+(* Quiet streams get a heartbeat so the client can tell slow-compute
+   from dead-peer. [try_lock]: if the handler is mid-chunk the stream
+   is plainly alive and the ticker must not queue behind the write. *)
+let heartbeat_conn t tnow conn =
+  match conn.streaming with
+  | Some _ when tnow -. conn.last_frame >= t.cfg.heartbeat ->
+      if Mutex.try_lock conn.wm then
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock conn.wm)
+          (fun () ->
+            match conn.streaming with
+            | Some (done_points, total_points)
+              when (not conn.closed)
+                   && tnow -. conn.last_frame >= t.cfg.heartbeat -> (
+                match
+                  Wire.send_progress ~timeout:t.cfg.write_timeout conn.fd
+                    { Wire.done_points; total_points }
+                with
+                | Ok () ->
+                    conn.last_frame <- now ();
+                    Metrics.incr_heartbeat t.metrics
+                | Error _ -> ()
+                | exception Unix.Unix_error (_, _, _) -> ())
+            | _ -> ())
+  | _ -> ()
+
 let ticker t =
   let rec loop () =
     let done_ = locked t (fun () -> t.finished) in
@@ -224,6 +312,8 @@ let ticker t =
           (* wake gate and single-flight waiters so deadline expiry and
              drain are noticed without their own timed waits *)
           Condition.broadcast t.c);
+      let conns = locked t (fun () -> t.conns) in
+      List.iter (heartbeat_conn t t_now) conns;
       loop ()
     end
   in
@@ -272,11 +362,12 @@ let release t =
 (* ------------------------------------------------------------------ *)
 (* compute with cache + single-flight                                  *)
 
-let run_body ~token (body : Wire.request_body) =
+let run_body t ~token (body : Wire.request_body) =
   match body with
-  | Wire.Analyze spec -> Wire.R_analyze (Engine.analyze ~cancel:token spec)
+  | Wire.Analyze spec ->
+      Wire.R_analyze (Engine.analyze ~memo:t.memo ~cancel:token spec)
   | Wire.Bode { spec; points } ->
-      Wire.R_bode (Engine.bode ~cancel:token spec ~points)
+      Wire.R_bode (Engine.bode ~memo:t.memo ~cancel:token spec ~points)
   | Wire.Sweep { spec; ratios } ->
       Wire.R_sweep (Engine.sweep ~cancel:token spec ratios)
   | Wire.Stats | Wire.Health ->
@@ -288,6 +379,7 @@ let run_body ~token (body : Wire.request_body) =
    answer; one woken waiter finds neither cache entry nor inflight
    mark and becomes the new leader. *)
 let compute t ~key ~token body =
+  let deduped = ref false in
   let rec obtain () =
     let verdict =
       locked t (fun () ->
@@ -297,6 +389,10 @@ let compute t ~key ~token body =
               if Hashtbl.mem t.inflight key then
                 if Parallel.Cancel.is_cancelled token then `Cancelled
                 else begin
+                  if not !deduped then begin
+                    deduped := true;
+                    Metrics.incr_single_flight_wait t.metrics
+                  end;
                   Condition.wait t.c t.m;
                   `Retry
                 end
@@ -314,7 +410,7 @@ let compute t ~key ~token body =
     | `Lead ->
         Metrics.incr_cache_miss t.metrics;
         let outcome =
-          match run_body ~token body with
+          match run_body t ~token body with
           | resp -> Ok (Wire.marshal_response resp)
           | exception Robust.Pllscope_error.Error err -> Error err
           | exception Parallel.Cancel.Cancelled r -> Error (error_of_reason r)
@@ -358,11 +454,358 @@ let send_error_frame t fd err =
       false
 
 let stats_snapshot t =
-  let active = locked t (fun () -> t.active) in
-  Metrics.snapshot t.metrics ~active
+  let active, cache_evictions =
+    locked t (fun () -> (t.active, Lru.evictions t.cache))
+  in
+  Metrics.snapshot t.metrics ~active ~cache_evictions
+    ~memo_hits:(Engine.memo_hits t.memo)
+    ~memo_misses:(Engine.memo_misses t.memo)
+    ~memo_evictions:(Engine.memo_evictions t.memo)
+
+(* ------------------------------------------------------------------ *)
+(* streamed sweeps                                                     *)
+
+let write_exact fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write fd b !off (n - !off) with
+    | k -> off := !off + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let request_parse_err msg =
+  Robust.Pllscope_error.Parse { file = "<request>"; line = 0; col = 0; msg }
+
+(* Keys name files under [state_dir]; accept only flat, dot-free-prefix
+   names so a hostile key cannot traverse out of the directory. *)
+let valid_key k =
+  let n = String.length k in
+  n > 0 && n <= 64
+  && k.[0] <> '.'
+  && String.for_all
+       (fun c ->
+         (c >= '0' && c <= '9')
+         || (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || c = '-' || c = '_' || c = '.')
+       k
+
+let set_streaming conn v =
+  Mutex.lock conn.wm;
+  conn.streaming <- v;
+  conn.last_frame <- now ();
+  Mutex.unlock conn.wm
+
+(* One frame on a streaming connection, serialised with the ticker's
+   heartbeats; true iff the connection survives. *)
+let stream_send t conn send =
+  Mutex.lock conn.wm;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.wm)
+    (fun () ->
+      match send conn.fd with
+      | Ok () ->
+          conn.last_frame <- now ();
+          true
+      | Error _ ->
+          Metrics.incr_io_timeout t.metrics;
+          false
+      | exception
+          Unix.Unix_error
+            ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF | Unix.ENOTCONN), _, _)
+        ->
+          false)
+
+(* Chunk delivery with the daemon-side net-fault sites armed:
+   [chunk-torn] writes half the encoded frame then cuts the wire (the
+   client reads it as clean EOF); [stream-disconnect] delivers the
+   chunk, then cuts. Both model mid-stream connection loss the client
+   must heal by resuming. *)
+let send_chunk_inject t conn (c : Wire.chunk) =
+  if Robust.Inject.fire Robust.Inject.Chunk_torn then begin
+    let frame =
+      Runner.Journal.Frame.encode ~tag:Wire.tag_chunk (Wire.marshal_chunk c)
+    in
+    let half = String.sub frame 0 (String.length frame / 2) in
+    let (_ : bool) =
+      stream_send t conn (fun fd ->
+          write_exact fd half;
+          Ok ())
+    in
+    quiet_shutdown conn.fd Unix.SHUTDOWN_ALL;
+    false
+  end
+  else begin
+    let alive =
+      stream_send t conn (fun fd ->
+          Wire.send_chunk ~timeout:t.cfg.write_timeout fd c)
+    in
+    if not alive then false
+    else begin
+      Metrics.incr_chunk_sent t.metrics;
+      if Robust.Inject.fire Robust.Inject.Stream_disconnect then begin
+        quiet_shutdown conn.fd Unix.SHUTDOWN_ALL;
+        false
+      end
+      else true
+    end
+  end
+
+(* Remap a typed error whose task field is local to a window's
+   sub-grid back to the global point index, so streamed failure cells
+   are byte-identical to the single-shot sweep's. *)
+let globalize_cell_error ~global (err : Robust.Pllscope_error.t) =
+  match err with
+  | Worker_failure w -> Robust.Pllscope_error.Worker_failure { w with task = global w.task }
+  | Timed_out tt -> Robust.Pllscope_error.Timed_out { tt with task = global tt.task }
+  | Singular _ | Non_convergence _ | Non_finite _ | Parse _ | Cancelled _
+  | Overloaded _ | Io_timeout _ | Budget_exhausted _ | Circuit_open _ ->
+      err
+
+(* The stream body, run while holding a compute slot. Returns true iff
+   the connection is still usable afterwards. *)
+let stream_compute t conn (req : Wire.request) ~spec ~ratios ~key ~token =
+  let n = Array.length ratios in
+  let fp = Wire.body_fingerprint req.Wire.body in
+  let journal_path =
+    match (t.cfg.state_dir, key) with
+    | Some dir, Some k -> Some (Filename.concat dir (k ^ ".stream"))
+    | _ -> None
+  in
+  (* replay the request journal, validating its identity header *)
+  let replayed_cells = Hashtbl.create 64 in
+  let have_header = ref false in
+  (match journal_path with
+  | None -> ()
+  | Some path -> (
+      let frames, corrupt =
+        match Runner.Journal.replay path with
+        | frames -> (frames, false)
+        | exception Robust.Pllscope_error.Error _ -> ([], true)
+      in
+      match frames with
+      | [] -> if corrupt then (try Sys.remove path with Sys_error _ -> ())
+      | _ -> (
+          match List.assoc_opt 0 frames with
+          | Some h
+            when h = fp && not (Robust.Inject.fire Robust.Inject.Stale_key) ->
+              have_header := true;
+              List.iter
+                (fun (idx, payload) ->
+                  if
+                    idx >= 1 && idx <= n
+                    && not (Hashtbl.mem replayed_cells (idx - 1))
+                  then Hashtbl.add replayed_cells (idx - 1) payload)
+                frames
+          | Some _ | None ->
+              (* wrong body behind this key (or the stale-key fault):
+                 self-heal by discarding and recomputing *)
+              Metrics.incr_stale_key t.metrics;
+              (try Sys.remove path with Sys_error _ -> ()))));
+  let replayed = Hashtbl.length replayed_cells in
+  if replayed > 0 then Metrics.incr_stream_resumed t.metrics;
+  let journal = Option.map Runner.Journal.open_append journal_path in
+  (match journal with
+  | Some jr when not !have_header -> Runner.Journal.append jr ~index:0 fp
+  | _ -> ());
+  let close_journal () =
+    match journal with Some jr -> Runner.Journal.close jr | None -> ()
+  in
+  let cells = Array.make n None in
+  Hashtbl.iter
+    (fun i payload -> if i < n then cells.(i) <- Some payload)
+    replayed_cells;
+  let done_count () =
+    Array.fold_left (fun acc c -> if c = None then acc else acc + 1) 0 cells
+  in
+  set_streaming conn (Some (done_count (), n));
+  let resume_from = max 0 (min req.Wire.resume_from n) in
+  let computed = ref 0 in
+  let chunks = ref 0 in
+  let seq = ref 0 in
+  let abort = ref None in
+  let alive = ref true in
+  let cp = t.cfg.chunk_points in
+  let base = ref 0 in
+  while !alive && Option.is_none !abort && !base < n do
+    let stop = min n (!base + cp) in
+    let missing = ref [] in
+    for i = stop - 1 downto !base do
+      if cells.(i) = None then missing := i :: !missing
+    done;
+    let idxs = Array.of_list !missing in
+    if Array.length idxs > 0 then begin
+      let sub = Array.map (fun i -> ratios.(i)) idxs in
+      (* same call shape as Engine.sweep (chunk 1, default retries), so
+         every cell is bit-identical to the one-shot compute *)
+      let partial =
+        Parallel.Sweep.grid_checked ~chunk:1 ~cancel:token
+          (fun r -> Engine.ratio_point spec r)
+          sub
+      in
+      Array.iteri
+        (fun j i ->
+          let cell : Wire.cell =
+            match partial.Parallel.Sweep.values.(j) with
+            | Some v -> Ok v
+            | None -> (
+                match
+                  List.assoc_opt j partial.Parallel.Sweep.failures
+                with
+                | Some e -> Error (globalize_cell_error ~global:(fun _ -> i) e)
+                | None ->
+                    Error
+                      (Robust.Pllscope_error.Worker_failure
+                         {
+                           task = i;
+                           attempts = 0;
+                           last = "Daemon.stream: point vanished";
+                         }))
+          in
+          match cell with
+          | Error
+              ((Robust.Pllscope_error.Cancelled _ | Robust.Pllscope_error.Timed_out _)
+               as e) ->
+              (* schedule-dependent: never journaled, never streamed —
+                 the stream aborts and the client resumes later *)
+              if Option.is_none !abort then abort := Some e
+          | _ ->
+              let enc = Wire.encode_cell cell in
+              cells.(i) <- Some enc;
+              (match journal with
+              | Some jr -> Runner.Journal.append jr ~index:(i + 1) enc
+              | None -> ());
+              incr computed)
+        idxs
+    end;
+    if Option.is_none !abort then begin
+      if stop > resume_from then begin
+        let window =
+          Array.init (stop - !base) (fun k -> Option.get cells.(!base + k))
+        in
+        let c = { Wire.seq = !seq; base = !base; cells = window } in
+        incr seq;
+        if send_chunk_inject t conn c then incr chunks else alive := false
+      end;
+      set_streaming conn (Some (done_count (), n));
+      base := stop
+    end
+  done;
+  set_streaming conn None;
+  close_journal ();
+  Metrics.add_points_computed t.metrics !computed;
+  match !abort with
+  | Some err ->
+      Metrics.incr_request_error t.metrics;
+      stream_send t conn (fun fd ->
+          Wire.send_error ~timeout:t.cfg.write_timeout fd err)
+  | None when not !alive -> false
+  | None -> (
+      let all = Array.map Option.get cells in
+      match Wire.assemble_sweep all with
+      | Error err ->
+          (* a journaled cell failed to decode: the journal is poison —
+             drop it so the next attempt recomputes *)
+          (match journal_path with
+          | Some path -> ( try Sys.remove path with Sys_error _ -> ())
+          | None -> ());
+          Metrics.incr_request_error t.metrics;
+          stream_send t conn (fun fd ->
+              Wire.send_error ~timeout:t.cfg.write_timeout fd err)
+      | Ok sres ->
+          let payload = Wire.marshal_response (Wire.R_sweep sres) in
+          let digest = Digest.string payload in
+          locked t (fun () ->
+              Lru.add t.cache (Wire.cache_key req.Wire.body) payload);
+          Metrics.add_points_replayed t.metrics (n - !computed);
+          let summary =
+            {
+              Wire.total = n;
+              chunks = !chunks;
+              digest;
+              computed = !computed;
+              replayed = n - !computed;
+            }
+          in
+          let ok =
+            stream_send t conn (fun fd ->
+                Wire.send_summary ~timeout:t.cfg.write_timeout fd summary)
+          in
+          if ok then Metrics.incr_served t.metrics;
+          ok)
+
+(* Streamed request entry: single-flight per idempotency key (a
+   concurrent stream on the same key would race the journal), then the
+   same deadline-token + compute-gate path as one-shot requests. *)
+let handle_stream t conn (req : Wire.request) ~spec ~ratios =
+  let fd = conn.fd in
+  if Array.length ratios = 0 then begin
+    Metrics.incr_request_error t.metrics;
+    send_error_frame t fd (request_parse_err "Engine.sweep: empty ratio grid")
+  end
+  else
+    let key =
+      match req.Wire.key with Some k when valid_key k -> Some k | _ -> None
+    in
+    match (req.Wire.key, key) with
+    | Some _, None ->
+        Metrics.incr_request_error t.metrics;
+        send_error_frame t fd
+          (request_parse_err "Daemon.stream: malformed idempotency key")
+    | _, _ -> (
+        let claim =
+          match key with
+          | None -> `Go
+          | Some k ->
+              locked t (fun () ->
+                  if Hashtbl.mem t.stream_inflight k then `Busy
+                  else begin
+                    Hashtbl.add t.stream_inflight k ();
+                    `Go
+                  end)
+        in
+        match claim with
+        | `Busy ->
+            Metrics.incr_shed t.metrics;
+            send_error_frame t fd
+              (Robust.Pllscope_error.Overloaded
+                 { retry_after = t.cfg.retry_after })
+        | `Go ->
+            Fun.protect
+              ~finally:(fun () ->
+                match key with
+                | Some k ->
+                    locked t (fun () -> Hashtbl.remove t.stream_inflight k)
+                | None -> ())
+              (fun () ->
+                let deadline =
+                  match req.Wire.deadline with
+                  | Some _ as d -> d
+                  | None -> t.cfg.default_deadline
+                in
+                let token = Parallel.Cancel.create () in
+                with_watch t token deadline @@ fun () ->
+                match acquire t token with
+                | `Shed ->
+                    Metrics.incr_shed t.metrics;
+                    send_error_frame t fd
+                      (Robust.Pllscope_error.Overloaded
+                         { retry_after = t.cfg.retry_after })
+                | `Cancelled ->
+                    Metrics.incr_request_error t.metrics;
+                    send_error_frame t fd (cancel_error token)
+                | `Go ->
+                    Metrics.incr_stream_started t.metrics;
+                    Fun.protect
+                      ~finally:(fun () -> release t)
+                      (fun () ->
+                        stream_compute t conn req ~spec ~ratios ~key ~token)))
 
 (* Handle one decoded request; true iff the connection survives. *)
-let handle_request t fd (req : Wire.request) =
+let handle_request t conn (req : Wire.request) =
+  let fd = conn.fd in
   match req.Wire.body with
   | Wire.Health ->
       let ok = send_payload t fd (Wire.marshal_response Wire.R_healthy) in
@@ -375,6 +818,8 @@ let handle_request t fd (req : Wire.request) =
       in
       if ok then Metrics.incr_served t.metrics;
       ok
+  | Wire.Sweep { spec; ratios } when req.Wire.stream ->
+      handle_stream t conn req ~spec ~ratios
   | Wire.Analyze _ | Wire.Bode _ | Wire.Sweep _ -> (
       let key = Wire.cache_key req.Wire.body in
       let cached = locked t (fun () -> Lru.find t.cache key) in
@@ -431,13 +876,13 @@ let handle_conn t conn =
             Metrics.incr_io_timeout t.metrics
         | Robust.Pllscope_error.Singular _ | Non_convergence _ | Non_finite _
         | Parse _ | Worker_failure _ | Timed_out _ | Cancelled _
-        | Overloaded _ ->
+        | Overloaded _ | Budget_exhausted _ | Circuit_open _ ->
             Metrics.incr_request_error t.metrics);
         let (_ : bool) = send_error_frame t fd err in
         ()
     | Ok (Some req) ->
         conn.busy <- true;
-        let keep = handle_request t fd req in
+        let keep = handle_request t conn req in
         conn.busy <- false;
         if keep && not (draining t) then loop ()
   in
@@ -449,7 +894,13 @@ let conn_main t conn =
       locked t (fun () ->
           t.conns <- List.filter (fun c -> c != conn) t.conns;
           Condition.broadcast t.c);
-      quiet_close conn.fd)
+      (* close under the write mutex so the ticker can never race a
+         heartbeat onto a recycled descriptor number *)
+      Mutex.lock conn.wm;
+      conn.closed <- true;
+      conn.streaming <- None;
+      quiet_close conn.fd;
+      Mutex.unlock conn.wm)
     (fun () ->
       match handle_conn t conn with
       | () -> ()
@@ -485,7 +936,16 @@ let accept_one t lfd =
         quiet_close fd
       end
       else begin
-        let conn = { fd; busy = false } in
+        let conn =
+          {
+            fd;
+            busy = false;
+            wm = Mutex.create ();
+            streaming = None;
+            last_frame = now ();
+            closed = false;
+          }
+        in
         locked t (fun () ->
             t.conns <- conn :: t.conns;
             t.threads <- Thread.create (conn_main t) conn :: t.threads)
@@ -512,7 +972,9 @@ let drain t =
   (* let in-flight requests finish and deliver *)
   let grace_until = now () +. t.cfg.drain_grace in
   let rec wait_empty () =
-    let empty = locked t (fun () -> t.conns = []) in
+    let empty =
+      locked t (fun () -> match t.conns with [] -> true | _ :: _ -> false)
+    in
     if (not empty) && now () < grace_until then begin
       Thread.delay 0.02;
       wait_empty ()

@@ -13,6 +13,12 @@
     - an LRU of marshalled responses keyed by request-body digest with
       single-flight dedup — a cached reply is byte-identical to the
       cold one;
+    - streamed sweeps ([Wire.request.stream]): cells journaled to
+      [state_dir/<key>.stream] as computed, chunk frames interleaved
+      with ticker heartbeats, and resume-by-idempotency-key across
+      connection loss, client death and daemon restarts — the
+      reassembled reply is byte-identical to a one-shot one (proved by
+      the summary frame's digest);
     - drain on the first SIGINT/SIGTERM (via the global cancel token)
       or {!stop}: listeners close, in-flight requests get
       [drain_grace] seconds to deliver, then leftovers are cancelled.
@@ -34,11 +40,21 @@ type config = {
   drain_grace : float;  (** shutdown grace for in-flight requests *)
   retry_after : float;  (** hint carried by [Overloaded] frames *)
   strict : bool;  (** run the engine in [--strict] guard mode *)
+  state_dir : string option;
+      (** request-journal directory for streamed sweeps (created if
+          missing); [None] streams without persistence — resume then
+          saves network replay but recomputes cells *)
+  chunk_points : int;  (** sweep cells per streamed chunk frame (>= 1) *)
+  heartbeat : float;
+      (** seconds of stream silence before the ticker writes a
+          progress frame (> 0) *)
+  memo_entries : int;  (** plan/grid memo capacity; 0 disables it *)
 }
 
 (** 2 workers, queue 8, 32 clients, 128 cache entries, 10 s I/O
     timeouts, no default deadline, 5 s drain grace, 0.1 s retry hint,
-    non-strict — and no listeners: set at least one of [socket_path] /
+    non-strict, no state dir, 16-point chunks, 1 s heartbeat, 64 memo
+    entries — and no listeners: set at least one of [socket_path] /
     [tcp_port]. *)
 val default_config : config
 

@@ -6,12 +6,25 @@
     per-point failures — when the deadline monitor fires. Results are
     bit-identical to the matching CLI subcommand run locally. *)
 
+(** Bounded plan/grid memo: synthesized loop parameters keyed by spec
+    fingerprint and bode grids keyed by spec fingerprint × points.
+    Hits are bit-identical to cold computes (both artifacts are
+    deterministic functions of their key); the sweep per-point path
+    deliberately bypasses it. *)
+type memo
+
+val create_memo : cap:int -> memo
+
 val analyze :
-  cancel:Parallel.Cancel.t -> Pll_lib.Design.spec -> Wire.analyze_result
+  ?memo:memo ->
+  cancel:Parallel.Cancel.t ->
+  Pll_lib.Design.spec ->
+  Wire.analyze_result
 
 (** Raises {!Robust.Pllscope_error.Error} with a [Parse] payload when
     [points < 2] (malformed request, answered as a typed error frame). *)
 val bode :
+  ?memo:memo ->
   cancel:Parallel.Cancel.t ->
   Pll_lib.Design.spec ->
   points:int ->
@@ -30,3 +43,9 @@ val sweep :
   Pll_lib.Design.spec ->
   float array ->
   Wire.sweep_result
+
+(** Memo counters for the stats snapshot. *)
+val memo_hits : memo -> int
+
+val memo_misses : memo -> int
+val memo_evictions : memo -> int

@@ -19,13 +19,15 @@ type t = {
   cap : int;
   tbl : (string, entry) Hashtbl.t;
   mutable tick : int;
+  mutable evicted : int;
 }
 
 let create ~cap =
   if cap < 0 then invalid_arg "Lru.create: negative capacity";
-  { cap; tbl = Hashtbl.create (max 16 cap); tick = 0 }
+  { cap; tbl = Hashtbl.create (max 16 cap); tick = 0; evicted = 0 }
 
 let length t = Hashtbl.length t.tbl
+let evictions t = t.evicted
 
 let touch t e =
   t.tick <- t.tick + 1;
@@ -47,7 +49,11 @@ let evict_one t =
         | Some _ | None -> Some (key, e.stamp))
       t.tbl None
   in
-  match victim with Some (key, _) -> Hashtbl.remove t.tbl key | None -> ()
+  match victim with
+  | Some (key, _) ->
+      Hashtbl.remove t.tbl key;
+      t.evicted <- t.evicted + 1
+  | None -> ()
 
 let add t key value =
   if t.cap > 0 then begin

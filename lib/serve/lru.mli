@@ -22,3 +22,7 @@ val find : t -> string -> string option
 val add : t -> string -> string -> unit
 
 val length : t -> int
+
+(** Entries displaced by a full-capacity {!add} since creation
+    (refreshes of an existing key do not count). *)
+val evictions : t -> int

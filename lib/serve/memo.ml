@@ -1,0 +1,92 @@
+(* Bounded memo for intermediate compute artifacts (synthesized loop
+   parameters, bode grids), keyed by canonical fingerprints.
+
+   Unlike Lru — which the daemon drives under its own state mutex —
+   the memo is consulted from engine code running *outside* the daemon
+   lock (holding it across a synthesis would serialise compute), so it
+   carries its own mutex. Counters are atomics so the stats snapshot
+   never needs the lock.
+
+   Same O(capacity) min-stamp eviction as Lru, same rationale: at
+   plan-cache scale the scan's constant factor beats list surgery. *)
+
+type 'v entry = { value : 'v; mutable stamp : int }
+
+type 'v t = {
+  cap : int;
+  m : Mutex.t;
+  tbl : (string, 'v entry) Hashtbl.t;
+  mutable tick : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+}
+
+let create ~cap =
+  if cap < 0 then invalid_arg "Memo.create: negative capacity";
+  {
+    cap;
+    m = Mutex.create ();
+    tbl = Hashtbl.create (max 16 cap);
+    tick = 0;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let length t = locked t (fun () -> Hashtbl.length t.tbl)
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses
+let evictions t = Atomic.get t.evictions
+
+let evict_one t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, stamp) when stamp <= e.stamp -> acc
+        | Some _ | None -> Some (key, e.stamp))
+      t.tbl None
+  in
+  match victim with
+  | Some (key, _) ->
+      Hashtbl.remove t.tbl key;
+      Atomic.incr t.evictions
+  | None -> ()
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some e ->
+          t.tick <- t.tick + 1;
+          e.stamp <- t.tick;
+          Atomic.incr t.hits;
+          Some e.value
+      | None ->
+          Atomic.incr t.misses;
+          None)
+
+let add t key value =
+  if t.cap > 0 then
+    locked t (fun () ->
+        (match Hashtbl.find_opt t.tbl key with
+        | Some _ -> Hashtbl.remove t.tbl key
+        | None -> if Hashtbl.length t.tbl >= t.cap then evict_one t);
+        t.tick <- t.tick + 1;
+        Hashtbl.replace t.tbl key { value; stamp = t.tick })
+
+(* The lock is NOT held across [compute]: a slow synthesis must not
+   serialise unrelated lookups. Concurrent misses on one key may both
+   compute — [compute] must be pure — and the last add wins, which is
+   harmless for deterministic artifacts. *)
+let find_or_add t key compute =
+  match find t key with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      add t key v;
+      v

@@ -1,0 +1,34 @@
+(** Bounded, thread-safe memo of intermediate compute artifacts
+    (synthesized loop parameters, bode grids) keyed by canonical
+    fingerprints ({!Wire.spec_fingerprint}-style strings).
+
+    Carries its own mutex — engine code consults it without the daemon
+    state lock — and atomic hit/miss/eviction counters surfaced by
+    [pllscope serve --status]. Eviction is the same O(capacity)
+    min-stamp scan as {!Lru}. *)
+
+type 'v t
+
+(** [create ~cap] — at most [cap] entries; [cap = 0] disables the memo
+    ({!add} is a no-op, every lookup misses). Raises [Invalid_argument]
+    on a negative [cap]. *)
+val create : cap:int -> 'v t
+
+(** [find t key] — the memoized value, promoting it to
+    most-recently-used. Counts a hit or a miss. *)
+val find : 'v t -> string -> 'v option
+
+(** [add t key v] — insert (or refresh), evicting the LRU entry when
+    full. *)
+val add : 'v t -> string -> 'v -> unit
+
+(** [find_or_add t key compute] — [find], or [compute ()] then {!add}.
+    The lock is not held during [compute]: concurrent misses on the
+    same key may both compute, so [compute] must be pure (the artifacts
+    memoized here are deterministic, making last-add-wins harmless). *)
+val find_or_add : 'v t -> string -> (unit -> 'v) -> 'v
+
+val length : 'v t -> int
+val hits : 'v t -> int
+val misses : 'v t -> int
+val evictions : 'v t -> int

@@ -13,17 +13,35 @@
      3  error       daemon -> client   Marshal of [Pllscope_error.t]
      4  overloaded  daemon -> client   Marshal of [Pllscope_error.t]
                                        (always [Overloaded _])
+     5  chunk       daemon -> client   Marshal of [chunk] (streamed cells)
+     6  summary     daemon -> client   Marshal of [summary] (stream close)
+     7  progress    daemon -> client   Marshal of [progress] (heartbeat)
 
    Shedding gets its own tag so a minimal client can recognise
    "retry later" without decoding the payload; full clients decode the
    typed error either way.
 
+   Marshalling is [No_sharing]: every wire value is a tree, and
+   suppressing back-references makes the bytes a function of the
+   *structure* alone. That is what lets a client reassemble a streamed
+   sweep cell-by-cell and still produce bytes identical to the
+   single-shot reply — with sharing enabled, two failures raised from
+   the same site could share a physical string in the one-shot value
+   and encode as a back-reference the reassembly cannot reproduce.
+
    Cache identity: [cache_key] digests the Marshal bytes of the request
-   {e body} — deliberately excluding the deadline envelope — so two
-   requests for the same analysis hit the same cache slot regardless of
-   how patient their callers are, and a cached reply is byte-identical
-   to the cold one (the daemon caches the marshalled response payload,
-   not the value). *)
+   {e body} — deliberately excluding the envelope (deadline, stream
+   flags, idempotency key) — so two requests for the same analysis hit
+   the same cache slot regardless of how patient their callers are, and
+   a cached reply is byte-identical to the cold one (the daemon caches
+   the marshalled response payload, not the value).
+
+   Idempotency identity: [stable_key] digests a *canonical text*
+   fingerprint (hex of [Int64.bits_of_float] per field) instead of
+   Marshal bytes, because request journals outlive daemon processes and
+   Marshal's byte format is only guaranteed within one OCaml version.
+   The fingerprint text itself is stored as the journal's header frame
+   so a key collision is detected by content, not by digest. *)
 
 type request_body =
   | Analyze of Pll_lib.Design.spec
@@ -32,7 +50,16 @@ type request_body =
   | Stats
   | Health
 
-type request = { deadline : float option; body : request_body }
+type request = {
+  deadline : float option;
+  key : string option;
+  resume_from : int;
+  stream : bool;
+  body : request_body;
+}
+
+let oneshot ?deadline body =
+  { deadline; key = None; resume_from = 0; stream = false; body }
 
 type analyze_result = {
   lti : Pll_lib.Analysis.loop_report;
@@ -56,8 +83,20 @@ type server_stats = {
   shed : int;
   cache_hits : int;
   cache_misses : int;
+  cache_evictions : int;
+  single_flight_waits : int;
   request_errors : int;
   io_timeouts : int;
+  streams_started : int;
+  streams_resumed : int;
+  chunks_sent : int;
+  points_computed : int;
+  points_replayed : int;
+  stale_keys : int;
+  heartbeats : int;
+  memo_hits : int;
+  memo_misses : int;
+  memo_evictions : int;
   active : int;
   uptime_s : float;
   robust : Robust.Stats.t;
@@ -70,12 +109,33 @@ type response =
   | R_stats of server_stats
   | R_healthy
 
+type chunk = { seq : int; base : int; cells : string array }
+
+type summary = {
+  total : int;
+  chunks : int;
+  digest : string;
+  computed : int;
+  replayed : int;
+}
+
+type progress = { done_points : int; total_points : int }
+
+type stream_event =
+  | Ev_chunk of chunk
+  | Ev_summary of summary
+  | Ev_progress of progress
+  | Ev_reply of response
+
 let tag_request = 1
 let tag_result = 2
 let tag_error = 3
 let tag_overloaded = 4
+let tag_chunk = 5
+let tag_summary = 6
+let tag_progress = 7
 
-let marshal v = Marshal.to_string v []
+let marshal v = Marshal.to_string v [ Marshal.No_sharing ]
 
 let parse_err msg =
   Robust.Pllscope_error.Parse { file = "<socket>"; line = 0; col = 0; msg }
@@ -86,7 +146,12 @@ let closed_err what =
 let unmarshal (s : string) : ('a, Robust.Pllscope_error.t) result =
   if String.length s < Marshal.header_size then
     Error (parse_err "Wire.unmarshal: short payload")
-  else Ok (Marshal.from_string s 0)
+  else
+    (* CRC framing makes corruption here unlikely but not impossible
+       (journal payloads predating a wire change, hostile peers) *)
+    match Marshal.from_string s 0 with
+    | v -> Ok v
+    | exception Failure msg -> Error (parse_err ("Wire.unmarshal: " ^ msg))
 
 let cache_key (body : request_body) = Digest.string (marshal body)
 
@@ -101,8 +166,78 @@ let body_name = function
   | Stats -> "stats"
   | Health -> "health"
 
+(* ------------------------------------------------------------------ *)
+(* idempotency keys                                                    *)
+
+(* Hex of the raw IEEE-754 bits: total (distinguishes -0.0/0.0 and
+   every NaN payload) and stable across OCaml versions, unlike Marshal
+   bytes or printed decimals. *)
+let hex_of_float x = Printf.sprintf "%Lx" (Int64.bits_of_float x)
+
+let spec_fingerprint (s : Pll_lib.Design.spec) =
+  String.concat ","
+    (List.map hex_of_float
+       [
+         s.Pll_lib.Design.fref;
+         s.Pll_lib.Design.n_div;
+         s.Pll_lib.Design.icp;
+         s.Pll_lib.Design.kvco;
+         s.Pll_lib.Design.ratio;
+         s.Pll_lib.Design.phase_margin_deg;
+       ])
+
+let body_fingerprint (body : request_body) =
+  match body with
+  | Analyze spec -> "analyze|" ^ spec_fingerprint spec
+  | Bode { spec; points } ->
+      Printf.sprintf "bode|%s|%d" (spec_fingerprint spec) points
+  | Sweep { spec; ratios } ->
+      let b = Buffer.create (64 + (17 * Array.length ratios)) in
+      Buffer.add_string b "sweep|";
+      Buffer.add_string b (spec_fingerprint spec);
+      Array.iter
+        (fun r ->
+          Buffer.add_char b '|';
+          Buffer.add_string b (hex_of_float r))
+        ratios;
+      Buffer.contents b
+  | Stats -> "stats"
+  | Health -> "health"
+
+let stable_key body = Digest.to_hex (Digest.string (body_fingerprint body))
+
+(* ------------------------------------------------------------------ *)
+(* streamed sweep cells                                                *)
+
+type cell = (Pll_lib.Analysis.ratio_point, Robust.Pllscope_error.t) result
+
+let encode_cell (c : cell) = marshal c
+let decode_cell (s : string) : (cell, Robust.Pllscope_error.t) result =
+  unmarshal s
+
+(* Rebuild the exact [sweep_result] a single-shot reply would carry:
+   rows by index, failures ascending (Parallel.Sweep.grid_checked
+   builds its list with a downto-prepend, so ascending is the
+   canonical order). *)
+let assemble_sweep (cells : string array) :
+    (sweep_result, Robust.Pllscope_error.t) result =
+  let n = Array.length cells in
+  let rows = Array.make n None in
+  let failures = ref [] in
+  let bad = ref None in
+  for i = n - 1 downto 0 do
+    match decode_cell cells.(i) with
+    | Ok (Ok pt) -> rows.(i) <- Some pt
+    | Ok (Error e) -> failures := (i, e) :: !failures
+    | Error e -> bad := Some e
+  done;
+  match !bad with
+  | Some e -> Error e
+  | None -> Ok { rows; failures = !failures; total = n }
+
 let marshal_request (r : request) = marshal r
 let marshal_response (r : response) = marshal r
+let marshal_chunk (c : chunk) = marshal c
 
 (* ------------------------------------------------------------------ *)
 (* framed sends/receives                                               *)
@@ -119,10 +254,20 @@ let send_error ?timeout fd (err : Robust.Pllscope_error.t) =
     match err with
     | Robust.Pllscope_error.Overloaded _ -> tag_overloaded
     | Robust.Pllscope_error.Singular _ | Non_convergence _ | Non_finite _
-    | Parse _ | Worker_failure _ | Timed_out _ | Cancelled _ | Io_timeout _ ->
+    | Parse _ | Worker_failure _ | Timed_out _ | Cancelled _ | Io_timeout _
+    | Budget_exhausted _ | Circuit_open _ ->
         tag_error
   in
   Runner.Journal.Frame.write_result ?timeout fd ~tag (marshal err)
+
+let send_chunk ?timeout fd (c : chunk) =
+  Runner.Journal.Frame.write_result ?timeout fd ~tag:tag_chunk (marshal c)
+
+let send_summary ?timeout fd (s : summary) =
+  Runner.Journal.Frame.write_result ?timeout fd ~tag:tag_summary (marshal s)
+
+let send_progress ?timeout fd (p : progress) =
+  Runner.Journal.Frame.write_result ?timeout fd ~tag:tag_progress (marshal p)
 
 (* Daemon side: [Ok None] is a clean EOF (client went away between
    requests or died mid-frame); [Error _] is corruption or a stalled
@@ -160,3 +305,42 @@ let recv_reply ?timeout fd : (response, Robust.Pllscope_error.t) result =
       else
         Error
           (parse_err (Printf.sprintf "Wire.recv_reply: unexpected tag %d" tag))
+
+(* Client side of a streamed reply: chunk/summary/progress frames plus
+   everything [recv_reply] accepts (so a daemon that answers a stream
+   request with a one-shot reply — non-sweep bodies — still decodes).
+   EOF mid-stream is a typed, retryable closed-connection error: the
+   caller reconnects and resumes by key. *)
+let recv_event ?timeout fd : (stream_event, Robust.Pllscope_error.t) result =
+  match Runner.Journal.Frame.read_result ?timeout fd with
+  | Error _ as e -> e
+  | Ok None -> Error (closed_err "mid-stream")
+  | Ok (Some (tag, payload)) ->
+      if tag = tag_chunk then begin
+        match unmarshal payload with
+        | Ok (c : chunk) -> Ok (Ev_chunk c)
+        | Error _ as e -> e
+      end
+      else if tag = tag_summary then begin
+        match unmarshal payload with
+        | Ok (s : summary) -> Ok (Ev_summary s)
+        | Error _ as e -> e
+      end
+      else if tag = tag_progress then begin
+        match unmarshal payload with
+        | Ok (p : progress) -> Ok (Ev_progress p)
+        | Error _ as e -> e
+      end
+      else if tag = tag_result then begin
+        match unmarshal payload with
+        | Ok (r : response) -> Ok (Ev_reply r)
+        | Error _ as e -> e
+      end
+      else if tag = tag_error || tag = tag_overloaded then begin
+        match unmarshal payload with
+        | Ok (err : Robust.Pllscope_error.t) -> Error err
+        | Error _ as e -> e
+      end
+      else
+        Error
+          (parse_err (Printf.sprintf "Wire.recv_event: unexpected tag %d" tag))

@@ -1,19 +1,28 @@
 (** Request/response protocol of the analysis daemon.
 
     Messages are {!Runner.Journal.Frame} CRC-32 frames whose index
-    field carries a message tag and whose payload is a [Marshal] of a
-    plain record. Grammar (tags):
+    field carries a message tag and whose payload is a [No_sharing]
+    [Marshal] of a plain record. Grammar (tags):
 
     {v
     1 request     client -> daemon   Marshal of request
     2 result      daemon -> client   Marshal of response
     3 error       daemon -> client   Marshal of Pllscope_error.t
     4 overloaded  daemon -> client   Marshal of Pllscope_error.t
+    5 chunk       daemon -> client   Marshal of chunk (streamed cells)
+    6 summary     daemon -> client   Marshal of summary (closes a stream)
+    7 progress    daemon -> client   Marshal of progress (heartbeat)
     v}
 
     The [overloaded] tag is an [error] frame whose payload is always
     [Overloaded _]; it is distinguished at the tag level so trivial
-    clients can implement retry-after without decoding payloads. *)
+    clients can implement retry-after without decoding payloads.
+
+    A streamed sweep reply is a sequence of [chunk] frames (ascending
+    [seq], cells addressed by absolute point index) closed by one
+    [summary] frame; [progress] frames may be interleaved anywhere and
+    carry no data a client must retain — they exist so a reader can
+    distinguish slow-compute from dead-peer. *)
 
 type request_body =
   | Analyze of Pll_lib.Design.spec
@@ -25,9 +34,25 @@ type request_body =
   | Stats  (** Server counters; never cached, never queued. *)
   | Health  (** Liveness probe; never cached, never queued. *)
 
-(** [deadline] is a per-request budget in seconds (from daemon receipt);
-    the daemon substitutes its configured default when [None]. *)
-type request = { deadline : float option; body : request_body }
+(** The request envelope. [deadline] is a per-request budget in seconds
+    (from daemon receipt); the daemon substitutes its configured default
+    when [None]. [key] is an idempotency key (use {!stable_key}) naming
+    the server-side journal a streamed request persists to; [None]
+    disables persistence. [resume_from] is the number of contiguous
+    leading cells the client already holds — the daemon starts streaming
+    at that index. [stream] requests a chunked reply (honoured for
+    [Sweep] bodies; others answer one-shot regardless). *)
+type request = {
+  deadline : float option;
+  key : string option;
+  resume_from : int;
+  stream : bool;
+  body : request_body;
+}
+
+(** [oneshot ?deadline body] — the classic non-streamed envelope:
+    no key, no resume, no streaming. *)
+val oneshot : ?deadline:float -> request_body -> request
 
 type analyze_result = {
   lti : Pll_lib.Analysis.loop_report;
@@ -56,8 +81,21 @@ type server_stats = {
   shed : int;  (** requests refused with [Overloaded] *)
   cache_hits : int;
   cache_misses : int;
+  cache_evictions : int;  (** LRU entries displaced when full *)
+  single_flight_waits : int;
+      (** requests that deduplicated onto an in-flight identical one *)
   request_errors : int;  (** typed error replies (excluding sheds) *)
   io_timeouts : int;  (** reads/writes that hit their frame deadline *)
+  streams_started : int;  (** streamed sweep requests admitted *)
+  streams_resumed : int;  (** of those, ones arriving with a journal *)
+  chunks_sent : int;
+  points_computed : int;  (** sweep cells evaluated by the engine *)
+  points_replayed : int;  (** sweep cells served from request journals *)
+  stale_keys : int;  (** journals discarded on fingerprint mismatch *)
+  heartbeats : int;  (** progress frames written by the ticker *)
+  memo_hits : int;  (** plan/grid memo *)
+  memo_misses : int;
+  memo_evictions : int;
   active : int;  (** compute slots in use at snapshot time *)
   uptime_s : float;
   robust : Robust.Stats.t;
@@ -70,22 +108,94 @@ type response =
   | R_stats of server_stats
   | R_healthy
 
+(** One streamed batch of sweep cells: [cells.(k)] is the encoded cell
+    of absolute point index [base + k]. [seq] numbers chunks within one
+    reply stream from 0. *)
+type chunk = { seq : int; base : int; cells : string array }
+
+(** Closes a stream. [digest] is [Digest.string] of the canonical
+    one-shot reply payload (the marshalled [R_sweep]), letting the
+    client prove its reassembly byte-identical. [computed]/[replayed]
+    split the points by whether this request evaluated them or replayed
+    them from its journal. *)
+type summary = {
+  total : int;
+  chunks : int;
+  digest : string;
+  computed : int;
+  replayed : int;
+}
+
+(** Heartbeat: the request is alive and [done_points] of
+    [total_points] cells exist so far. *)
+type progress = { done_points : int; total_points : int }
+
+type stream_event =
+  | Ev_chunk of chunk
+  | Ev_summary of summary
+  | Ev_progress of progress
+  | Ev_reply of response
+      (** a one-shot reply to a request that asked to stream (non-sweep
+          bodies, or a daemon with streaming disabled) *)
+
 val tag_request : int
 val tag_result : int
 val tag_error : int
 val tag_overloaded : int
+val tag_chunk : int
+val tag_summary : int
+val tag_progress : int
 
-(** Digest of the Marshal bytes of the request {e body} — the deadline
-    envelope is deliberately excluded, so identical analyses share a
-    cache slot regardless of caller patience. *)
+(** Digest of the Marshal bytes of the request {e body} — the envelope
+    is deliberately excluded, so identical analyses share a cache slot
+    regardless of caller patience. Process-local identity only. *)
 val cache_key : request_body -> string
 
 (** Compute requests are cacheable; [Stats]/[Health] are not. *)
 val cacheable : request_body -> bool
 
 val body_name : request_body -> string
+
+(** Canonical text fingerprint of one design spec (field-ordered hex of
+    the raw IEEE-754 bits); building block of {!body_fingerprint} and
+    the plan-memo keys. *)
+val spec_fingerprint : Pll_lib.Design.spec -> string
+
+(** Canonical text fingerprint of a request body: field-ordered hex of
+    the raw IEEE-754 bits ([Int64.bits_of_float]) of every float. Two
+    bodies share a fingerprint iff they are bit-identical analyses; the
+    encoding contains no Marshal bytes, so it is stable across OCaml
+    versions — safe to persist in request journals that outlive the
+    daemon process. *)
+val body_fingerprint : request_body -> string
+
+(** [stable_key body] — hex MD5 of {!body_fingerprint}: the idempotency
+    key clients put in {!request}[.key]. Golden-pinned by the test
+    suite; changing either encoder is a wire-format break. *)
+val stable_key : request_body -> string
+
+(** One streamed sweep cell: exactly what {!sweep_result} records for
+    one point — the row, or the typed reason there is none. *)
+type cell = (Pll_lib.Analysis.ratio_point, Robust.Pllscope_error.t) result
+
+val encode_cell : cell -> string
+val decode_cell : string -> (cell, Robust.Pllscope_error.t) result
+
+(** [assemble_sweep cells] — rebuild the exact {!sweep_result} a
+    single-shot reply would carry from one encoded cell per point
+    (failures ascending by index, matching
+    {!Parallel.Sweep.grid_checked}). [Error] if any cell is corrupt.
+    [marshal_response (R_sweep (assemble_sweep cells))] is
+    byte-identical to the uninterrupted one-shot reply. *)
+val assemble_sweep :
+  string array -> (sweep_result, Robust.Pllscope_error.t) result
+
 val marshal_request : request -> string
 val marshal_response : response -> string
+
+(** The chunk's frame payload — exposed so the daemon's [chunk-torn]
+    injection site can tear the encoded frame mid-write. *)
+val marshal_chunk : chunk -> string
 
 (** All sends take an optional whole-frame [timeout] (see
     {!Runner.Journal.Frame.write_result}); a stalled peer surfaces as
@@ -114,6 +224,24 @@ val send_error :
   Robust.Pllscope_error.t ->
   (unit, Robust.Pllscope_error.t) result
 
+val send_chunk :
+  ?timeout:float ->
+  Unix.file_descr ->
+  chunk ->
+  (unit, Robust.Pllscope_error.t) result
+
+val send_summary :
+  ?timeout:float ->
+  Unix.file_descr ->
+  summary ->
+  (unit, Robust.Pllscope_error.t) result
+
+val send_progress :
+  ?timeout:float ->
+  Unix.file_descr ->
+  progress ->
+  (unit, Robust.Pllscope_error.t) result
+
 (** Daemon side. [Ok None] — clean EOF (including a client that died
     mid-frame: torn frames read as EOF by construction). [Error _] —
     corruption ([Parse]) or a stalled client ([Io_timeout]). *)
@@ -129,3 +257,13 @@ val recv_reply :
   ?timeout:float ->
   Unix.file_descr ->
   (response, Robust.Pllscope_error.t) result
+
+(** Client side of a streamed reply. EOF mid-stream decodes as a
+    retryable closed-connection error (the caller reconnects and
+    resumes by key); [timeout] bounds the wait for the next frame of
+    any kind, so heartbeats keep a healthy-but-slow stream alive while
+    a dead peer still fails within one timeout. *)
+val recv_event :
+  ?timeout:float ->
+  Unix.file_descr ->
+  (stream_event, Robust.Pllscope_error.t) result

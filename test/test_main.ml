@@ -56,6 +56,7 @@ let () =
       ("sim.hybrid", Test_hybrid.suite);
       ("sim.behavioral", Test_behavioral.suite);
       ("sim.extract", Test_extract.suite);
+      ("serve.stream", Test_stream.suite);
       ("experiments", Test_experiments.suite);
       ("experiments.extensions", Test_extensions.suite);
       ("sim.nonideal", Test_nonideal.suite);

@@ -89,7 +89,7 @@ let request ?timeout ?deadline path body =
   let c = conn path in
   Fun.protect
     ~finally:(fun () -> Client.close c)
-    (fun () -> Client.request ?timeout c { Wire.deadline; body })
+    (fun () -> Client.request ?timeout c (Wire.oneshot ?deadline body))
 
 let ok = function
   | Ok v -> v
@@ -252,7 +252,7 @@ let test_wire_roundtrip () =
       Unix.close a;
       Unix.close b)
     (fun () ->
-      let req = { Wire.deadline = Some 1.5; body = Wire.Analyze spec } in
+      let req = Wire.oneshot ~deadline:1.5 (Wire.Analyze spec) in
       ok (Wire.send_request a req);
       (match ok (Wire.recv_request ~timeout:1.0 b) with
       | Some got ->
@@ -339,7 +339,7 @@ let test_daemon_cache_byte_identical () =
       ~finally:(fun () -> Client.close c)
       (fun () ->
         let fd = Client.fd c in
-        ok (Wire.send_request fd { Wire.deadline = None; body = Wire.Analyze spec });
+        ok (Wire.send_request fd (Wire.oneshot (Wire.Analyze spec)));
         match Frame.read_result ~timeout:10.0 fd with
         | Ok (Some (tag, payload)) ->
             check_int "result tag" Wire.tag_result tag;
@@ -460,7 +460,7 @@ let test_slow_loris_times_out () =
             let fd = Client.fd c in
             let raw =
               Frame.encode ~tag:Wire.tag_request
-                (Wire.marshal_request { Wire.deadline = None; body = Wire.Health })
+                (Wire.marshal_request (Wire.oneshot Wire.Health))
             in
             let b = Bytes.of_string raw in
             ignore (Unix.write fd b 0 6);
@@ -489,7 +489,7 @@ let test_abrupt_disconnects () =
         let c1 = conn path in
         let raw =
           Frame.encode ~tag:Wire.tag_request
-            (Wire.marshal_request { Wire.deadline = None; body = Wire.Analyze spec })
+            (Wire.marshal_request (Wire.oneshot (Wire.Analyze spec)))
         in
         ignore (Unix.write (Client.fd c1) (Bytes.of_string raw) 0 9);
         Client.close c1;
@@ -498,7 +498,7 @@ let test_abrupt_disconnects () =
         let c2 = conn path in
         ok
           (Wire.send_request (Client.fd c2)
-             { Wire.deadline = None; body = Wire.Bode { spec; points = 12 } });
+             (Wire.oneshot (Wire.Bode { spec; points = 12 })));
         Client.close c2;
         (* and the daemon keeps serving *)
         match ok (request path Wire.Health) with
@@ -538,7 +538,7 @@ let test_soak_with_faults () =
                             ~connect:(fun () -> conn path)
                             (fun c ->
                               Client.request ~timeout:5.0 ~stall:0.05 c
-                                { Wire.deadline = None; body })
+                                (Wire.oneshot body))
                         in
                         match r with
                         | Ok _ -> ()
